@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: cost of the simulator's optional bookkeeping.
+ *
+ *  - collect_most_failed: the per-branch hash updates behind the
+ *    most_failed ranking of Listing 1;
+ *  - track_only_conditional: skipping track() for unconditional branches
+ *    (the Listing 1 metadata flag).
+ *
+ * Run with a cheap predictor so simulator-side costs are visible, and
+ * with TAGE to show they vanish into predictor time — the same logic as
+ * Table III's Bimodal-vs-BATAGE framing.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mbp/predictors/bimodal.hpp"
+#include "mbp/predictors/tage.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+namespace
+{
+
+double
+timeOf(mbp::Predictor &p, const mbp::SimArgs &args)
+{
+    mbp::json_t result = mbp::simulate(p, args);
+    if (result.contains("error")) {
+        std::fprintf(stderr, "%s\n",
+                     result.find("error")->asString().c_str());
+        std::exit(1);
+    }
+    return result.find("metrics")->find("simulation_time")->asDouble();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mbp;
+    const std::string dir = bench::corpusDir();
+    tracegen::WorkloadSpec spec;
+    spec.name = "ablation-simopt";
+    spec.seed = 4242;
+    spec.num_instr = 40'000'000;
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    auto entries = tools::materialize(dir, {spec}, formats);
+
+    struct Variant
+    {
+        const char *label;
+        bool collect;
+        bool cond_only;
+    };
+    std::vector<Variant> variants = {
+        {"default (full stats)", true, false},
+        {"no most_failed stats", false, false},
+        {"track conditionals only", true, true},
+        {"both options", false, true},
+    };
+
+    std::printf("Ablation: simulator options vs run time "
+                "(40M-instruction trace)\n");
+    bench::rule();
+    std::printf("%-26s %14s %14s\n", "Options", "Bimodal", "TAGE");
+    bench::rule();
+    {
+        // Page-cache warmup.
+        pred::Bimodal<16> warm;
+        SimArgs args;
+        args.trace_path = entries[0].sbbt_flz;
+        timeOf(warm, args);
+    }
+    for (const auto &variant : variants) {
+        SimArgs args;
+        args.trace_path = entries[0].sbbt_flz;
+        args.collect_most_failed = variant.collect;
+        args.track_only_conditional = variant.cond_only;
+        pred::Bimodal<16> bimodal;
+        double t_bimodal = timeOf(bimodal, args);
+        pred::Tage tage;
+        double t_tage = timeOf(tage, args);
+        std::printf("%-26s %14s %14s\n", variant.label,
+                    bench::formatTime(t_bimodal).c_str(),
+                    bench::formatTime(t_tage).c_str());
+    }
+    bench::rule();
+    return 0;
+}

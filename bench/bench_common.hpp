@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the table-reproduction benchmark binaries: corpus
+ * location, aligned table printing, and slowest/average/fastest rollups
+ * in the style of the paper's Table III.
+ */
+#ifndef MBP_BENCH_COMMON_HPP
+#define MBP_BENCH_COMMON_HPP
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace bench
+{
+
+/**
+ * @return The corpus directory: $MBP_CORPUS_DIR or ./traces_corpus.
+ * Traces are generated on first use and cached across bench runs.
+ */
+inline std::string
+corpusDir()
+{
+    const char *env = std::getenv("MBP_CORPUS_DIR");
+    return env ? env : "traces_corpus";
+}
+
+/** Slowest / average / fastest rollup of per-trace values. */
+struct Rollup
+{
+    double slowest = 0.0;
+    double average = 0.0;
+    double fastest = 0.0;
+};
+
+inline Rollup
+rollup(const std::vector<double> &values)
+{
+    Rollup r;
+    if (values.empty())
+        return r;
+    r.slowest = *std::max_element(values.begin(), values.end());
+    r.fastest = *std::min_element(values.begin(), values.end());
+    r.average = std::accumulate(values.begin(), values.end(), 0.0) /
+                double(values.size());
+    return r;
+}
+
+/** Formats seconds like the paper: h / min / s / ms as magnitude dictates.*/
+inline std::string
+formatTime(double seconds)
+{
+    char buf[48];
+    if (seconds >= 3600.0)
+        std::snprintf(buf, sizeof buf, "%.2f h", seconds / 3600.0);
+    else if (seconds >= 60.0)
+        std::snprintf(buf, sizeof buf, "%.2f min", seconds / 60.0);
+    else if (seconds >= 1.0)
+        std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+    else
+        std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1000.0);
+    return buf;
+}
+
+/** Formats a byte count with a binary-ish unit. */
+inline std::string
+formatSize(std::uint64_t bytes)
+{
+    char buf[48];
+    if (bytes >= (1ull << 30))
+        std::snprintf(buf, sizeof buf, "%.2f GB", double(bytes) / (1 << 30));
+    else if (bytes >= (1ull << 20))
+        std::snprintf(buf, sizeof buf, "%.2f MB", double(bytes) / (1 << 20));
+    else if (bytes >= (1ull << 10))
+        std::snprintf(buf, sizeof buf, "%.2f kB", double(bytes) / (1 << 10));
+    else
+        std::snprintf(buf, sizeof buf, "%llu B",
+                      (unsigned long long)bytes);
+    return buf;
+}
+
+/** Prints a horizontal rule sized for an N-column table. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace bench
+
+#endif // MBP_BENCH_COMMON_HPP

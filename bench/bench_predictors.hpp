@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The predictor roster used by the table benchmarks — the eight designs of
+ * the paper's Table III, sized like the examples library defaults (~64 kB
+ * class budgets).
+ */
+#ifndef MBP_BENCH_PREDICTORS_HPP
+#define MBP_BENCH_PREDICTORS_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/predictors/all.hpp"
+
+namespace bench
+{
+
+/** Named factory so each run gets a fresh, untrained instance. */
+struct PredictorEntry
+{
+    std::string name;
+    std::function<std::unique_ptr<mbp::Predictor>()> make;
+};
+
+/** @return The Table III roster in paper order. */
+inline std::vector<PredictorEntry>
+tableIIIPredictors()
+{
+    using namespace mbp::pred;
+    return {
+        {"Bimodal", [] { return std::make_unique<Bimodal<16>>(); }},
+        {"Two-Level", [] { return std::make_unique<GAs<13, 4>>(); }},
+        {"GShare", [] { return std::make_unique<Gshare<15, 17>>(); }},
+        {"Tournament",
+         [] {
+             return std::make_unique<TournamentPred>(
+                 std::make_unique<Bimodal<15>>(),
+                 std::make_unique<Bimodal<16>>(),
+                 std::make_unique<Gshare<15, 16>>());
+         }},
+        {"2bc-gskew", [] { return std::make_unique<Gskew2bc<17, 16>>(); }},
+        {"Hashed Perc.",
+         [] { return std::make_unique<HashedPerceptron<8, 12, 128>>(); }},
+        {"TAGE", [] { return std::make_unique<Tage>(); }},
+        {"BATAGE", [] { return std::make_unique<Batage>(); }},
+    };
+}
+
+} // namespace bench
+
+#endif // MBP_BENCH_PREDICTORS_HPP

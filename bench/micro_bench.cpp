@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the suite's hot paths: SBBT packet
+ * codec, compression codecs, utility primitives and per-predictor
+ * steady-state throughput. These are the numbers behind Table III's
+ * gradient: the faster the predictor, the more the simulator/trace path
+ * dominates.
+ */
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_predictors.hpp"
+#include "mbp/compress/flz.hpp"
+#include "mbp/compress/streams.hpp"
+#include "mbp/sbbt/format.hpp"
+#include "mbp/tracegen/generator.hpp"
+#include "mbp/utils/flat_hash_map.hpp"
+#include "mbp/utils/hash.hpp"
+#include "mbp/utils/history.hpp"
+
+namespace
+{
+
+using namespace mbp;
+
+const std::vector<tracegen::TraceEvent> &
+eventBuffer()
+{
+    static const auto events = [] {
+        tracegen::WorkloadSpec spec;
+        spec.seed = 7;
+        spec.num_instr = 2'000'000;
+        return tracegen::generateAll(spec);
+    }();
+    return events;
+}
+
+std::vector<std::uint8_t>
+packetBytes()
+{
+    std::vector<std::uint8_t> bytes;
+    for (const auto &ev : eventBuffer()) {
+        auto packet = sbbt::encodePacket({ev.branch, ev.instr_gap});
+        bytes.insert(bytes.end(), packet.begin(), packet.end());
+    }
+    return bytes;
+}
+
+void
+BM_SbbtEncodePacket(benchmark::State &state)
+{
+    const auto &events = eventBuffer();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &ev = events[i];
+        benchmark::DoNotOptimize(
+            sbbt::encodePacket({ev.branch, ev.instr_gap}));
+        i = (i + 1) % events.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SbbtEncodePacket);
+
+void
+BM_SbbtDecodePacket(benchmark::State &state)
+{
+    static const auto bytes = packetBytes();
+    std::size_t num_packets = bytes.size() / sbbt::kPacketSize;
+    std::size_t i = 0;
+    sbbt::PacketData out;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sbbt::decodePacket(bytes.data() + i * sbbt::kPacketSize, out));
+        i = (i + 1) % num_packets;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * sbbt::kPacketSize));
+}
+BENCHMARK(BM_SbbtDecodePacket);
+
+void
+BM_FlzCompress(benchmark::State &state)
+{
+    static const auto bytes = packetBytes();
+    std::size_t n = std::min<std::size_t>(bytes.size(), 1 << 20);
+    int effort = static_cast<int>(state.range(0));
+    std::vector<std::uint8_t> out(compress::flzCompressBound(n));
+    std::size_t comp_size = 0;
+    for (auto _ : state) {
+        comp_size = compress::flzCompressBlock(bytes.data(), n, out.data(),
+                                               effort, true);
+        benchmark::DoNotOptimize(comp_size);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+    state.counters["ratio"] =
+        comp_size ? double(n) / double(comp_size) : 0.0;
+}
+BENCHMARK(BM_FlzCompress)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_FlzDecompress(benchmark::State &state)
+{
+    static const auto bytes = packetBytes();
+    std::size_t n = std::min<std::size_t>(bytes.size(), 1 << 20);
+    std::vector<std::uint8_t> comp(compress::flzCompressBound(n));
+    std::size_t comp_size =
+        compress::flzCompressBlock(bytes.data(), n, comp.data(), 16, true);
+    std::vector<std::uint8_t> out(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::flzDecompressBlock(
+            comp.data(), comp_size, out.data(), n, true));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlzDecompress);
+
+void
+BM_GzipRoundTripDecompress(benchmark::State &state)
+{
+    static const auto bytes = packetBytes();
+    std::size_t n = std::min<std::size_t>(bytes.size(), 1 << 20);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeGzipSink(std::move(mem), 9);
+    sink->write(bytes.data(), n);
+    sink->finish();
+    auto encoded = mem_raw->buffer();
+    std::vector<std::uint8_t> out(n);
+    for (auto _ : state) {
+        auto src = compress::makeGzipSource(
+            std::make_unique<compress::MemorySource>(encoded.data(),
+                                                     encoded.size()));
+        std::size_t got = 0, got_now = 0;
+        while ((got_now = src->read(out.data() + got, n - got)) > 0)
+            got += got_now;
+        benchmark::DoNotOptimize(got);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GzipRoundTripDecompress);
+
+void
+BM_XorFold(benchmark::State &state)
+{
+    std::uint64_t v = 0x123456789abcdef0ull;
+    for (auto _ : state) {
+        v = XorFold(v, 17) * 0x9e3779b97f4a7c15ull + 1;
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_XorFold);
+
+void
+BM_FoldedHistoryUpdate(benchmark::State &state)
+{
+    FoldedHistory fold(130, 11);
+    bool bit = false;
+    for (auto _ : state) {
+        fold.update(bit, !bit);
+        bit = !bit;
+        benchmark::DoNotOptimize(fold.value());
+    }
+}
+BENCHMARK(BM_FoldedHistoryUpdate);
+
+void
+BM_FlatHashMapUpsert(benchmark::State &state)
+{
+    util::FlatHashMap<std::uint64_t> map;
+    std::mt19937_64 rng(5);
+    for (auto _ : state) {
+        std::uint64_t key = rng() % 65536;
+        benchmark::DoNotOptimize(++map[key]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapUpsert);
+
+/** Steady-state predictor throughput: predict + train + track per branch.*/
+void
+BM_Predictor(benchmark::State &state)
+{
+    auto roster = bench::tableIIIPredictors();
+    const auto &entry = roster[static_cast<std::size_t>(state.range(0))];
+    state.SetLabel(entry.name);
+    auto predictor = entry.make();
+    const auto &events = eventBuffer();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &ev = events[i];
+        if (ev.branch.isConditional()) {
+            benchmark::DoNotOptimize(predictor->predict(ev.branch.ip()));
+            predictor->train(ev.branch);
+        }
+        predictor->track(ev.branch);
+        i = (i + 1) % events.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Predictor)->DenseRange(0, 7);
+
+} // namespace
+
+BENCHMARK_MAIN();

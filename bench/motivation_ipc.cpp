@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces the paper's §II motivation as a measured figure: branch
+ * prediction quality (MPKI) against delivered performance (IPC) on the
+ * cycle-level core, compared with the paper's analytic CPI model
+ * (CPI = 1/width + mpki/1000 * penalty).
+ *
+ * Predictors spanning the MPKI range run on the same champsim-lite
+ * machine; the expected shape is a monotone MPKI->IPC relation whose
+ * relative speedups roughly track the analytic model with an effective
+ * penalty around the configured front-end depth.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "champsim/core.hpp"
+#include "mbp/predictors/all.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+int
+main()
+{
+    using namespace mbp;
+    using namespace mbp::pred;
+    const std::string dir = bench::corpusDir();
+    tracegen::WorkloadSpec spec;
+    spec.name = "motivation";
+    spec.seed = 777;
+    spec.num_instr = 4'000'000;
+    tools::CorpusFormats formats;
+    formats.champsim = true;
+    auto entries = tools::materialize(dir, {spec}, formats);
+
+    struct Row
+    {
+        const char *name;
+        std::function<std::unique_ptr<Predictor>()> make;
+        double mpki = 0, ipc = 0;
+    };
+    std::vector<Row> rows = {
+        {"AlwaysNotTaken",
+         [] { return std::make_unique<AlwaysNotTaken>(); }, 0, 0},
+        {"AlwaysTaken", [] { return std::make_unique<AlwaysTaken>(); }, 0,
+         0},
+        {"Bimodal", [] { return std::make_unique<Bimodal<16>>(); }, 0, 0},
+        {"GShare", [] { return std::make_unique<Gshare<15, 17>>(); }, 0, 0},
+        {"TAGE", [] { return std::make_unique<Tage>(); }, 0, 0},
+        {"TAGE-SC-L", [] { return std::make_unique<TageScl>(); }, 0, 0},
+    };
+
+    champsim::CoreConfig config;
+    for (auto &row : rows) {
+        auto predictor = row.make();
+        champsim::Core core(config, *predictor);
+        champsim::CoreStats stats =
+            core.run(entries[0].champsim, spec.num_instr + 10'000);
+        if (!stats.ok) {
+            std::fprintf(stderr, "%s\n", stats.error.c_str());
+            return 1;
+        }
+        row.mpki = stats.mpki;
+        row.ipc = stats.ipc;
+    }
+
+    std::printf("Motivation (paper §II): MPKI vs IPC on the "
+                "champsim-lite core\n");
+    std::printf("(4-wide, front-end depth %d, redirect penalty %d)\n",
+                config.frontend_depth, config.redirect_penalty);
+    bench::rule();
+    std::printf("%-16s %10s %8s %18s %18s\n", "Predictor", "MPKI", "IPC",
+                "measured speedup", "analytic speedup");
+    bench::rule();
+    const Row &base = rows[0]; // worst predictor is the baseline
+    int resolve_stage = config.frontend_depth + config.redirect_penalty + 1;
+    for (const auto &row : rows) {
+        double measured = base.ipc > 0 ? row.ipc / base.ipc : 0.0;
+        double analytic = analyticSpeedup(config.fetch_width, resolve_stage,
+                                          base.mpki, row.mpki);
+        std::printf("%-16s %10.3f %8.3f %17.3fx %17.3fx\n", row.name,
+                    row.mpki, row.ipc, measured, analytic);
+    }
+    bench::rule();
+    std::printf("shape: IPC rises monotonically as MPKI falls; the analytic "
+                "model tracks the\nmeasured speedups' direction (it ignores "
+                "memory stalls, so it overestimates\nthe benefit on a "
+                "memory-bound machine).\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces paper Table III (bottom): simulation time of champsim-lite
+ * (whole-processor, cycle-level) versus MBPlib for the GShare and BATAGE
+ * predictors on the DPC3-style suite.
+ *
+ * Expected shape: the cycle-accurate simulator is orders of magnitude
+ * slower, and — crucially — its running time barely depends on the branch
+ * predictor, because predictor work is a sliver of the per-instruction
+ * core model (the paper's "GShare and BATAGE have approximately the same
+ * running time" observation). The paper pairs GShare with an 8K-entry BTB
+ * and a GShare-like indirect predictor, and BATAGE with an ITTAGE; so do
+ * we.
+ */
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "champsim/core.hpp"
+#include "mbp/predictors/batage.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/suite.hpp"
+
+int
+main()
+{
+    using namespace mbp;
+    const std::string dir = bench::corpusDir();
+    auto suite = tracegen::dpc3Mini(0.5);
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    formats.champsim = true;
+    std::printf("materializing %zu traces under %s (cached)...\n",
+                suite.size(), dir.c_str());
+    auto entries = tools::materialize(dir, suite, formats);
+
+    struct Config
+    {
+        const char *name;
+        bool use_ittage;
+        std::function<std::unique_ptr<Predictor>()> make;
+    };
+    std::vector<Config> configs = {
+        {"GShare", false,
+         [] { return std::make_unique<pred::Gshare<15, 17>>(); }},
+        {"BATAGE", true, [] { return std::make_unique<pred::Batage>(); }},
+    };
+
+    std::printf("\nTable III (bottom): champsim-lite vs MBPlib\n");
+    bench::rule();
+    std::printf("%-13s %-9s %12s %12s %9s\n", "Predictor", "Trace",
+                "ChampSim", "MBPlib", "Speedup");
+    bench::rule();
+
+    std::uint64_t mismatches = 0;
+    for (const auto &config : configs) {
+        std::vector<double> cs_times, mbp_times;
+        std::vector<double> ipcs;
+        for (const auto &entry : entries) {
+            auto cs_pred = config.make();
+            champsim::CoreConfig core_config;
+            core_config.use_ittage = config.use_ittage;
+            champsim::Core core(core_config, *cs_pred);
+            champsim::CoreStats stats =
+                core.run(entry.champsim, entry.num_instr + 10'000);
+            if (!stats.ok) {
+                std::fprintf(stderr, "champsim %s on %s: %s\n", config.name,
+                             entry.name.c_str(), stats.error.c_str());
+                return 1;
+            }
+            auto mbp_pred = config.make();
+            SimArgs args;
+            args.trace_path = entry.sbbt_flz;
+            json_t result = simulate(*mbp_pred, args);
+            if (result.contains("error")) {
+                std::fprintf(stderr, "mbplib %s on %s: %s\n", config.name,
+                             entry.name.c_str(),
+                             result.find("error")->asString().c_str());
+                return 1;
+            }
+            cs_times.push_back(stats.seconds);
+            mbp_times.push_back(
+                result.find("metrics")->find("simulation_time")->asDouble());
+            ipcs.push_back(stats.ipc);
+            if (result.find("metrics")->find("mispredictions")->asUint() !=
+                stats.direction_mispredictions)
+                ++mismatches;
+        }
+        bench::Rollup cs = bench::rollup(cs_times);
+        bench::Rollup mbp_roll = bench::rollup(mbp_times);
+        std::printf("%-13s %-9s %12s %12s %8.0fx\n", config.name, "Slowest",
+                    bench::formatTime(cs.slowest).c_str(),
+                    bench::formatTime(mbp_roll.slowest).c_str(),
+                    mbp_roll.slowest > 0 ? cs.slowest / mbp_roll.slowest
+                                         : 0.0);
+        std::printf("%-13s %-9s %12s %12s %8.0fx\n", "", "Average",
+                    bench::formatTime(cs.average).c_str(),
+                    bench::formatTime(mbp_roll.average).c_str(),
+                    mbp_roll.average > 0 ? cs.average / mbp_roll.average
+                                         : 0.0);
+        std::printf("%-13s %-9s %12s %12s %8.0fx\n", "", "Fastest",
+                    bench::formatTime(cs.fastest).c_str(),
+                    bench::formatTime(mbp_roll.fastest).c_str(),
+                    mbp_roll.fastest > 0 ? cs.fastest / mbp_roll.fastest
+                                         : 0.0);
+        double avg_ipc = 0.0;
+        for (double v : ipcs)
+            avg_ipc += v;
+        std::printf("%-13s (champsim-lite average IPC %.2f)\n", "",
+                    ipcs.empty() ? 0.0 : avg_ipc / double(ipcs.size()));
+        bench::rule();
+    }
+    if (mismatches == 0) {
+        std::printf("cross-check: identical direction mispredictions "
+                    "between champsim-lite and MBPlib on every run\n");
+    } else {
+        std::printf("cross-check FAILED on %llu runs\n",
+                    (unsigned long long)mismatches);
+        return 1;
+    }
+    return 0;
+}

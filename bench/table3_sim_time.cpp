@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces paper Table III (top): simulation time of MBPlib versus the
+ * CBP5 framework over the training-suite traces, for all eight example
+ * predictors, reported as slowest / average / fastest trace plus speedup.
+ *
+ * Also re-checks §VII-C on every run: both simulators must produce
+ * identical misprediction counts from the equivalent traces.
+ *
+ * Expected shape: the speedup is largest for the cheapest predictor
+ * (Bimodal — the run is dominated by simulator code, i.e. trace parsing)
+ * and shrinks as the predictor gets more expensive (BATAGE), exactly the
+ * 18.4x -> 3.25x gradient of the paper.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bench_predictors.hpp"
+#include "cbp5/framework.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/suite.hpp"
+
+int
+main()
+{
+    using namespace mbp;
+    const std::string dir = bench::corpusDir();
+    auto suite = tracegen::cbp5TrainMini(0.30);
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    formats.btt_gz = true;
+    std::printf("materializing %zu traces under %s (cached)...\n",
+                suite.size(), dir.c_str());
+    auto entries = tools::materialize(dir, suite, formats);
+
+    std::printf("\nTable III (top): MBPlib vs the CBP5-style framework\n");
+    bench::rule();
+    std::printf("%-13s %-9s %12s %12s %9s\n", "Predictor", "Trace",
+                "CBP5", "MBPlib", "Speedup");
+    bench::rule();
+
+    std::uint64_t mismatches = 0;
+    for (const auto &pred : bench::tableIIIPredictors()) {
+        std::vector<double> cbp5_times, mbp_times;
+        std::vector<double> speedups;
+        for (const auto &entry : entries) {
+            // CBP5 framework side.
+            auto cbp_pred = pred.make();
+            cbp5::MbpAdapter adapter(*cbp_pred);
+            cbp5::RunResult cbp_result = cbp5::run(adapter, entry.btt_gz);
+            if (!cbp_result.ok) {
+                std::fprintf(stderr, "cbp5 %s on %s: %s\n",
+                             pred.name.c_str(), entry.name.c_str(),
+                             cbp_result.error.c_str());
+                return 1;
+            }
+            // MBPlib side.
+            auto mbp_pred = pred.make();
+            SimArgs args;
+            args.trace_path = entry.sbbt_flz;
+            json_t result = simulate(*mbp_pred, args);
+            if (result.contains("error")) {
+                std::fprintf(stderr, "mbplib %s on %s: %s\n",
+                             pred.name.c_str(), entry.name.c_str(),
+                             result.find("error")->asString().c_str());
+                return 1;
+            }
+            double mbp_time =
+                result.find("metrics")->find("simulation_time")->asDouble();
+            cbp5_times.push_back(cbp_result.seconds);
+            mbp_times.push_back(mbp_time);
+            speedups.push_back(mbp_time > 0.0 ? cbp_result.seconds / mbp_time
+                                              : 0.0);
+            // §VII-C: identical results across simulators.
+            if (result.find("metrics")->find("mispredictions")->asUint() !=
+                cbp_result.mispredictions)
+                ++mismatches;
+        }
+        bench::Rollup cbp = bench::rollup(cbp5_times);
+        bench::Rollup mbp_roll = bench::rollup(mbp_times);
+        std::printf("%-13s %-9s %12s %12s %8.2fx\n", pred.name.c_str(),
+                    "Slowest", bench::formatTime(cbp.slowest).c_str(),
+                    bench::formatTime(mbp_roll.slowest).c_str(),
+                    mbp_roll.slowest > 0 ? cbp.slowest / mbp_roll.slowest
+                                         : 0.0);
+        std::printf("%-13s %-9s %12s %12s %8.2fx\n", "", "Average",
+                    bench::formatTime(cbp.average).c_str(),
+                    bench::formatTime(mbp_roll.average).c_str(),
+                    mbp_roll.average > 0 ? cbp.average / mbp_roll.average
+                                         : 0.0);
+        std::printf("%-13s %-9s %12s %12s %8.2fx\n", "", "Fastest",
+                    bench::formatTime(cbp.fastest).c_str(),
+                    bench::formatTime(mbp_roll.fastest).c_str(),
+                    mbp_roll.fastest > 0 ? cbp.fastest / mbp_roll.fastest
+                                         : 0.0);
+        bench::rule();
+    }
+    if (mismatches == 0) {
+        std::printf("section VII-C check: identical MPKI between MBPlib and "
+                    "the CBP5 framework on every run\n");
+    } else {
+        std::printf("section VII-C check FAILED: %llu mismatching runs\n",
+                    (unsigned long long)mismatches);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Table IV: how much of MBPlib's speedup over the CBP5
+ * framework is merely the better compression algorithm?
+ *
+ * Like the paper, the framework itself is kept constant and only the trace
+ * compression changes: the BTT text traces are read once compressed with
+ * gzip (the distributed form) and once recompressed with FLZ at maximum
+ * effort (playing zstd-22). The expected shape is a speedup barely above
+ * 1x for every predictor — i.e. the codec explains almost none of the
+ * 18.4x, which comes from the binary format and the library design.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bench_predictors.hpp"
+#include "cbp5/framework.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/suite.hpp"
+
+int
+main()
+{
+    using namespace mbp;
+    const std::string dir = bench::corpusDir();
+    auto suite = tracegen::cbp5TrainMini(0.20);
+    tools::CorpusFormats formats;
+    formats.btt_gz = true;
+    formats.btt_flz = true;
+    std::printf("materializing %zu traces under %s (cached)...\n",
+                suite.size(), dir.c_str());
+    auto entries = tools::materialize(dir, suite, formats);
+
+    std::printf("\nTable IV: CBP5 framework with gzip vs flz traces\n");
+    bench::rule();
+    std::printf("%-13s %12s %12s %9s\n", "(Averages)", "CBP5 gzip",
+                "CBP5 flz", "Speedup");
+    bench::rule();
+    for (const auto &pred : bench::tableIIIPredictors()) {
+        std::vector<double> gz_times, flz_times;
+        for (const auto &entry : entries) {
+            {
+                auto p = pred.make();
+                cbp5::MbpAdapter adapter(*p);
+                cbp5::RunResult r = cbp5::run(adapter, entry.btt_gz);
+                if (!r.ok) {
+                    std::fprintf(stderr, "%s: %s\n", entry.btt_gz.c_str(),
+                                 r.error.c_str());
+                    return 1;
+                }
+                gz_times.push_back(r.seconds);
+            }
+            {
+                auto p = pred.make();
+                cbp5::MbpAdapter adapter(*p);
+                cbp5::RunResult r = cbp5::run(adapter, entry.btt_flz);
+                if (!r.ok) {
+                    std::fprintf(stderr, "%s: %s\n", entry.btt_flz.c_str(),
+                                 r.error.c_str());
+                    return 1;
+                }
+                flz_times.push_back(r.seconds);
+            }
+        }
+        bench::Rollup gz = bench::rollup(gz_times);
+        bench::Rollup flz = bench::rollup(flz_times);
+        std::printf("%-13s %12s %12s %8.2fx\n", pred.name.c_str(),
+                    bench::formatTime(gz.average).c_str(),
+                    bench::formatTime(flz.average).c_str(),
+                    flz.average > 0 ? gz.average / flz.average : 0.0);
+    }
+    bench::rule();
+    std::printf("a ratio near 1x means the codec explains little of "
+                "MBPlib's speedup (paper: 1.02x-1.12x)\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Predictor comparison (paper §VI-C): run two predictors in parallel with
+ * the comparison simulator and inspect which branches are predicted better
+ * by each design.
+ *
+ * The most_failed section of the comparison output ranks branches by the
+ * *difference* in mispredictions — positive mpki_diff entries got worse
+ * with the second predictor, negative ones got better. This is how one
+ * evaluates adding a component (say, moving from GShare to TAGE) beyond a
+ * single aggregate number.
+ *
+ *   ./comparison [trace.sbbt[.gz|.flz]]
+ */
+#include <cstdio>
+
+#include "example_common.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/predictors/tage.hpp"
+#include "mbp/sim/simulator.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string trace = examples::demoTrace(argc, argv);
+
+    mbp::pred::Gshare<25, 18> gshare;
+    mbp::pred::Tage tage;
+
+    mbp::SimArgs args;
+    args.trace_path = trace;
+    args.most_failed_cap = 10;
+    mbp::json_t result = mbp::compare(gshare, tage, args);
+    if (result.contains("error")) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.find("error")->asString().c_str());
+        return 1;
+    }
+
+    const mbp::json_t &metrics = *result.find("metrics");
+    std::printf("GShare: %.4f MPKI   TAGE: %.4f MPKI\n",
+                metrics.find("mpki_0")->asDouble(),
+                metrics.find("mpki_1")->asDouble());
+
+    std::printf("\nbranches with the largest behavior change "
+                "(negative diff = TAGE better):\n");
+    std::printf("%-14s %12s %10s %10s %10s\n", "ip", "occurrences",
+                "mpki_gs", "mpki_tage", "diff");
+    for (const auto &row : result.find("most_failed")->elements()) {
+        std::printf("0x%-12llx %12llu %10.4f %10.4f %+10.4f\n",
+                    (unsigned long long)row.find("ip")->asUint(),
+                    (unsigned long long)row.find("occurrences")->asUint(),
+                    row.find("mpki_0")->asDouble(),
+                    row.find("mpki_1")->asDouble(),
+                    row.find("mpki_diff")->asDouble() * -1.0);
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Searching the parameter space (paper §VI-B): state-of-the-art predictors
+ * have dozens of parameters, so exhaustive sweeps are impossible. Because
+ * MBPlib is a library, the *user program* owns the optimization loop and
+ * calls mbp::simulate as its objective function — here a simple greedy
+ * hill climb over TAGE's geometry (number of tables, min/max history,
+ * entry count), the kind of loop one could equally drive with a Bayesian
+ * optimizer.
+ *
+ *   ./design_space_search [trace.sbbt[.gz|.flz]]
+ */
+#include <cstdio>
+#include <vector>
+
+#include "example_common.hpp"
+#include "mbp/predictors/tage.hpp"
+#include "mbp/sim/simulator.hpp"
+
+namespace
+{
+
+/** The search point: a TAGE geometry. */
+struct Point
+{
+    int num_tables = 6;
+    int min_hist = 4;
+    int max_hist = 128;
+    int log_size = 9;
+};
+
+double
+evaluate(const Point &p, const std::string &trace)
+{
+    mbp::pred::Tage tage(mbp::pred::Tage::Config::geometric(
+        p.num_tables, p.min_hist, p.max_hist, p.log_size));
+    mbp::SimArgs args;
+    args.trace_path = trace;
+    mbp::json_t result = mbp::simulate(tage, args);
+    if (result.contains("error")) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.find("error")->asString().c_str());
+        std::exit(1);
+    }
+    return result.find("metrics")->find("mpki")->asDouble();
+}
+
+std::vector<Point>
+neighbors(const Point &p)
+{
+    std::vector<Point> out;
+    auto push = [&](Point q) {
+        if (q.num_tables >= 2 && q.num_tables <= 12 && q.min_hist >= 2 &&
+            q.max_hist > q.min_hist * 4 && q.max_hist <= 512 &&
+            q.log_size >= 7 && q.log_size <= 12)
+            out.push_back(q);
+    };
+    Point q;
+    q = p; q.num_tables += 2; push(q);
+    q = p; q.num_tables -= 2; push(q);
+    q = p; q.max_hist *= 2; push(q);
+    q = p; q.max_hist /= 2; push(q);
+    q = p; q.min_hist *= 2; push(q);
+    q = p; q.min_hist /= 2; push(q);
+    q = p; q.log_size += 1; push(q);
+    q = p; q.log_size -= 1; push(q);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A shorter demo trace keeps each objective evaluation quick; design
+    // space search trades trace length for more evaluations.
+    std::string trace = examples::demoTrace(argc, argv, 6'000'000);
+
+    Point current;
+    double current_mpki = evaluate(current, trace);
+    std::printf("start: tables=%d hist=[%d,%d] log_size=%d -> %.4f MPKI\n",
+                current.num_tables, current.min_hist, current.max_hist,
+                current.log_size, current_mpki);
+
+    for (int step = 0; step < 4; ++step) {
+        Point best = current;
+        double best_mpki = current_mpki;
+        for (const Point &cand : neighbors(current)) {
+            double mpki = evaluate(cand, trace);
+            std::printf("  try: tables=%-2d hist=[%3d,%3d] log_size=%-2d "
+                        "-> %.4f MPKI\n",
+                        cand.num_tables, cand.min_hist, cand.max_hist,
+                        cand.log_size, mpki);
+            if (mpki < best_mpki) {
+                best = cand;
+                best_mpki = mpki;
+            }
+        }
+        if (best_mpki >= current_mpki) {
+            std::printf("local optimum reached\n");
+            break;
+        }
+        current = best;
+        current_mpki = best_mpki;
+        std::printf("step %d: tables=%d hist=[%d,%d] log_size=%d -> "
+                    "%.4f MPKI\n",
+                    step + 1, current.num_tables, current.min_hist,
+                    current.max_hist, current.log_size, current_mpki);
+    }
+    std::printf("\nfinal: tables=%d hist=[%d,%d] log_size=%d -> %.4f MPKI\n",
+                current.num_tables, current.min_hist, current.max_hist,
+                current.log_size, current_mpki);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helper for the example programs: locate (or lazily generate) a
+ * demo SBBT trace so every example runs out of the box.
+ */
+#ifndef MBP_EXAMPLE_COMMON_HPP
+#define MBP_EXAMPLE_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+namespace examples
+{
+
+/**
+ * @return The trace to simulate: argv[1] when given, otherwise a cached
+ *         synthetic demo trace under ./traces_corpus.
+ */
+inline std::string
+demoTrace(int argc, char **argv, std::uint64_t num_instr = 20'000'000)
+{
+    if (argc > 1)
+        return argv[1];
+    mbp::tracegen::WorkloadSpec spec;
+    spec.name = "example-demo";
+    spec.seed = 7;
+    spec.num_instr = num_instr;
+    mbp::tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    auto entries = mbp::tools::materialize("traces_corpus", {spec}, formats);
+    std::printf("using synthetic demo trace %s "
+                "(pass a .sbbt trace path to use your own)\n\n",
+                entries[0].sbbt_flz.c_str());
+    return entries[0].sbbt_flz;
+}
+
+} // namespace examples
+
+#endif // MBP_EXAMPLE_COMMON_HPP

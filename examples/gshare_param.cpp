@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Body of the per-parameter executables from the paper's Listing 3: CMake
+ * defines PREDICTOR differently for each target it generates
+ * (gshare_h<H>_64KB), so the compiler optimizes every configuration
+ * separately.
+ *
+ *   ./gshare_h12_64KB <trace.sbbt[.gz|.flz]>
+ */
+#include <cstdio>
+
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/sim/simulator.hpp"
+
+#ifndef PREDICTOR
+#define PREDICTOR mbp::pred::Gshare<15, 18>
+#endif
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <trace.sbbt[.gz|.flz]>\n", argv[0]);
+        return 2;
+    }
+    PREDICTOR predictor;
+    mbp::SimArgs args;
+    args.trace_path = argv[1];
+    mbp::json_t result = mbp::simulate(predictor, args);
+    std::printf("%s\n", result.dump(2).c_str());
+    return result.contains("error") ? 1 : 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parameter optimization (paper §VI-A): measure how GShare's MPKI varies
+ * with the global-history length H for a fixed 2^18-entry table.
+ *
+ * Two styles are demonstrated in this repo:
+ *  - this runtime sweep, convenient for exploration; and
+ *  - the CMake-generated per-parameter executables gshare_h<H>_64KB
+ *    (see examples/CMakeLists.txt), which reproduce the paper's Listing 3
+ *    and let the compiler constant-fold each configuration.
+ *
+ *   ./parameter_sweep [trace.sbbt[.gz|.flz]]
+ */
+#include <cstdio>
+
+#include "example_common.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/sim/simulator.hpp"
+
+namespace
+{
+
+template <int H>
+double
+mpkiOf(const std::string &trace)
+{
+    mbp::pred::Gshare<H, 18> predictor;
+    mbp::SimArgs args;
+    args.trace_path = trace;
+    mbp::json_t result = mbp::simulate(predictor, args);
+    if (result.contains("error")) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.find("error")->asString().c_str());
+        std::exit(1);
+    }
+    return result.find("metrics")->find("mpki")->asDouble();
+}
+
+/** Compile-time for-loop over history lengths. */
+template <int... Hs>
+void
+sweep(const std::string &trace)
+{
+    std::printf("%-4s %10s\n", "H", "MPKI");
+    double best_mpki = 1e18;
+    int best_h = 0;
+    (
+        [&] {
+            double mpki = mpkiOf<Hs>(trace);
+            std::printf("%-4d %10.4f\n", Hs, mpki);
+            if (mpki < best_mpki) {
+                best_mpki = mpki;
+                best_h = Hs;
+            }
+        }(),
+        ...);
+    std::printf("\nbest history length: H = %d (%.4f MPKI)\n", best_h,
+                best_mpki);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace = examples::demoTrace(argc, argv);
+    std::printf("GShare<H, 18> (64 kB) history-length sweep:\n\n");
+    sweep<2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 25, 28, 31>(trace);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * CBP5-style framework simulation loop.
+ */
+#include "cbp5/framework.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cbp5
+{
+
+OpType
+opTypeOf(mbp::OpCode opcode)
+{
+    if (opcode.isConditional()) {
+        return opcode.isIndirect() ? OpType::kCondIndirect
+                                   : OpType::kCondDirect;
+    }
+    if (opcode.isRet())
+        return OpType::kRet;
+    if (opcode.isCall()) {
+        return opcode.isIndirect() ? OpType::kCallIndirect : OpType::kCall;
+    }
+    return opcode.isIndirect() ? OpType::kUncondIndirect
+                               : OpType::kUncondDirect;
+}
+
+RunResult
+run(CbpPredictor &predictor, const std::string &trace_path,
+    std::uint64_t max_instr)
+{
+    RunResult result;
+    BttReader reader(trace_path);
+    if (!reader.ok()) {
+        result.error = reader.error();
+        return result;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    EdgeInfo edge;
+    std::uint64_t instructions = 0;
+    while (reader.next(edge)) {
+        instructions += edge.instr_gap + 1;
+        if (max_instr != 0 && instructions > max_instr)
+            break;
+        ++result.branches;
+        const mbp::Branch &b = edge.branch;
+        OpType op_type = opTypeOf(b.opcode());
+        if (b.isConditional()) {
+            ++result.conditional_branches;
+            bool pred_dir = predictor.GetPrediction(b.ip());
+            if (pred_dir != b.isTaken())
+                ++result.mispredictions;
+            predictor.UpdatePredictor(b.ip(), op_type, b.isTaken(), pred_dir,
+                                      b.target());
+        } else {
+            predictor.TrackOtherInst(b.ip(), op_type, b.isTaken(),
+                                     b.target());
+        }
+    }
+    auto end = std::chrono::steady_clock::now();
+    if (!reader.error().empty()) {
+        result.error = reader.error();
+        return result;
+    }
+
+    result.ok = true;
+    result.instructions =
+        max_instr != 0 && instructions > max_instr ? max_instr
+                                                   : reader.instructionCount();
+    result.mpki = result.instructions == 0
+                      ? 0.0
+                      : double(result.mispredictions) /
+                            (double(result.instructions) / 1000.0);
+    result.seconds = std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+int
+cbp5Main(int argc, char **argv, CbpPredictor &predictor)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <trace.btt[.gz|.flz]> [max_instr]\n",
+                     argc > 0 ? argv[0] : "cbp5_sim");
+        return 2;
+    }
+    std::uint64_t max_instr = 0;
+    if (argc > 2)
+        max_instr = std::strtoull(argv[2], nullptr, 10);
+    RunResult result = run(predictor, argv[1], max_instr);
+    if (!result.ok) {
+        std::fprintf(stderr, "error: %s\n", result.error.c_str());
+        return 1;
+    }
+    std::printf("  TRACE          : %s\n", argv[1]);
+    std::printf("  NUM_INSTR      : %" PRIu64 "\n", result.instructions);
+    std::printf("  NUM_BR         : %" PRIu64 "\n", result.branches);
+    std::printf("  NUM_COND_BR    : %" PRIu64 "\n",
+                result.conditional_branches);
+    std::printf("  NUM_MISPRED    : %" PRIu64 "\n", result.mispredictions);
+    std::printf("  MPKI           : %.4f\n", result.mpki);
+    std::printf("  SIM_TIME_SECS  : %.3f\n", result.seconds);
+    return 0;
+}
+
+} // namespace cbp5

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The CBP5-style evaluation *framework* — baseline 1 of the paper's
+ * evaluation (§VII).
+ *
+ * Unlike MBPlib, this is framework-shaped: the framework owns the
+ * simulation loop (and, via cbp5Main, even main()); user code only supplies
+ * a predictor implementing the championship interface. The interface
+ * mirrors the real CBP5 one: a single UpdatePredictor call combines what
+ * MBPlib splits into train and track, plus TrackOtherInst for non-
+ * conditional branches — the design the paper argues prevents composing
+ * meta-predictors (§VI-D).
+ */
+#ifndef CBP5_FRAMEWORK_HPP
+#define CBP5_FRAMEWORK_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cbp5/trace.hpp"
+#include "mbp/sim/predictor.hpp"
+
+namespace cbp5
+{
+
+/** Branch classes of the championship interface. */
+enum class OpType
+{
+    kCondDirect,
+    kCondIndirect,
+    kUncondDirect,
+    kUncondIndirect,
+    kCall,
+    kCallIndirect,
+    kRet,
+};
+
+/** @return The OpType of @p opcode under the championship taxonomy. */
+OpType opTypeOf(mbp::OpCode opcode);
+
+/** The championship predictor interface (CBP5's PREDICTOR class). */
+class CbpPredictor
+{
+  public:
+    virtual ~CbpPredictor() = default;
+
+    /** Direction prediction for the conditional branch at @p pc. */
+    virtual bool GetPrediction(std::uint64_t pc) = 0;
+
+    /**
+     * Single combined update for conditional branches — the framework has
+     * no train/track split.
+     */
+    virtual void UpdatePredictor(std::uint64_t pc, OpType op_type,
+                                 bool resolve_dir, bool pred_dir,
+                                 std::uint64_t branch_target) = 0;
+
+    /** Notification for non-conditional branches. */
+    virtual void TrackOtherInst(std::uint64_t pc, OpType op_type,
+                                bool branch_dir,
+                                std::uint64_t branch_target) = 0;
+};
+
+/** Results of one framework run. */
+struct RunResult
+{
+    bool ok = false;
+    std::string error;
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t conditional_branches = 0;
+    std::uint64_t mispredictions = 0;
+    double mpki = 0.0;
+    double seconds = 0.0; //!< wall time of the simulation loop
+};
+
+/**
+ * Runs @p predictor over the BTT trace at @p trace_path, framework-style.
+ *
+ * @param max_instr Optional instruction budget (0 = whole trace).
+ */
+RunResult run(CbpPredictor &predictor, const std::string &trace_path,
+              std::uint64_t max_instr = 0);
+
+/**
+ * Framework-owned entry point, as the real CBP5 ships it: parses
+ * `argv[1] = trace`, runs the predictor and prints a summary to stdout.
+ *
+ * @return Process exit code.
+ */
+int cbp5Main(int argc, char **argv, CbpPredictor &predictor);
+
+/**
+ * Adapter running an MBPlib predictor under the championship interface —
+ * how the paper reuses one implementation across both simulators to make
+ * the speed comparison fair (§VII-A).
+ */
+class MbpAdapter : public CbpPredictor
+{
+  public:
+    explicit MbpAdapter(mbp::Predictor &inner) : inner_(inner) {}
+
+    bool
+    GetPrediction(std::uint64_t pc) override
+    {
+        return inner_.predict(pc);
+    }
+
+    void
+    UpdatePredictor(std::uint64_t pc, OpType op_type, bool resolve_dir,
+                    bool /*pred_dir*/, std::uint64_t branch_target) override
+    {
+        bool indirect = op_type == OpType::kCondIndirect;
+        mbp::Branch b{pc,
+                      (!resolve_dir && indirect) ? 0 : branch_target,
+                      mbp::OpCode(mbp::BranchType::kJump, true, indirect),
+                      resolve_dir};
+        inner_.train(b);
+        inner_.track(b);
+    }
+
+    void
+    TrackOtherInst(std::uint64_t pc, OpType op_type, bool branch_dir,
+                   std::uint64_t branch_target) override
+    {
+        mbp::BranchType base = mbp::BranchType::kJump;
+        bool indirect = false;
+        switch (op_type) {
+          case OpType::kCall: base = mbp::BranchType::kCall; break;
+          case OpType::kCallIndirect:
+            base = mbp::BranchType::kCall;
+            indirect = true;
+            break;
+          case OpType::kRet:
+            base = mbp::BranchType::kRet;
+            indirect = true;
+            break;
+          case OpType::kUncondIndirect: indirect = true; break;
+          default: break;
+        }
+        inner_.track(mbp::Branch{pc, branch_target,
+                                 mbp::OpCode(base, false, indirect),
+                                 branch_dir});
+    }
+
+  private:
+    mbp::Predictor &inner_;
+};
+
+} // namespace cbp5
+
+#endif // CBP5_FRAMEWORK_HPP

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * BTB and indirect target predictor implementations.
+ */
+#include "champsim/branch_unit.hpp"
+
+#include <bit>
+
+#include "mbp/utils/bits.hpp"
+#include "mbp/utils/hash.hpp"
+
+namespace champsim
+{
+
+// ---------------------------------------------------------------------
+// Btb
+// ---------------------------------------------------------------------
+
+Btb::Btb(int log2_sets, int ways)
+    : log2_sets_(log2_sets), ways_(ways),
+      entries_(static_cast<std::size_t>(ways) << log2_sets)
+{}
+
+std::uint64_t
+Btb::lookup(std::uint64_t ip)
+{
+    std::uint64_t line = ip >> 2;
+    std::size_t set = static_cast<std::size_t>(
+        mbp::XorFold(line, log2_sets_));
+    Entry *row = &entries_[set * static_cast<std::size_t>(ways_)];
+    for (int w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].tag == line) {
+            row[w].lru = ++lru_clock_;
+            return row[w].target;
+        }
+    }
+    return 0;
+}
+
+void
+Btb::update(std::uint64_t ip, std::uint64_t target)
+{
+    std::uint64_t line = ip >> 2;
+    std::size_t set = static_cast<std::size_t>(
+        mbp::XorFold(line, log2_sets_));
+    Entry *row = &entries_[set * static_cast<std::size_t>(ways_)];
+    int victim = 0;
+    for (int w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].tag == line) {
+            row[w].target = target;
+            row[w].lru = ++lru_clock_;
+            return;
+        }
+        if (!row[w].valid)
+            victim = w;
+        else if (row[victim].valid && row[w].lru < row[victim].lru)
+            victim = w;
+    }
+    row[victim] = Entry{line, target, ++lru_clock_, true};
+}
+
+// ---------------------------------------------------------------------
+// GshareItp
+// ---------------------------------------------------------------------
+
+GshareItp::GshareItp(int log2_size)
+    : log2_size_(log2_size), table_(std::size_t(1) << log2_size, 0)
+{}
+
+std::size_t
+GshareItp::index(std::uint64_t ip) const
+{
+    return static_cast<std::size_t>(
+        mbp::XorFold((ip >> 2) ^ path_, log2_size_));
+}
+
+std::uint64_t
+GshareItp::predict(std::uint64_t ip)
+{
+    return table_[index(ip)];
+}
+
+void
+GshareItp::update(std::uint64_t ip, std::uint64_t target)
+{
+    table_[index(ip)] = target;
+}
+
+void
+GshareItp::track(std::uint64_t /*ip*/, std::uint64_t target)
+{
+    // Target-path history: fold low target bits into a shifting register.
+    path_ = ((path_ << 3) ^ (target >> 2)) & mbp::util::maskBits(30);
+}
+
+// ---------------------------------------------------------------------
+// IttageItp
+// ---------------------------------------------------------------------
+
+IttageItp::IttageItp(int num_tables, int log2_size)
+    : log2_size_(log2_size), base_(std::size_t(1) << log2_size, 0),
+      ghist_(64)
+{
+    int hist = 4;
+    for (int t = 0; t < num_tables; ++t) {
+        Table table;
+        table.history_len = hist;
+        table.entries.assign(std::size_t(1) << log2_size, Entry{});
+        table.idx_fold = mbp::FoldedHistory(hist, log2_size);
+        table.tag_fold = mbp::FoldedHistory(hist, 11);
+        tables_.push_back(std::move(table));
+        hist = hist * 2;
+        if (hist > 64)
+            hist = 64;
+    }
+    idx_.resize(tables_.size());
+    tag_.resize(tables_.size());
+}
+
+std::size_t
+IttageItp::baseIndex(std::uint64_t ip) const
+{
+    return static_cast<std::size_t>(mbp::XorFold(ip >> 2, log2_size_));
+}
+
+void
+IttageItp::computeIndices(std::uint64_t ip)
+{
+    last_ip_ = ip;
+    provider_ = -1;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        idx_[t] = static_cast<std::size_t>(
+            (mbp::XorFold(ip >> 2, log2_size_) ^
+             tables_[t].idx_fold.value()) &
+            mbp::util::maskBits(log2_size_));
+        tag_[t] = static_cast<std::uint16_t>(
+            (mbp::XorFold(ip >> 2, 11) ^ tables_[t].tag_fold.value()) &
+            mbp::util::maskBits(11));
+    }
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const Entry &e =
+            tables_[static_cast<std::size_t>(t)]
+                .entries[idx_[static_cast<std::size_t>(t)]];
+        if (e.tag == tag_[static_cast<std::size_t>(t)]) {
+            provider_ = t;
+            break;
+        }
+    }
+}
+
+std::uint64_t
+IttageItp::predict(std::uint64_t ip)
+{
+    if (last_ip_ != ip)
+        computeIndices(ip);
+    if (provider_ >= 0) {
+        const Entry &e =
+            tables_[static_cast<std::size_t>(provider_)]
+                .entries[idx_[static_cast<std::size_t>(provider_)]];
+        if (e.confidence >= 0 || base_[baseIndex(ip)] == 0)
+            return e.target;
+    }
+    return base_[baseIndex(ip)];
+}
+
+void
+IttageItp::update(std::uint64_t ip, std::uint64_t target)
+{
+    // Evaluate the prediction before any state changes; allocation must
+    // react to what the predictor *would have said*, not to the freshly
+    // updated tables.
+    const bool mispredicted = predict(ip) != target;
+    bool provider_correct = false;
+    if (provider_ >= 0) {
+        Entry &e = tables_[static_cast<std::size_t>(provider_)]
+                       .entries[idx_[static_cast<std::size_t>(provider_)]];
+        if (e.target == target) {
+            provider_correct = true;
+            if (e.confidence < 1)
+                ++e.confidence;
+        } else {
+            if (e.confidence > -2)
+                --e.confidence;
+            if (e.confidence < 0)
+                e.target = target; // low confidence: retarget in place
+        }
+    }
+    if (base_[baseIndex(ip)] == 0 || provider_ < 0)
+        base_[baseIndex(ip)] = target;
+
+    // Allocate a longer-history entry when the prediction went wrong.
+    if (mispredicted && !provider_correct) {
+        int first = provider_ + 1;
+        if (first < static_cast<int>(tables_.size())) {
+            int start = first + static_cast<int>(rng_.bits(1));
+            if (start >= static_cast<int>(tables_.size()))
+                start = first;
+            for (int t = start; t < static_cast<int>(tables_.size()); ++t) {
+                Entry &e =
+                    tables_[static_cast<std::size_t>(t)]
+                        .entries[idx_[static_cast<std::size_t>(t)]];
+                if (e.confidence <= 0) {
+                    e.tag = tag_[static_cast<std::size_t>(t)];
+                    e.target = target;
+                    e.confidence = 0;
+                    break;
+                }
+                --e.confidence;
+            }
+        }
+    }
+    last_ip_ = ~std::uint64_t(0);
+}
+
+void
+IttageItp::track(std::uint64_t ip, std::uint64_t target)
+{
+    // Push two bits of target-path information per taken branch. The input
+    // is salted (mix64(0) == 0 and aligned code can produce an exactly-zero
+    // key), and each pushed bit is the parity of one half of the hash, so
+    // any two distinct (ip, target) pairs almost surely shift different
+    // history bits — individual hash bits can coincide.
+    std::uint64_t h = mbp::mix64(target ^ (ip << 1) ^ 0x9e3779b97f4a7c15ull);
+    bool bits[2] = {
+        (std::popcount(h & 0xffffffffull) & 1) != 0,
+        (std::popcount(h >> 32) & 1) != 0,
+    };
+    for (bool bit : bits) {
+        for (Table &table : tables_) {
+            bool evicted = ghist_[table.history_len - 1];
+            table.idx_fold.update(bit, evicted);
+            table.tag_fold.update(bit, evicted);
+        }
+        ghist_.push(bit);
+    }
+    last_ip_ = ~std::uint64_t(0);
+}
+
+} // namespace champsim

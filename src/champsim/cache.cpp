@@ -1,0 +1,73 @@
+/**
+ * @file
+ * LRU set-associative cache implementation.
+ */
+#include "champsim/cache.hpp"
+
+namespace champsim
+{
+
+Cache::Cache(const CacheConfig &config, Cache *next, int miss_latency)
+    : config_(config), next_(next), miss_latency_(miss_latency),
+      ways_(static_cast<std::size_t>(config.ways)
+            << config.log2_sets)
+{}
+
+std::uint64_t
+Cache::access(std::uint64_t addr, std::uint64_t cycle)
+{
+    ++accesses_;
+    std::uint64_t line = addr >> config_.line_bits;
+    std::size_t set =
+        static_cast<std::size_t>(line) & ((std::size_t(1) << config_.log2_sets) - 1);
+    Way *row = &ways_[set * static_cast<std::size_t>(config_.ways)];
+    ++lru_clock_;
+
+    for (int w = 0; w < config_.ways; ++w) {
+        if (row[w].valid && row[w].tag == line) {
+            row[w].lru = lru_clock_;
+            return cycle + config_.latency;
+        }
+    }
+    ++misses_;
+    // Fill from the next level (or memory) and victimize LRU.
+    std::uint64_t ready =
+        next_ ? next_->access(addr, cycle + config_.latency)
+              : cycle + config_.latency + miss_latency_;
+    int victim = 0;
+    for (int w = 1; w < config_.ways; ++w) {
+        if (!row[w].valid) {
+            victim = w;
+            break;
+        }
+        if (row[w].lru < row[victim].lru)
+            victim = w;
+    }
+    row[victim].valid = true;
+    row[victim].tag = line;
+    row[victim].lru = lru_clock_;
+    return ready;
+}
+
+void
+Cache::prefetch(std::uint64_t addr, std::uint64_t cycle)
+{
+    // Reuse the demand path for the fill, then correct the counters: a
+    // prefetch is not a demand access and its miss is not a demand miss.
+    std::uint64_t line = addr >> config_.line_bits;
+    std::size_t set = static_cast<std::size_t>(line) &
+                      ((std::size_t(1) << config_.log2_sets) - 1);
+    Way *row = &ways_[set * static_cast<std::size_t>(config_.ways)];
+    for (int w = 0; w < config_.ways; ++w) {
+        if (row[w].valid && row[w].tag == line)
+            return; // already resident; leave LRU untouched
+    }
+    std::uint64_t before_accesses = accesses_;
+    std::uint64_t before_misses = misses_;
+    access(addr, cycle);
+    accesses_ = before_accesses;
+    misses_ = before_misses;
+    ++prefetches_;
+}
+
+} // namespace champsim

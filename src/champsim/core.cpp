@@ -1,0 +1,235 @@
+/**
+ * @file
+ * champsim-lite core timing loop.
+ */
+#include "champsim/core.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace champsim
+{
+
+Core::Core(const CoreConfig &config, mbp::Predictor &predictor)
+    : config_(config), predictor_(predictor)
+{}
+
+CoreStats
+Core::run(const std::string &trace_path, std::uint64_t max_instr,
+          std::uint64_t warmup_instr)
+{
+    CoreStats stats;
+    TraceReader reader(trace_path);
+    if (!reader.ok()) {
+        stats.error = reader.error();
+        return stats;
+    }
+
+    // Memory hierarchy: L1I and L1D share the L2; TLBs are page-granular
+    // caches whose misses cost a page walk.
+    Cache llc(config_.llc, nullptr, config_.dram_latency);
+    Cache l2(config_.l2, &llc, 0);
+    Cache l1d(config_.l1d, &l2, 0);
+    Cache l1i(config_.l1i, &l2, 0);
+    Cache itlb(config_.itlb, nullptr, config_.tlb_miss_latency);
+    Cache dtlb(config_.dtlb, nullptr, config_.tlb_miss_latency);
+
+    // Load/store queue ring: the most recent in-flight store addresses and
+    // their data-ready cycles, searched by every load for forwarding.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> lsq(
+        static_cast<std::size_t>(config_.lsq_depth), {0, 0});
+    std::size_t lsq_pos = 0;
+
+    Btb btb(config_.btb_log2_sets, config_.btb_ways);
+    std::unique_ptr<IndirectPredictor> itp;
+    if (config_.use_ittage)
+        itp = std::make_unique<IttageItp>();
+    else
+        itp = std::make_unique<GshareItp>(12);
+    Ras ras(config_.ras_depth);
+
+    // Dataflow state.
+    std::uint64_t reg_ready[256] = {};
+    std::vector<std::uint64_t> rob_retire(
+        static_cast<std::size_t>(config_.rob_size), 0);
+    std::size_t rob_pos = 0;
+
+    std::uint64_t fetch_cycle_cur = 0;
+    int fetch_count = 0;
+    std::uint64_t redirect_cycle = 0;
+    std::uint64_t commit_cycle_cur = 0;
+    int commit_count = 0;
+    std::uint64_t last_commit = 0;
+    std::uint64_t last_fetch_line = ~std::uint64_t(0);
+
+    std::uint64_t count = 0;
+    std::uint64_t warmup_end_cycle = 0;
+    std::uint64_t warmup_cond = 0, warmup_dir_misp = 0;
+
+    auto start_time = std::chrono::steady_clock::now();
+    TraceInstr instr;
+    while (count < max_instr && reader.next(instr)) {
+        ++count;
+
+        // ---------------- Fetch ----------------
+        std::uint64_t f = std::max(
+            {fetch_cycle_cur, redirect_cycle, rob_retire[rob_pos]});
+        // Instruction cache: pay only the miss portion beyond the hit
+        // latency (hit latency is pipelined into the front-end depth).
+        std::uint64_t line = instr.ip >> config_.l1i.line_bits;
+        if (line != last_fetch_line) {
+            last_fetch_line = line;
+            std::uint64_t tlb_ready = itlb.access(instr.ip, f);
+            f += tlb_ready - f -
+                 static_cast<std::uint64_t>(config_.itlb.latency);
+            std::uint64_t iready = l1i.access(instr.ip, f);
+            std::uint64_t extra =
+                iready - f - static_cast<std::uint64_t>(config_.l1i.latency);
+            f += extra;
+        }
+        if (f > fetch_cycle_cur) {
+            fetch_cycle_cur = f;
+            fetch_count = 0;
+        }
+        if (++fetch_count > config_.fetch_width) {
+            ++fetch_cycle_cur;
+            fetch_count = 1;
+        }
+        std::uint64_t fetch_cycle = fetch_cycle_cur;
+
+        // ---------------- Issue and execute ----------------
+        std::uint64_t ready =
+            fetch_cycle + static_cast<std::uint64_t>(config_.frontend_depth);
+        for (std::uint8_t r : instr.src_registers) {
+            if (r != 0)
+                ready = std::max(ready, reg_ready[r]);
+        }
+        std::uint64_t complete = ready + 1;
+        for (int m = 0; m < instr.num_src_mem && m < 2; ++m) {
+            std::uint64_t addr = instr.src_memory[m];
+            std::uint64_t translated = dtlb.access(addr, ready);
+            // Store-to-load forwarding: scan the LSQ for a matching
+            // in-flight store (same 8-byte word); a hit bypasses the cache.
+            std::uint64_t forwarded = 0;
+            std::uint64_t word = addr >> 3;
+            for (const auto &[st_word, st_ready] : lsq) {
+                if (st_word == word && st_ready > forwarded)
+                    forwarded = st_ready;
+            }
+            std::uint64_t data_ready =
+                forwarded != 0 ? std::max(forwarded, translated)
+                               : l1d.access(addr, translated);
+            if (config_.l1d_next_line_prefetch && forwarded == 0)
+                l1d.prefetch(addr + (std::uint64_t(1) << config_.l1d.line_bits),
+                             translated);
+            complete = std::max(complete, data_ready);
+        }
+        if (instr.dest_memory != 0) {
+            std::uint64_t translated =
+                dtlb.access(instr.dest_memory, ready);
+            l1d.access(instr.dest_memory, translated); // fill for the store
+            lsq[lsq_pos] = {instr.dest_memory >> 3, translated + 1};
+            lsq_pos = (lsq_pos + 1) % lsq.size();
+        }
+        for (std::uint8_t r : instr.dest_registers) {
+            if (r != 0)
+                reg_ready[r] = complete;
+        }
+
+        // ---------------- Branch resolution ----------------
+        if (instr.is_branch) {
+            ++stats.branches;
+            const mbp::OpCode opcode = instr.branch_opcode;
+            const bool taken = instr.branch_taken;
+            bool pred_taken = true;
+            if (opcode.isConditional()) {
+                ++stats.conditional_branches;
+                pred_taken = predictor_.predict(instr.ip);
+            }
+            // Predicted target for the taken path.
+            std::uint64_t pred_target = 0;
+            if (opcode.isRet())
+                pred_target = ras.pop();
+            else if (opcode.isIndirect())
+                pred_target = itp->predict(instr.ip);
+            else
+                pred_target = btb.lookup(instr.ip);
+            if (opcode.isCall())
+                ras.push(instr.ip + 4);
+
+            bool direction_wrong =
+                opcode.isConditional() && pred_taken != taken;
+            bool target_wrong =
+                !direction_wrong &&
+                (taken && pred_taken && pred_target != instr.branch_target);
+            if (direction_wrong)
+                ++stats.direction_mispredictions;
+            if (target_wrong)
+                ++stats.target_mispredictions;
+            if (direction_wrong || target_wrong)
+                redirect_cycle =
+                    complete +
+                    static_cast<std::uint64_t>(config_.redirect_penalty);
+
+            // Train the machinery with the resolved branch.
+            mbp::Branch b{instr.ip, instr.branch_target, opcode, taken};
+            if (opcode.isConditional())
+                predictor_.train(b);
+            predictor_.track(b);
+            if (taken) {
+                if (opcode.isIndirect() && !opcode.isRet())
+                    itp->update(instr.ip, instr.branch_target);
+                else if (!opcode.isIndirect())
+                    btb.update(instr.ip, instr.branch_target);
+                itp->track(instr.ip, instr.branch_target);
+            }
+        }
+
+        // ---------------- Commit ----------------
+        std::uint64_t c = std::max(complete, commit_cycle_cur);
+        if (c > commit_cycle_cur) {
+            commit_cycle_cur = c;
+            commit_count = 0;
+        }
+        if (++commit_count > config_.commit_width) {
+            ++commit_cycle_cur;
+            commit_count = 1;
+        }
+        last_commit = commit_cycle_cur;
+        rob_retire[rob_pos] = last_commit;
+        rob_pos = (rob_pos + 1) % rob_retire.size();
+
+        if (count == warmup_instr) {
+            warmup_end_cycle = last_commit;
+            warmup_cond = stats.conditional_branches;
+            warmup_dir_misp = stats.direction_mispredictions;
+        }
+    }
+    auto end_time = std::chrono::steady_clock::now();
+    if (!reader.error().empty()) {
+        stats.error = reader.error();
+        return stats;
+    }
+
+    stats.ok = true;
+    stats.instructions = count > warmup_instr ? count - warmup_instr : 0;
+    stats.cycles =
+        last_commit > warmup_end_cycle ? last_commit - warmup_end_cycle : 0;
+    // Report measured-window branch stats.
+    stats.conditional_branches -= warmup_cond;
+    stats.direction_mispredictions -= warmup_dir_misp;
+    stats.ipc = stats.cycles == 0
+                    ? 0.0
+                    : double(stats.instructions) / double(stats.cycles);
+    stats.mpki = stats.instructions == 0
+                     ? 0.0
+                     : double(stats.direction_mispredictions) /
+                           (double(stats.instructions) / 1000.0);
+    stats.seconds =
+        std::chrono::duration<double>(end_time - start_time).count();
+    stats.l1d_misses = l1d.misses();
+    stats.llc_misses = llc.misses();
+    return stats;
+}
+
+} // namespace champsim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Front-end branch machinery of champsim-lite: branch target buffer,
+ * return address stack and indirect target predictors.
+ *
+ * The paper's ChampSim runs pair the GShare direction predictor with an
+ * 8K-entry BTB + 4K-entry GShare-like indirect predictor, and BATAGE with
+ * a 64 kB ITTAGE; champsim-lite provides both indirect predictor flavors.
+ */
+#ifndef CHAMPSIM_BRANCH_UNIT_HPP
+#define CHAMPSIM_BRANCH_UNIT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mbp/sbbt/branch.hpp"
+#include "mbp/utils/history.hpp"
+#include "mbp/utils/lfsr.hpp"
+
+namespace champsim
+{
+
+/** Set-associative branch target buffer with LRU replacement. */
+class Btb
+{
+  public:
+    Btb(int log2_sets, int ways);
+
+    /** @return Predicted target for @p ip, or 0 on BTB miss. */
+    std::uint64_t lookup(std::uint64_t ip);
+
+    /** Installs/updates the target of a taken branch. */
+    void update(std::uint64_t ip, std::uint64_t target);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    int log2_sets_;
+    int ways_;
+    std::uint64_t lru_clock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+/** Interface of an indirect branch target predictor. */
+class IndirectPredictor
+{
+  public:
+    virtual ~IndirectPredictor() = default;
+
+    /** @return Predicted target for the indirect branch at @p ip. */
+    virtual std::uint64_t predict(std::uint64_t ip) = 0;
+    /** Trains with the resolved target. */
+    virtual void update(std::uint64_t ip, std::uint64_t target) = 0;
+    /** Tracks a taken branch into the target history. */
+    virtual void track(std::uint64_t ip, std::uint64_t target) = 0;
+};
+
+/**
+ * GShare-like indirect target predictor (Chang-Hao-Patt style): a single
+ * target table indexed by ip XOR target-path history.
+ */
+class GshareItp : public IndirectPredictor
+{
+  public:
+    explicit GshareItp(int log2_size);
+
+    std::uint64_t predict(std::uint64_t ip) override;
+    void update(std::uint64_t ip, std::uint64_t target) override;
+    void track(std::uint64_t ip, std::uint64_t target) override;
+
+  private:
+    std::size_t index(std::uint64_t ip) const;
+
+    int log2_size_;
+    std::vector<std::uint64_t> table_;
+    std::uint64_t path_ = 0;
+};
+
+/**
+ * ITTAGE-lite: tagged geometric-history target tables on top of a base
+ * target table. A faithful-in-mechanism, reduced version of Seznec's
+ * 64-Kbyte ITTAGE (JWAC-2 2011): longest tag hit provides the target,
+ * per-entry confidence counters gate replacement, allocation on wrong
+ * targets.
+ */
+class IttageItp : public IndirectPredictor
+{
+  public:
+    /**
+     * @param num_tables Tagged tables (geometric histories 4..64).
+     * @param log2_size  Entries per table (log2).
+     */
+    IttageItp(int num_tables = 5, int log2_size = 9);
+
+    std::uint64_t predict(std::uint64_t ip) override;
+    void update(std::uint64_t ip, std::uint64_t target) override;
+    void track(std::uint64_t ip, std::uint64_t target) override;
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        std::uint64_t target = 0;
+        std::int8_t confidence = 0; //!< -2..1 replacement gate
+    };
+
+    struct Table
+    {
+        int history_len;
+        std::vector<Entry> entries;
+        mbp::FoldedHistory idx_fold;
+        mbp::FoldedHistory tag_fold;
+    };
+
+    std::size_t baseIndex(std::uint64_t ip) const;
+    void computeIndices(std::uint64_t ip);
+
+    int log2_size_;
+    std::vector<std::uint64_t> base_;
+    std::vector<Table> tables_;
+    mbp::GlobalHistory ghist_;
+    mbp::Lfsr rng_;
+    std::vector<std::size_t> idx_;
+    std::vector<std::uint16_t> tag_;
+    std::uint64_t last_ip_ = ~std::uint64_t(0);
+    int provider_ = -1;
+};
+
+/** Return address stack. */
+class Ras
+{
+  public:
+    explicit Ras(int depth = 64) : stack_(static_cast<std::size_t>(depth)) {}
+
+    void
+    push(std::uint64_t return_address)
+    {
+        stack_[top_] = return_address;
+        top_ = (top_ + 1) % stack_.size();
+        if (size_ < stack_.size())
+            ++size_;
+    }
+
+    std::uint64_t
+    pop()
+    {
+        if (size_ == 0)
+            return 0;
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --size_;
+        return stack_[top_];
+    }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::size_t top_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace champsim
+
+#endif // CHAMPSIM_BRANCH_UNIT_HPP

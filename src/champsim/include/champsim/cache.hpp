@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative cache model for champsim-lite.
+ *
+ * Latency-only (no bandwidth or MSHR contention): an access returns the
+ * cycle at which the data is available. Inclusive hierarchy with LRU
+ * replacement; the last level misses to a fixed memory latency.
+ */
+#ifndef CHAMPSIM_CACHE_HPP
+#define CHAMPSIM_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace champsim
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    int log2_sets = 6;
+    int ways = 8;
+    int latency = 4;            //!< hit latency in cycles
+    int line_bits = 6;          //!< log2 of the line size
+};
+
+/** One cache level; levels chain via the `next` pointer. */
+class Cache
+{
+  public:
+    /**
+     * @param config       Geometry/timing.
+     * @param next         Next level (nullptr = last level before memory).
+     * @param miss_latency Memory latency applied when `next` is null.
+     */
+    Cache(const CacheConfig &config, Cache *next, int miss_latency);
+
+    /**
+     * Performs a (read) access.
+     *
+     * @param addr  Byte address.
+     * @param cycle Cycle the access starts.
+     * @return Cycle at which the data is available.
+     */
+    std::uint64_t access(std::uint64_t addr, std::uint64_t cycle);
+
+    /**
+     * Prefetches the line of @p addr: fills it (recursively, like a demand
+     * miss) but off the critical path — the caller's timing is unaffected.
+     * Latency-only model: prefetches are never late, so this bounds the
+     * benefit of a real prefetcher from above.
+     */
+    void prefetch(std::uint64_t addr, std::uint64_t cycle);
+
+    /** @return Prefetch fills issued so far. */
+    std::uint64_t prefetches() const { return prefetches_; }
+
+    /** @return Lookups served so far. */
+    std::uint64_t accesses() const { return accesses_; }
+    /** @return Misses so far. */
+    std::uint64_t misses() const { return misses_; }
+    /** @return The level's name. */
+    const std::string &name() const { return config_.name; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    Cache *next_;
+    int miss_latency_;
+    std::vector<Way> ways_; //!< sets * ways, row-major
+    std::uint64_t lru_clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t prefetches_ = 0;
+};
+
+} // namespace champsim
+
+#endif // CHAMPSIM_CACHE_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The champsim-lite per-instruction trace format.
+ *
+ * Real ChampSim traces store one fixed-size record per *instruction* —
+ * registers read/written and memory addresses touched — because the
+ * simulator models the whole processor. That is why they are ~42x larger
+ * than SBBT per simulated instruction (paper Table I). This format keeps
+ * the same shape: a fixed 64-byte little-endian record per instruction.
+ *
+ * Record layout (64 bytes):
+ *   0   u64 ip
+ *   8   u64 branch_target        (0 for non-branches)
+ *   16  u64 dest_memory          (0 when the instruction does not store)
+ *   24  u64 src_memory[2]        (0 when unused)
+ *   40  u8  is_branch
+ *   41  u8  branch_taken
+ *   42  u8  branch_opcode        (SBBT 4-bit opcode; lite extension)
+ *   43  u8  num_src_mem
+ *   44  u8  dest_registers[2]
+ *   46  u8  src_registers[4]
+ *   50  u8  reserved[14]
+ */
+#ifndef CHAMPSIM_TRACE_HPP
+#define CHAMPSIM_TRACE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mbp/compress/streams.hpp"
+#include "mbp/sbbt/branch.hpp"
+
+namespace champsim
+{
+
+/** Size of one serialized instruction record. */
+inline constexpr std::size_t kRecordSize = 64;
+
+/** One decoded instruction record. */
+struct TraceInstr
+{
+    std::uint64_t ip = 0;
+    std::uint64_t branch_target = 0;
+    std::uint64_t dest_memory = 0;
+    std::uint64_t src_memory[2] = {0, 0};
+    bool is_branch = false;
+    bool branch_taken = false;
+    mbp::OpCode branch_opcode{};
+    std::uint8_t num_src_mem = 0;
+    std::uint8_t dest_registers[2] = {0, 0};
+    std::uint8_t src_registers[4] = {0, 0, 0, 0};
+};
+
+/** Serializes @p instr into @p bytes (kRecordSize bytes). */
+void encodeRecord(const TraceInstr &instr, std::uint8_t *bytes);
+/** Deserializes @p bytes into @p out. */
+void decodeRecord(const std::uint8_t *bytes, TraceInstr &out);
+
+/** Streaming writer, compressing by extension. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /** Appends one instruction. @return False on I/O error. */
+    bool append(const TraceInstr &instr);
+
+    /** Flushes and finalizes. */
+    bool close();
+
+    std::uint64_t instructionsWritten() const { return count_; }
+
+  private:
+    std::unique_ptr<mbp::compress::OutStream> out_;
+    std::string error_;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming reader, decompressing by extension/magic. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /** Reads the next instruction. @return False at end or on error. */
+    bool next(TraceInstr &out);
+
+    std::uint64_t instructionsRead() const { return count_; }
+
+  private:
+    std::unique_ptr<mbp::compress::InStream> input_;
+    std::string error_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace champsim
+
+#endif // CHAMPSIM_TRACE_HPP

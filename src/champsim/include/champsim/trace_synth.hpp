@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Expands a branch stream into a full per-instruction champsim-lite trace.
+ *
+ * SBBT records only branches; a whole-processor simulator needs every
+ * instruction with its registers and memory addresses (which is exactly why
+ * ChampSim traces are so much bigger — Table I's 42x). This builder
+ * synthesizes the non-branch instructions in each gap deterministically
+ * from a seed: register dependencies form short chains, and memory
+ * accesses follow a mix of streaming (strided array walks), hot working
+ * set, and cold random references, so the cache hierarchy sees a realistic
+ * mix of hits and misses.
+ */
+#ifndef CHAMPSIM_TRACE_SYNTH_HPP
+#define CHAMPSIM_TRACE_SYNTH_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "champsim/trace.hpp"
+#include "mbp/sbbt/branch.hpp"
+#include "mbp/utils/lfsr.hpp"
+
+namespace champsim
+{
+
+/** Memory-behavior knobs of the synthesizer. */
+struct SynthConfig
+{
+    std::uint64_t seed = 1;
+    int load_percent = 30;  //!< loads among non-branch instructions
+    int store_percent = 10; //!< stores among non-branch instructions
+    /** Bytes of the hot working set (mostly cache-resident). */
+    std::uint64_t hot_set_bytes = 1 << 15;
+    /** Bytes of the cold region (mostly missing). */
+    std::uint64_t cold_set_bytes = std::uint64_t(1) << 26;
+    int stream_stride = 64; //!< stride of the streaming accesses
+};
+
+/** Streams (branch, gap) events into a per-instruction TraceWriter. */
+class SyntheticTraceBuilder
+{
+  public:
+    SyntheticTraceBuilder(TraceWriter &writer, const SynthConfig &config);
+
+    /**
+     * Appends @p instr_gap synthesized non-branch instructions followed by
+     * the branch itself.
+     *
+     * @return False on write error.
+     */
+    bool append(const mbp::Branch &branch, std::uint32_t instr_gap);
+
+  private:
+    TraceInstr makeFiller(std::uint64_t ip);
+
+    TraceWriter &writer_;
+    SynthConfig config_;
+    mbp::Lfsr rng_;
+    std::uint64_t stream_pos_ = 0;
+    std::uint64_t next_ip_ = 0;
+    std::uint8_t last_dest_reg_ = 1;
+};
+
+} // namespace champsim
+
+#endif // CHAMPSIM_TRACE_SYNTH_HPP

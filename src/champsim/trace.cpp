@@ -1,0 +1,128 @@
+/**
+ * @file
+ * champsim-lite trace record serialization and file streaming.
+ */
+#include "champsim/trace.hpp"
+
+#include <cstring>
+
+namespace champsim
+{
+
+namespace
+{
+
+void
+encode64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+decode64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+encodeRecord(const TraceInstr &instr, std::uint8_t *bytes)
+{
+    std::memset(bytes, 0, kRecordSize);
+    encode64(bytes, instr.ip);
+    encode64(bytes + 8, instr.branch_target);
+    encode64(bytes + 16, instr.dest_memory);
+    encode64(bytes + 24, instr.src_memory[0]);
+    encode64(bytes + 32, instr.src_memory[1]);
+    bytes[40] = instr.is_branch ? 1 : 0;
+    bytes[41] = instr.branch_taken ? 1 : 0;
+    bytes[42] = instr.branch_opcode.bits();
+    bytes[43] = instr.num_src_mem;
+    bytes[44] = instr.dest_registers[0];
+    bytes[45] = instr.dest_registers[1];
+    std::memcpy(bytes + 46, instr.src_registers, 4);
+}
+
+void
+decodeRecord(const std::uint8_t *bytes, TraceInstr &out)
+{
+    out.ip = decode64(bytes);
+    out.branch_target = decode64(bytes + 8);
+    out.dest_memory = decode64(bytes + 16);
+    out.src_memory[0] = decode64(bytes + 24);
+    out.src_memory[1] = decode64(bytes + 32);
+    out.is_branch = bytes[40] != 0;
+    out.branch_taken = bytes[41] != 0;
+    out.branch_opcode = mbp::OpCode(bytes[42]);
+    out.num_src_mem = bytes[43];
+    out.dest_registers[0] = bytes[44];
+    out.dest_registers[1] = bytes[45];
+    std::memcpy(out.src_registers, bytes + 46, 4);
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    out_ = mbp::compress::openOutput(path, -1);
+    if (!out_)
+        error_ = "cannot create " + path;
+}
+
+bool
+TraceWriter::append(const TraceInstr &instr)
+{
+    if (!ok())
+        return false;
+    std::uint8_t bytes[kRecordSize];
+    encodeRecord(instr, bytes);
+    if (!out_->write(bytes, kRecordSize)) {
+        error_ = "write error";
+        return false;
+    }
+    ++count_;
+    return true;
+}
+
+bool
+TraceWriter::close()
+{
+    if (!out_)
+        return false;
+    if (!out_->close() && error_.empty())
+        error_ = "error finalizing trace";
+    return error_.empty();
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    input_ = mbp::compress::openInput(path);
+    if (!input_)
+        error_ = "cannot open " + path;
+}
+
+bool
+TraceReader::next(TraceInstr &out)
+{
+    if (!ok())
+        return false;
+    std::uint8_t bytes[kRecordSize];
+    std::size_t n = input_->read(bytes, kRecordSize);
+    if (n == 0) {
+        if (input_->failed())
+            error_ = "corrupt compressed stream";
+        return false;
+    }
+    if (n != kRecordSize) {
+        error_ = "truncated record";
+        return false;
+    }
+    decodeRecord(bytes, out);
+    ++count_;
+    return true;
+}
+
+} // namespace champsim

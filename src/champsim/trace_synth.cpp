@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic per-instruction trace expansion.
+ */
+#include "champsim/trace_synth.hpp"
+
+namespace champsim
+{
+
+namespace
+{
+constexpr std::uint64_t kHotBase = 0x10000000;
+constexpr std::uint64_t kColdBase = 0x40000000;
+constexpr std::uint64_t kStreamBase = 0x80000000;
+} // namespace
+
+SyntheticTraceBuilder::SyntheticTraceBuilder(TraceWriter &writer,
+                                             const SynthConfig &config)
+    : writer_(writer), config_(config), rng_(config.seed)
+{}
+
+TraceInstr
+SyntheticTraceBuilder::makeFiller(std::uint64_t ip)
+{
+    TraceInstr instr;
+    instr.ip = ip;
+    // Registers: read the previous producer a quarter of the time (short
+    // dependency chains leave ILP for the out-of-order core to exploit),
+    // plus an independent operand; write a rotating register.
+    instr.src_registers[0] =
+        (rng_.next() % 4 == 0)
+            ? last_dest_reg_
+            : static_cast<std::uint8_t>(1 + rng_.next() % 60);
+    instr.src_registers[1] = static_cast<std::uint8_t>(1 + rng_.next() % 60);
+    std::uint8_t dest = static_cast<std::uint8_t>(1 + rng_.next() % 60);
+    instr.dest_registers[0] = dest;
+    last_dest_reg_ = dest;
+
+    int roll = static_cast<int>(rng_.next() % 100);
+    if (roll < config_.load_percent) {
+        // Loads: 60% hot set, 36% streaming, 4% cold. Cold misses are kept
+        // rare so memory stalls do not drown out branch-misprediction
+        // penalties (the effect Table III's IPC differences rest on).
+        int kind = static_cast<int>(rng_.next() % 100);
+        std::uint64_t addr;
+        if (kind < 60) {
+            addr = kHotBase + (rng_.next() % config_.hot_set_bytes & ~7ull);
+        } else if (kind < 96) {
+            stream_pos_ =
+                (stream_pos_ + static_cast<std::uint64_t>(
+                                   config_.stream_stride)) %
+                (std::uint64_t(1) << 20);
+            addr = kStreamBase + stream_pos_;
+        } else {
+            addr = kColdBase + (rng_.next() % config_.cold_set_bytes & ~7ull);
+        }
+        instr.src_memory[0] = addr;
+        instr.num_src_mem = 1;
+    } else if (roll < config_.load_percent + config_.store_percent) {
+        instr.dest_memory =
+            kHotBase + (rng_.next() % config_.hot_set_bytes & ~7ull);
+    }
+    return instr;
+}
+
+bool
+SyntheticTraceBuilder::append(const mbp::Branch &branch,
+                              std::uint32_t instr_gap)
+{
+    // Filler instructions occupy the addresses leading up to the branch.
+    for (std::uint32_t i = 0; i < instr_gap; ++i) {
+        std::uint64_t ip =
+            branch.ip() - std::uint64_t(instr_gap - i) * 4;
+        if (!writer_.append(makeFiller(ip)))
+            return false;
+    }
+    TraceInstr instr;
+    instr.ip = branch.ip();
+    instr.is_branch = true;
+    instr.branch_taken = branch.isTaken();
+    instr.branch_opcode = branch.opcode();
+    instr.branch_target = branch.target();
+    // Branches read the flags register by convention.
+    instr.src_registers[0] = 25;
+    return writer_.append(instr);
+}
+
+} // namespace champsim

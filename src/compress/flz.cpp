@@ -1,0 +1,242 @@
+/**
+ * @file
+ * FLZ block codec implementation: greedy hash-chain LZ77 with an LZ4-style
+ * token stream.
+ */
+#include "mbp/compress/flz.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace mbp::compress
+{
+
+namespace
+{
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kMaxOffsetWide = (std::size_t(1) << 24) - 1;
+constexpr int kHashBits = 16;
+constexpr std::size_t kHashSize = std::size_t(1) << kHashBits;
+
+inline std::uint32_t
+load32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint32_t
+hash4(std::uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Appends a length using the 15 + 255-run encoding.
+inline void
+putRunLength(std::uint8_t *&dst, std::size_t len)
+{
+    while (len >= 255) {
+        *dst++ = 255;
+        len -= 255;
+    }
+    *dst++ = static_cast<std::uint8_t>(len);
+}
+
+} // namespace
+
+std::size_t
+flzCompressBound(std::size_t src_size)
+{
+    // Worst case: all literals, one extension byte per 255 literals, plus
+    // token and terminator slack.
+    return src_size + src_size / 255 + 32;
+    // (The bound holds for both offset widths: matches only shrink output.)
+}
+
+std::size_t
+flzCompressBlock(const std::uint8_t *src, std::size_t src_size,
+                 std::uint8_t *dst, int effort, bool wide)
+{
+    if (effort < 1)
+        effort = 1;
+    const std::size_t max_offset = wide ? kMaxOffsetWide : kMaxOffset;
+    const std::uint8_t *const dst_start = dst;
+    if (src_size == 0) {
+        *dst++ = 0; // empty literal-only sequence
+        return static_cast<std::size_t>(dst - dst_start);
+    }
+
+    // head[h] = most recent position with hash h; chain[i] = previous
+    // position with the same hash as i (both one-based to keep 0 = empty).
+    std::vector<std::uint32_t> head(kHashSize, 0);
+    std::vector<std::uint32_t> chain;
+    if (effort > 1)
+        chain.assign(src_size, 0);
+
+    std::size_t anchor = 0; // first literal not yet emitted
+    std::size_t pos = 0;
+    // Leave room so match probing can always read 4 bytes; inputs shorter
+    // than a minimum match are emitted as pure literals below.
+    const bool can_match = src_size >= kMinMatch;
+    const std::size_t last_probe = can_match ? src_size - kMinMatch : 0;
+
+    auto emit = [&](std::size_t literal_end, std::size_t match_pos,
+                    std::size_t match_len) {
+        std::size_t lit_len = literal_end - anchor;
+        std::uint8_t *token = dst++;
+        std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+        std::size_t match_code = match_len - kMinMatch;
+        std::size_t match_nibble = match_code < 15 ? match_code : 15;
+        *token = static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble);
+        if (lit_len >= 15)
+            putRunLength(dst, lit_len - 15);
+        std::memcpy(dst, src + anchor, lit_len);
+        dst += lit_len;
+        std::size_t offset = literal_end - match_pos;
+        assert(offset >= 1 && offset <= max_offset);
+        *dst++ = static_cast<std::uint8_t>(offset & 0xff);
+        *dst++ = static_cast<std::uint8_t>((offset >> 8) & 0xff);
+        if (wide)
+            *dst++ = static_cast<std::uint8_t>(offset >> 16);
+        if (match_code >= 15)
+            putRunLength(dst, match_code - 15);
+    };
+
+    while (can_match && pos <= last_probe) {
+        std::uint32_t h = hash4(load32(src + pos));
+        std::size_t best_len = 0;
+        std::size_t best_pos = 0;
+        const std::uint32_t prev_head = head[h];
+        std::uint32_t cand = prev_head;
+        int probes = effort;
+        while (cand != 0 && probes-- > 0) {
+            std::size_t cpos = cand - 1;
+            if (pos - cpos > max_offset)
+                break;
+            if (load32(src + cpos) == load32(src + pos)) {
+                std::size_t len = kMinMatch;
+                std::size_t max_len = src_size - pos;
+                while (len < max_len && src[cpos + len] == src[pos + len])
+                    ++len;
+                if (len > best_len) {
+                    best_len = len;
+                    best_pos = cpos;
+                    if (len >= 128)
+                        break; // long enough; stop searching
+                }
+            }
+            cand = chain.empty() ? 0 : chain[cpos];
+        }
+        head[h] = static_cast<std::uint32_t>(pos + 1);
+        if (!chain.empty())
+            chain[pos] = prev_head;
+
+        if (best_len >= kMinMatch) {
+            emit(pos, best_pos, best_len);
+            // Index a few positions inside the match so future matches can
+            // reference them, then skip past it.
+            std::size_t match_end = pos + best_len;
+            std::size_t idx_end =
+                match_end <= last_probe ? match_end : last_probe + 1;
+            for (std::size_t i = pos + 1; i < idx_end; ++i) {
+                std::uint32_t hh = hash4(load32(src + i));
+                if (!chain.empty())
+                    chain[i] = head[hh];
+                head[hh] = static_cast<std::uint32_t>(i + 1);
+            }
+            pos = match_end;
+            anchor = pos;
+        } else {
+            ++pos;
+        }
+    }
+
+    // Final literal-only sequence.
+    {
+        std::size_t lit_len = src_size - anchor;
+        std::uint8_t *token = dst++;
+        std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+        *token = static_cast<std::uint8_t>(lit_nibble << 4);
+        if (lit_len >= 15)
+            putRunLength(dst, lit_len - 15);
+        std::memcpy(dst, src + anchor, lit_len);
+        dst += lit_len;
+    }
+    return static_cast<std::size_t>(dst - dst_start);
+}
+
+bool
+flzDecompressBlock(const std::uint8_t *src, std::size_t src_size,
+                   std::uint8_t *dst, std::size_t dst_size, bool wide)
+{
+    const std::size_t offset_bytes = wide ? 3 : 2;
+    const std::uint8_t *sp = src;
+    const std::uint8_t *const send = src + src_size;
+    std::uint8_t *dp = dst;
+    std::uint8_t *const dend = dst + dst_size;
+
+    auto readRun = [&](std::size_t base) -> std::size_t {
+        std::size_t len = base;
+        if (base == 15) {
+            std::uint8_t b;
+            do {
+                if (sp >= send)
+                    return SIZE_MAX;
+                b = *sp++;
+                len += b;
+            } while (b == 255);
+        }
+        return len;
+    };
+
+    while (sp < send) {
+        std::uint8_t token = *sp++;
+        // Literals.
+        std::size_t lit_len = readRun(token >> 4);
+        if (lit_len == SIZE_MAX)
+            return false;
+        if (lit_len > static_cast<std::size_t>(send - sp) ||
+            lit_len > static_cast<std::size_t>(dend - dp))
+            return false;
+        std::memcpy(dp, sp, lit_len);
+        sp += lit_len;
+        dp += lit_len;
+        if (sp == send)
+            break; // final literal-only sequence
+        // Match.
+        if (static_cast<std::size_t>(send - sp) < offset_bytes)
+            return false;
+        std::size_t offset = sp[0] | (std::size_t(sp[1]) << 8);
+        if (wide)
+            offset |= std::size_t(sp[2]) << 16;
+        sp += offset_bytes;
+        if (offset == 0 || offset > static_cast<std::size_t>(dp - dst))
+            return false;
+        std::size_t match_len = readRun(token & 0x0f);
+        if (match_len == SIZE_MAX)
+            return false;
+        match_len += kMinMatch;
+        if (match_len > static_cast<std::size_t>(dend - dp))
+            return false;
+        const std::uint8_t *ref = dp - offset;
+        // Byte-by-byte copy handles overlapping matches (RLE-style).
+        for (std::size_t i = 0; i < match_len; ++i)
+            dp[i] = ref[i];
+        dp += match_len;
+    }
+    return dp == dend;
+}
+
+std::vector<std::uint8_t>
+flzCompress(const std::uint8_t *src, std::size_t src_size, int effort)
+{
+    std::vector<std::uint8_t> out(flzCompressBound(src_size));
+    std::size_t n = flzCompressBlock(src, src_size, out.data(), effort);
+    out.resize(n);
+    return out;
+}
+
+} // namespace mbp::compress

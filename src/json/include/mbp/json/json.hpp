@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Minimal order-preserving JSON value type used as MBPlib's output format.
+ *
+ * The paper uses nlohmann/json; this is a from-scratch substitute with the
+ * subset of functionality MBPlib needs: building values programmatically,
+ * serializing them (compact or pretty), and parsing them back (used by the
+ * tests and by tools that post-process simulator output).
+ *
+ * Object member order is preserved on insertion so that simulator output is
+ * stable and diffable, mirroring nlohmann's ordered_json.
+ */
+#ifndef MBP_JSON_JSON_HPP
+#define MBP_JSON_JSON_HPP
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mbp::json
+{
+
+class Value;
+
+/** A key/value member of a JSON object. */
+using Member = std::pair<std::string, Value>;
+
+/**
+ * A dynamically typed JSON value (null, bool, number, string, array or
+ * object).
+ *
+ * Numbers keep their original flavor (signed, unsigned or double) so that
+ * 64-bit instruction counts round-trip exactly.
+ */
+class Value
+{
+  public:
+    /** Discriminator for the currently held alternative. */
+    enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                      kObject };
+
+    Value() noexcept : type_(Type::kNull) {}
+    Value(std::nullptr_t) noexcept : type_(Type::kNull) {}
+    Value(bool b) noexcept : type_(Type::kBool) { bool_ = b; }
+    Value(int v) noexcept : type_(Type::kInt) { int_ = v; }
+    Value(long v) noexcept : type_(Type::kInt) { int_ = v; }
+    Value(long long v) noexcept : type_(Type::kInt) { int_ = v; }
+    Value(unsigned v) noexcept : type_(Type::kUint) { uint_ = v; }
+    Value(unsigned long v) noexcept : type_(Type::kUint) { uint_ = v; }
+    Value(unsigned long long v) noexcept : type_(Type::kUint) { uint_ = v; }
+    Value(double v) noexcept : type_(Type::kDouble) { double_ = v; }
+    Value(const char *s) : type_(Type::kString), str_(s) {}
+    Value(std::string_view s) : type_(Type::kString), str_(s) {}
+    Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+    Value(const Value &other);
+    Value(Value &&other) noexcept;
+    Value &operator=(const Value &other);
+    Value &operator=(Value &&other) noexcept;
+    ~Value() = default;
+
+    /** Creates an (optionally pre-populated) JSON array. */
+    static Value array(std::initializer_list<Value> items = {});
+    /** Creates an (optionally pre-populated) JSON object. */
+    static Value object(std::initializer_list<Member> members = {});
+
+    Type type() const noexcept { return type_; }
+    bool isNull() const noexcept { return type_ == Type::kNull; }
+    bool isBool() const noexcept { return type_ == Type::kBool; }
+    bool isNumber() const noexcept
+    {
+        return type_ == Type::kInt || type_ == Type::kUint ||
+               type_ == Type::kDouble;
+    }
+    bool isString() const noexcept { return type_ == Type::kString; }
+    bool isArray() const noexcept { return type_ == Type::kArray; }
+    bool isObject() const noexcept { return type_ == Type::kObject; }
+
+    /** @return The held boolean. @pre isBool(). */
+    bool asBool() const;
+    /** @return The held number as a signed 64-bit value. @pre isNumber(). */
+    std::int64_t asInt() const;
+    /** @return The held number as an unsigned 64-bit value. @pre isNumber().*/
+    std::uint64_t asUint() const;
+    /** @return The held number as a double. @pre isNumber(). */
+    double asDouble() const;
+    /** @return The held string. @pre isString(). */
+    const std::string &asString() const;
+
+    /**
+     * Object member access, creating the member (and converting a null value
+     * into an object) when absent, like nlohmann::json.
+     */
+    Value &operator[](std::string_view key);
+    /** Array element access. @pre isArray() and idx < size(). */
+    Value &operator[](std::size_t idx);
+    const Value &operator[](std::size_t idx) const;
+
+    /** @return Member value for @p key, or nullptr when absent. */
+    const Value *find(std::string_view key) const;
+    /** @return Whether the object contains @p key. */
+    bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+    /** Appends @p v to an array (a null value becomes an array first). */
+    void push_back(Value v);
+
+    /** @return Element count of an array/object, 0 for anything else. */
+    std::size_t size() const noexcept;
+
+    /** @return The members of an object, in insertion order. */
+    const std::vector<Member> &members() const;
+    /** @return The elements of an array. */
+    const std::vector<Value> &elements() const;
+
+    /**
+     * Serializes the value.
+     *
+     * @param indent Spaces per nesting level; negative yields the compact
+     *               single-line form.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parses JSON text.
+     *
+     * @param text  The document.
+     * @param error Receives a human-readable message on failure (optional).
+     * @return The parsed value, or std::nullopt on malformed input.
+     */
+    static std::optional<Value> parse(std::string_view text,
+                                      std::string *error = nullptr);
+
+    /** Deep structural equality (numbers compare by numeric value). */
+    friend bool operator==(const Value &a, const Value &b);
+    friend bool operator!=(const Value &a, const Value &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    union {
+        bool bool_;
+        std::int64_t int_;
+        std::uint64_t uint_;
+        double double_;
+    };
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<Member> obj_;
+};
+
+/** Escapes @p s per RFC 8259 and appends the quoted result to @p out. */
+void appendQuoted(std::string &out, std::string_view s);
+
+} // namespace mbp::json
+
+namespace mbp
+{
+/** MBPlib spells the output type `mbp::json_t` in user-facing interfaces. */
+using json_t = json::Value;
+} // namespace mbp
+
+#endif // MBP_JSON_JSON_HPP

@@ -1,0 +1,693 @@
+/**
+ * @file
+ * Implementation of the mbp::json::Value type: copy/move plumbing,
+ * serialization and a recursive-descent parser.
+ */
+#include "mbp/json/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mbp::json
+{
+
+Value::Value(const Value &other)
+    : type_(other.type_), str_(other.str_), arr_(other.arr_),
+      obj_(other.obj_)
+{
+    switch (type_) {
+      case Type::kBool: bool_ = other.bool_; break;
+      case Type::kInt: int_ = other.int_; break;
+      case Type::kUint: uint_ = other.uint_; break;
+      case Type::kDouble: double_ = other.double_; break;
+      default: break;
+    }
+}
+
+Value::Value(Value &&other) noexcept
+    : type_(other.type_), str_(std::move(other.str_)),
+      arr_(std::move(other.arr_)), obj_(std::move(other.obj_))
+{
+    switch (type_) {
+      case Type::kBool: bool_ = other.bool_; break;
+      case Type::kInt: int_ = other.int_; break;
+      case Type::kUint: uint_ = other.uint_; break;
+      case Type::kDouble: double_ = other.double_; break;
+      default: break;
+    }
+    other.type_ = Type::kNull;
+}
+
+Value &
+Value::operator=(const Value &other)
+{
+    if (this != &other) {
+        Value tmp(other);
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+Value &
+Value::operator=(Value &&other) noexcept
+{
+    if (this != &other) {
+        type_ = other.type_;
+        str_ = std::move(other.str_);
+        arr_ = std::move(other.arr_);
+        obj_ = std::move(other.obj_);
+        switch (type_) {
+          case Type::kBool: bool_ = other.bool_; break;
+          case Type::kInt: int_ = other.int_; break;
+          case Type::kUint: uint_ = other.uint_; break;
+          case Type::kDouble: double_ = other.double_; break;
+          default: break;
+        }
+        other.type_ = Type::kNull;
+    }
+    return *this;
+}
+
+Value
+Value::array(std::initializer_list<Value> items)
+{
+    Value v;
+    v.type_ = Type::kArray;
+    v.arr_.assign(items.begin(), items.end());
+    return v;
+}
+
+Value
+Value::object(std::initializer_list<Member> members)
+{
+    Value v;
+    v.type_ = Type::kObject;
+    v.obj_.assign(members.begin(), members.end());
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    assert(type_ == Type::kBool);
+    return bool_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    switch (type_) {
+      case Type::kInt: return int_;
+      case Type::kUint: return static_cast<std::int64_t>(uint_);
+      case Type::kDouble: return static_cast<std::int64_t>(double_);
+      default: assert(false && "asInt on non-number"); return 0;
+    }
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    switch (type_) {
+      case Type::kInt: return static_cast<std::uint64_t>(int_);
+      case Type::kUint: return uint_;
+      case Type::kDouble: return static_cast<std::uint64_t>(double_);
+      default: assert(false && "asUint on non-number"); return 0;
+    }
+}
+
+double
+Value::asDouble() const
+{
+    switch (type_) {
+      case Type::kInt: return static_cast<double>(int_);
+      case Type::kUint: return static_cast<double>(uint_);
+      case Type::kDouble: return double_;
+      default: assert(false && "asDouble on non-number"); return 0.0;
+    }
+}
+
+const std::string &
+Value::asString() const
+{
+    assert(type_ == Type::kString);
+    return str_;
+}
+
+Value &
+Value::operator[](std::string_view key)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kObject;
+    assert(type_ == Type::kObject);
+    for (auto &m : obj_) {
+        if (m.first == key)
+            return m.second;
+    }
+    obj_.emplace_back(std::string(key), Value());
+    return obj_.back().second;
+}
+
+Value &
+Value::operator[](std::size_t idx)
+{
+    assert(type_ == Type::kArray && idx < arr_.size());
+    return arr_[idx];
+}
+
+const Value &
+Value::operator[](std::size_t idx) const
+{
+    assert(type_ == Type::kArray && idx < arr_.size());
+    return arr_[idx];
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (type_ != Type::kObject)
+        return nullptr;
+    for (const auto &m : obj_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+void
+Value::push_back(Value v)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kArray;
+    assert(type_ == Type::kArray);
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const noexcept
+{
+    if (type_ == Type::kArray)
+        return arr_.size();
+    if (type_ == Type::kObject)
+        return obj_.size();
+    return 0;
+}
+
+const std::vector<Member> &
+Value::members() const
+{
+    assert(type_ == Type::kObject);
+    return obj_;
+}
+
+const std::vector<Value> &
+Value::elements() const
+{
+    assert(type_ == Type::kArray);
+    return arr_;
+}
+
+void
+appendQuoted(std::string &out, std::string_view s)
+{
+    out.push_back('"');
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(ch) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+namespace
+{
+
+// Appends a double using the shortest representation that round-trips,
+// always keeping it recognizable as a floating-point literal.
+void
+appendDouble(std::string &out, double v)
+{
+    if (std::isnan(v) || std::isinf(v)) {
+        // JSON has no NaN/Inf; emit null like most serializers.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+    // Ensure "1" becomes "1.0" so the type survives a round trip.
+    std::string_view written(buf, static_cast<std::size_t>(res.ptr - buf));
+    if (written.find_first_of(".eE") == std::string_view::npos)
+        out += ".0";
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (pretty) {
+            out.push_back('\n');
+            out.append(static_cast<std::size_t>(indent) *
+                       static_cast<std::size_t>(d), ' ');
+        }
+    };
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::kInt: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof buf, int_);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Type::kUint: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof buf, uint_);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Type::kDouble:
+        appendDouble(out, double_);
+        break;
+      case Type::kString:
+        appendQuoted(out, str_);
+        break;
+      case Type::kArray:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      case Type::kObject:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            appendQuoted(out, obj_[i].first);
+            out.push_back(':');
+            if (pretty)
+                out.push_back(' ');
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+operator==(const Value &a, const Value &b)
+{
+    if (a.isNumber() && b.isNumber()) {
+        if (a.type_ == Value::Type::kDouble || b.type_ == Value::Type::kDouble)
+            return a.asDouble() == b.asDouble();
+        if (a.type_ == b.type_) {
+            return a.type_ == Value::Type::kInt ? a.int_ == b.int_
+                                                : a.uint_ == b.uint_;
+        }
+        // Mixed signedness: equal only when both represent the same
+        // non-negative quantity.
+        std::int64_t s = a.type_ == Value::Type::kInt ? a.int_ : b.int_;
+        std::uint64_t u = a.type_ == Value::Type::kUint ? a.uint_ : b.uint_;
+        return s >= 0 && static_cast<std::uint64_t>(s) == u;
+    }
+    if (a.type_ != b.type_)
+        return false;
+    switch (a.type_) {
+      case Value::Type::kNull: return true;
+      case Value::Type::kBool: return a.bool_ == b.bool_;
+      case Value::Type::kString: return a.str_ == b.str_;
+      case Value::Type::kArray: return a.arr_ == b.arr_;
+      case Value::Type::kObject: return a.obj_ == b.obj_;
+      default: return false; // numbers handled above
+    }
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<Value>
+    run()
+    {
+        skipWs();
+        Value v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const char *msg)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = msg;
+            *error_ += " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (++depth_ > kMaxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        bool ok = parseValueInner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseValueInner(Value &out)
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        char c = text_[pos_];
+        switch (c) {
+          case 'n':
+            if (!literal("null")) { fail("bad literal"); return false; }
+            out = Value();
+            return true;
+          case 't':
+            if (!literal("true")) { fail("bad literal"); return false; }
+            out = Value(true);
+            return true;
+          case 'f':
+            if (!literal("false")) { fail("bad literal"); return false; }
+            out = Value(false);
+            return true;
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out);
+          case '{':
+            return parseObject(out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = Value(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &s)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                s.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': s.push_back('"'); break;
+              case '\\': s.push_back('\\'); break;
+              case '/': s.push_back('/'); break;
+              case 'b': s.push_back('\b'); break;
+              case 'f': s.push_back('\f'); break;
+              case 'n': s.push_back('\n'); break;
+              case 'r': s.push_back('\r'); break;
+              case 't': s.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+                    else { fail("bad \\u escape"); return false; }
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are kept
+                // as-is per code unit; the simulator never emits them).
+                if (cp < 0x80) {
+                    s.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    s.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    s.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        bool is_double = false;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            is_double = true;
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            is_double = true;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-") {
+            fail("expected value");
+            return false;
+        }
+        const char *first = tok.data();
+        const char *last = tok.data() + tok.size();
+        if (!is_double) {
+            if (tok[0] == '-') {
+                std::int64_t v{};
+                auto r = std::from_chars(first, last, v);
+                if (r.ec == std::errc() && r.ptr == last) {
+                    out = Value(static_cast<long long>(v));
+                    return true;
+                }
+            } else {
+                std::uint64_t v{};
+                auto r = std::from_chars(first, last, v);
+                if (r.ec == std::errc() && r.ptr == last) {
+                    out = Value(static_cast<unsigned long long>(v));
+                    return true;
+                }
+            }
+            // Fall through to double on overflow.
+        }
+        double d{};
+        auto r = std::from_chars(first, last, d);
+        if (r.ec != std::errc() || r.ptr != last) {
+            fail("malformed number");
+            return false;
+        }
+        out = Value(d);
+        return true;
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        consume('[');
+        out = Value::array();
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            Value elem;
+            skipWs();
+            if (!parseValue(elem))
+                return false;
+            out.push_back(std::move(elem));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return false;
+            }
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        consume('{');
+        out = Value::object();
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return false;
+            }
+            skipWs();
+            Value val;
+            if (!parseValue(val))
+                return false;
+            out[key] = std::move(val);
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return false;
+            }
+        }
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+std::optional<Value>
+Value::parse(std::string_view text, std::string *error)
+{
+    return Parser(text, error).run();
+}
+
+} // namespace mbp::json

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * BATAGE implementation.
+ */
+#include "mbp/predictors/batage.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mbp/utils/bits.hpp"
+#include "mbp/utils/hash.hpp"
+
+namespace mbp::pred
+{
+
+Batage::Config
+Batage::Config::geometric(int num_tables, int min_hist, int max_hist,
+                          int log_size, int tag_bits)
+{
+    // Reuse TAGE's geometry; only the per-entry payload differs.
+    Tage::Config base = Tage::Config::geometric(num_tables, min_hist,
+                                                max_hist, log_size, tag_bits);
+    Config config;
+    config.tables = std::move(base.tables);
+    return config;
+}
+
+namespace
+{
+
+int
+maxHistoryLength(const Batage::Config &config)
+{
+    int longest = 1;
+    for (const TageTableSpec &spec : config.tables)
+        longest = std::max(longest, spec.history_len);
+    return longest;
+}
+
+} // namespace
+
+Batage::Batage(Config config)
+    : config_(std::move(config)),
+      bimodal_(std::size_t(1) << config_.log_bimodal_size),
+      ghist_(maxHistoryLength(config_)), path_(4, 8)
+{
+    assert(config_.counter_max >= 1 && config_.counter_max <= 255);
+    tables_.reserve(config_.tables.size());
+    for (const TageTableSpec &spec : config_.tables) {
+        Table table;
+        table.spec = spec;
+        table.entries.assign(std::size_t(1) << spec.log_size, Entry{});
+        table.idx_fold = FoldedHistory(spec.history_len, spec.log_size);
+        table.tag_fold0 = FoldedHistory(spec.history_len, spec.tag_bits);
+        table.tag_fold1 = FoldedHistory(spec.history_len, spec.tag_bits - 1);
+        tables_.push_back(std::move(table));
+    }
+    lookup_.index.resize(tables_.size());
+    lookup_.tag.resize(tables_.size());
+    lookup_.hits.reserve(tables_.size());
+}
+
+bool
+Batage::confidenceBetter(const Entry &a, const Entry &b)
+{
+    // Estimated misprediction probability: (min + 1) / (sum + 2).
+    // Compare (min_a+1)/(sum_a+2) < (min_b+1)/(sum_b+2) by cross product.
+    unsigned min_a = std::min(a.num_taken, a.num_not_taken);
+    unsigned sum_a = unsigned(a.num_taken) + a.num_not_taken;
+    unsigned min_b = std::min(b.num_taken, b.num_not_taken);
+    unsigned sum_b = unsigned(b.num_taken) + b.num_not_taken;
+    return (min_a + 1) * (sum_b + 2) < (min_b + 1) * (sum_a + 2);
+}
+
+bool
+Batage::isHighConfidence(const Entry &e) const
+{
+    unsigned lo = std::min(e.num_taken, e.num_not_taken);
+    unsigned hi = std::max(e.num_taken, e.num_not_taken);
+    // High confidence: estimated misprediction probability below 1/6 and a
+    // mature counter. With 3-bit counters this means e.g. 7/0, 6/0, 5/0.
+    return 6 * (lo + 1) <= hi + lo + 2 &&
+           hi >= unsigned(config_.counter_max) / 2 + 1;
+}
+
+void
+Batage::bumpDual(std::uint8_t &same, std::uint8_t &other) const
+{
+    // Michaud's dual-counter update: count the observed outcome; once
+    // saturated, decay the opposite count instead, so the pair keeps a
+    // bounded, slowly adapting estimate of the outcome distribution.
+    if (same < config_.counter_max)
+        ++same;
+    else if (other > 0)
+        --other;
+}
+
+void
+Batage::computeLookup(std::uint64_t ip)
+{
+    lookup_.ip = ip;
+    lookup_.valid = true;
+    lookup_.hits.clear();
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const Table &table = tables_[t];
+        std::uint64_t base = ip >> 2;
+        std::uint64_t idx = XorFold(base, table.spec.log_size) ^
+                            table.idx_fold.value() ^
+                            XorFold(path_.value(), table.spec.log_size);
+        lookup_.index[t] = idx & util::maskBits(table.spec.log_size);
+        std::uint64_t tag = XorFold(base, table.spec.tag_bits) ^
+                            table.tag_fold0.value() ^
+                            (table.tag_fold1.value() << 1);
+        lookup_.tag[t] = static_cast<std::uint16_t>(
+            tag & util::maskBits(table.spec.tag_bits));
+    }
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const Entry &e =
+            tables_[static_cast<std::size_t>(t)]
+                .entries[lookup_.index[static_cast<std::size_t>(t)]];
+        if (e.tag == lookup_.tag[static_cast<std::size_t>(t)])
+            lookup_.hits.push_back(t);
+    }
+
+    // Pick the most confident entry among the base and all hits; on equal
+    // confidence the longer history wins (scan shortest to longest and
+    // replace unless strictly worse).
+    const Entry *best = &bimodal_[XorFold(ip >> 2,
+                                          config_.log_bimodal_size)];
+    lookup_.provider = -1;
+    for (auto it = lookup_.hits.rbegin(); it != lookup_.hits.rend(); ++it) {
+        const Entry &e =
+            tables_[static_cast<std::size_t>(*it)]
+                .entries[lookup_.index[static_cast<std::size_t>(*it)]];
+        if (!confidenceBetter(*best, e)) {
+            best = &e;
+            lookup_.provider = *it;
+        }
+    }
+    lookup_.prediction = best->num_taken >= best->num_not_taken;
+}
+
+bool
+Batage::predict(std::uint64_t ip)
+{
+    if (!lookup_.valid || lookup_.ip != ip)
+        computeLookup(ip);
+    return lookup_.prediction;
+}
+
+void
+Batage::train(const Branch &b)
+{
+    if (!lookup_.valid || lookup_.ip != b.ip())
+        computeLookup(b.ip());
+    const bool outcome = b.isTaken();
+    const bool mispredicted = lookup_.prediction != outcome;
+
+    auto update_entry = [&](Entry &e) {
+        if (outcome)
+            bumpDual(e.num_taken, e.num_not_taken);
+        else
+            bumpDual(e.num_not_taken, e.num_taken);
+    };
+
+    // Cascade update (the dual counters double as both prediction and
+    // usefulness state): the longest hit is always updated — this is what
+    // matures freshly allocated entries — and shorter hits (ending at the
+    // bimodal base) keep training while every longer entry above them is
+    // still low-confidence, so a warm backup always exists.
+    bool cascade = true;
+    for (int t : lookup_.hits) { // longest history first
+        if (!cascade)
+            break;
+        Entry &e = tables_[static_cast<std::size_t>(t)]
+                       .entries[lookup_.index[static_cast<std::size_t>(t)]];
+        update_entry(e);
+        cascade = !isHighConfidence(e);
+    }
+    if (cascade)
+        update_entry(
+            bimodal_[XorFold(b.ip() >> 2, config_.log_bimodal_size)]);
+
+    // Controlled Allocation Throttling: allocate on mispredictions in a
+    // longer-history table, with probability shrinking as cat_ grows.
+    if (mispredicted &&
+        lookup_.provider + 1 < static_cast<int>(tables_.size())) {
+        bool throttle =
+            cat_ > 0 &&
+            static_cast<int>(rng_.next() % std::uint64_t(config_.cat_max)) <
+                cat_;
+        if (throttle) {
+            ++stat_throttled_;
+        } else {
+            int first = lookup_.provider + 1;
+            int start = first;
+            std::uint64_t r = rng_.bits(2);
+            while (r > 0 && start + 1 < static_cast<int>(tables_.size())) {
+                ++start;
+                r >>= 1;
+            }
+            int victim = -1;
+            for (int t = start; t < static_cast<int>(tables_.size()); ++t) {
+                Entry &e = tables_[static_cast<std::size_t>(t)]
+                               .entries[lookup_.index[
+                                   static_cast<std::size_t>(t)]];
+                if (!isHighConfidence(e)) {
+                    victim = t;
+                    break;
+                }
+                // Probabilistic decay of the high-confidence blocker, so
+                // dead entries eventually open up.
+                if (rng_.oneIn2Pow(2)) {
+                    if (e.num_taken > 0)
+                        --e.num_taken;
+                    if (e.num_not_taken > 0)
+                        --e.num_not_taken;
+                    ++stat_decays_;
+                }
+            }
+            // CAT follows capacity pressure: failed allocations (all
+            // candidates high-confidence) raise the throttle, successful
+            // ones relax it. Under pressure — the allocation-storm regime
+            // CAT exists for — most attempts fail, so cat_ climbs and
+            // allocation slows until decay frees room.
+            if (victim >= 0) {
+                Entry &e = tables_[static_cast<std::size_t>(victim)]
+                               .entries[lookup_.index[
+                                   static_cast<std::size_t>(victim)]];
+                e.tag = lookup_.tag[static_cast<std::size_t>(victim)];
+                e.num_taken = outcome ? 1 : 0;
+                e.num_not_taken = outcome ? 0 : 1;
+                ++stat_allocations_;
+                cat_ = std::max(0, cat_ - config_.cat_dec);
+            } else {
+                cat_ = std::min(config_.cat_max, cat_ + config_.cat_inc);
+            }
+        }
+    }
+    lookup_.valid = false;
+}
+
+void
+Batage::track(const Branch &b)
+{
+    const bool bit = b.isTaken();
+    for (Table &table : tables_) {
+        bool evicted = ghist_[table.spec.history_len - 1];
+        table.idx_fold.update(bit, evicted);
+        table.tag_fold0.update(bit, evicted);
+        table.tag_fold1.update(bit, evicted);
+    }
+    ghist_.push(bit);
+    path_.push(b.ip());
+    lookup_.valid = false;
+}
+
+json_t
+Batage::metadata_stats() const
+{
+    json_t tables = json_t::array();
+    for (const Table &table : tables_) {
+        tables.push_back(json_t::object({
+            {"log_size", table.spec.log_size},
+            {"history_length", table.spec.history_len},
+            {"tag_bits", table.spec.tag_bits},
+        }));
+    }
+    return json_t::object({
+        {"name", "MBPlib BATAGE"},
+        {"log_bimodal_size", config_.log_bimodal_size},
+        {"counter_max", config_.counter_max},
+        {"num_tagged_tables", std::uint64_t(tables_.size())},
+        {"tables", tables},
+    });
+}
+
+std::uint64_t
+Batage::storageBits() const
+{
+    int dual_bits = 2 * mbp::util::ceilLog2(
+                            std::uint64_t(config_.counter_max) + 1);
+    std::uint64_t bits =
+        (std::uint64_t(1) << config_.log_bimodal_size) *
+        std::uint64_t(dual_bits);
+    for (const Table &table : tables_) {
+        bits += (std::uint64_t(1) << table.spec.log_size) *
+                std::uint64_t(dual_bits + table.spec.tag_bits);
+    }
+    bits += std::uint64_t(ghist_.capacity()) + 32 + 16 /* cat */;
+    return bits;
+}
+
+json_t
+Batage::execution_stats() const
+{
+    return json_t::object({
+        {"allocations", stat_allocations_},
+        {"throttled_allocations", stat_throttled_},
+        {"controlled_decays", stat_decays_},
+        {"final_cat", cat_},
+    });
+}
+
+} // namespace mbp::pred

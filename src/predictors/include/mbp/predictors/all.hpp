@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Convenience header pulling in the entire examples library (paper
+ * Table II): Bimodal, the Two-Level family, GShare, the generalized
+ * Tournament, 2bc-gskew, Hashed Perceptron, TAGE and BATAGE, plus the
+ * static baselines.
+ */
+#ifndef MBP_PREDICTORS_ALL_HPP
+#define MBP_PREDICTORS_ALL_HPP
+
+#include "mbp/predictors/agree.hpp"
+#include "mbp/predictors/batage.hpp"
+#include "mbp/predictors/bimodal.hpp"
+#include "mbp/predictors/bimode.hpp"
+#include "mbp/predictors/filter.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/predictors/gskew.hpp"
+#include "mbp/predictors/loop.hpp"
+#include "mbp/predictors/perceptron.hpp"
+#include "mbp/predictors/static_pred.hpp"
+#include "mbp/predictors/tage.hpp"
+#include "mbp/predictors/tage_scl.hpp"
+#include "mbp/predictors/tournament.hpp"
+#include "mbp/predictors/two_level.hpp"
+#include "mbp/predictors/yags.hpp"
+
+#endif // MBP_PREDICTORS_ALL_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The bimodal predictor (Lee & Smith 1983): a table of saturating counters
+ * indexed by the branch address. The simplest dynamic predictor, and the
+ * base component of many meta-predictors (paper §III).
+ */
+#ifndef MBP_PREDICTORS_BIMODAL_HPP
+#define MBP_PREDICTORS_BIMODAL_HPP
+
+#include <array>
+
+#include "mbp/sim/predictor.hpp"
+#include "mbp/utils/hash.hpp"
+#include "mbp/utils/sat_counter.hpp"
+
+namespace mbp::pred
+{
+
+/**
+ * Bimodal predictor.
+ *
+ * @tparam T Log2 of the table size.
+ * @tparam B Counter width in bits.
+ */
+template <int T = 16, int B = 2>
+struct Bimodal : Predictor
+{
+    std::array<SatCounter<B>, std::size_t(1) << T> table{};
+
+    static std::uint64_t
+    hash(std::uint64_t ip)
+    {
+        // Drop the low bits that rarely vary between branch instructions.
+        return XorFold(ip >> 2, T);
+    }
+
+    bool
+    predict(std::uint64_t ip) override
+    {
+        return table[hash(ip)] >= 0;
+    }
+
+    void
+    train(const Branch &b) override
+    {
+        table[hash(b.ip())].sumOrSub(b.isTaken());
+    }
+
+    void track(const Branch &) override {}
+
+    std::uint64_t
+    storageBits() const override
+    {
+        return (std::uint64_t(1) << T) * B;
+    }
+
+    json_t
+    metadata_stats() const override
+    {
+        return json_t::object({
+            {"name", "MBPlib Bimodal"},
+            {"log_table_size", T},
+            {"counter_bits", B},
+        });
+    }
+};
+
+} // namespace mbp::pred
+
+#endif // MBP_PREDICTORS_BIMODAL_HPP

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * A by-name registry of the examples library's predictors with sensible
+ * (~64 kB class) default configurations. Lets tools, benchmarks and user
+ * scripts name a predictor on the command line; programmatic users should
+ * instantiate the templates directly for full parameter control.
+ */
+#ifndef MBP_PREDICTORS_ROSTER_HPP
+#define MBP_PREDICTORS_ROSTER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/sim/predictor.hpp"
+
+namespace mbp::pred
+{
+
+/**
+ * Creates a predictor by name.
+ *
+ * Known names: bimodal, two-level, gshare, agree, bimode, yags,
+ * tournament, gskew, perceptron, loop-gshare, filter-tage, tage, batage,
+ * tage-scl, static-taken, static-not-taken.
+ *
+ * @return The predictor, or nullptr for an unknown name.
+ */
+std::unique_ptr<Predictor> makeByName(const std::string &name);
+
+/** @return Every name makeByName accepts, in roster order. */
+std::vector<std::string> rosterNames();
+
+} // namespace mbp::pred
+
+#endif // MBP_PREDICTORS_ROSTER_HPP

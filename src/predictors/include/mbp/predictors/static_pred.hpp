@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Trivial static predictors. Useful as baselines, as filler components in
+ * composition tests, and to introduce the Predictor interface.
+ */
+#ifndef MBP_PREDICTORS_STATIC_PRED_HPP
+#define MBP_PREDICTORS_STATIC_PRED_HPP
+
+#include "mbp/sim/predictor.hpp"
+
+namespace mbp::pred
+{
+
+/** Predicts every branch taken (or not), ignoring all state. */
+template <bool Taken>
+struct StaticPred : Predictor
+{
+    bool predict(std::uint64_t) override { return Taken; }
+    void train(const Branch &) override {}
+    void track(const Branch &) override {}
+
+    json_t
+    metadata_stats() const override
+    {
+        return json_t::object({
+            {"name", "MBPlib Static"},
+            {"direction", Taken ? "taken" : "not-taken"},
+        });
+    }
+};
+
+using AlwaysTaken = StaticPred<true>;
+using AlwaysNotTaken = StaticPred<false>;
+
+} // namespace mbp::pred
+
+#endif // MBP_PREDICTORS_STATIC_PRED_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The TAGE predictor (Seznec & Michaud 2006, "A case for (partially)
+ * TAgged GEometric history length branch prediction").
+ *
+ * TAGE is a bimodal base predictor plus a set of partially tagged tables
+ * indexed with geometrically growing global-history lengths. The prediction
+ * comes from the hitting table with the longest history (the *provider*);
+ * the next hit (or the base) is the *alternate* prediction. Useful counters
+ * protect entries that have proven better than their alternate, and new
+ * entries are allocated on mispredictions in longer-history tables.
+ *
+ * As the paper highlights (§V), every parameter is user-selectable: the
+ * predictor is configured at runtime with one TableSpec per tagged table,
+ * and the configuration is echoed in metadata_stats().
+ */
+#ifndef MBP_PREDICTORS_TAGE_HPP
+#define MBP_PREDICTORS_TAGE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mbp/sim/predictor.hpp"
+#include "mbp/utils/history.hpp"
+#include "mbp/utils/lfsr.hpp"
+#include "mbp/utils/sat_counter.hpp"
+
+namespace mbp::pred
+{
+
+/** Geometry of one tagged TAGE table. */
+struct TageTableSpec
+{
+    int log_size = 10;   //!< log2 of the number of entries
+    int history_len = 8; //!< global history bits folded into the index
+    int tag_bits = 9;    //!< partial tag width
+};
+
+/** TAGE with runtime-chosen geometry. */
+class Tage : public Predictor
+{
+  public:
+    /** Full predictor configuration. */
+    struct Config
+    {
+        int log_bimodal_size = 14;
+        int counter_bits = 3; //!< tagged-table prediction counter width
+        int useful_bits = 2;  //!< useful counter width
+        /** Branches between graceful useful-counter resets. */
+        std::uint32_t u_reset_period = 1u << 18;
+        std::vector<TageTableSpec> tables;
+
+        /**
+         * The default geometry: @p num_tables tables with history lengths
+         * growing geometrically from @p min_hist to @p max_hist (the
+         * classic TAGE series), ~64 kB total.
+         */
+        static Config geometric(int num_tables = 8, int min_hist = 4,
+                                int max_hist = 232, int log_size = 10,
+                                int tag_bits = 10);
+    };
+
+    explicit Tage(Config config = Config::geometric());
+
+    bool predict(std::uint64_t ip) override;
+    void train(const Branch &b) override;
+    void track(const Branch &b) override;
+    json_t metadata_stats() const override;
+    json_t execution_stats() const override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        SatCounter<8> ctr;          // clamped to counter_bits at use
+        SatCounter<8, false> useful; // clamped to useful_bits at use
+    };
+
+    struct Table
+    {
+        TageTableSpec spec;
+        std::vector<Entry> entries;
+        FoldedHistory idx_fold;
+        FoldedHistory tag_fold0;
+        FoldedHistory tag_fold1;
+    };
+
+    /** Everything predict() computes that train() needs again. */
+    struct Lookup
+    {
+        std::uint64_t ip = ~std::uint64_t(0);
+        int provider = -1; //!< table index of the longest hit, -1 = base
+        int alt = -1;      //!< next hit, -1 = base
+        std::vector<std::size_t> index; //!< per-table entry index
+        std::vector<std::uint16_t> tag; //!< per-table computed tag
+        bool provider_pred = false;
+        bool alt_pred = false;
+        bool prediction = false;
+        bool provider_is_weak = false; //!< newly-allocated heuristic
+        bool valid = false;
+    };
+
+    void computeLookup(std::uint64_t ip);
+    std::size_t bimodalIndex(std::uint64_t ip) const;
+    int ctrMax() const { return (1 << (config_.counter_bits - 1)) - 1; }
+    int ctrMin() const { return -(1 << (config_.counter_bits - 1)); }
+    int uMax() const { return (1 << config_.useful_bits) - 1; }
+
+    Config config_;
+    std::vector<SatCounter<2>> bimodal_;
+    std::vector<Table> tables_;
+    GlobalHistory ghist_;
+    PathHistory path_;
+    Lfsr rng_;
+    Lookup lookup_;
+    SatCounter<4> use_alt_on_na_; //!< chooser for newly allocated entries
+    std::uint32_t branch_counter_ = 0;
+    bool reset_msb_next_ = true;
+    // Statistics for execution_stats().
+    std::uint64_t stat_allocations_ = 0;
+    std::uint64_t stat_alloc_failures_ = 0;
+    std::uint64_t stat_provider_hits_ = 0;
+    std::uint64_t stat_base_predictions_ = 0;
+};
+
+} // namespace mbp::pred
+
+#endif // MBP_PREDICTORS_TAGE_HPP

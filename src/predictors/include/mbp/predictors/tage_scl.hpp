@@ -1,0 +1,173 @@
+/**
+ * @file
+ * TAGE-SC-L-lite: TAGE augmented with a Loop predictor and a Statistical
+ * Corrector, in the spirit of Seznec's championship-winning TAGE-SC-L.
+ * This is the examples library's demonstration of building a
+ * state-of-the-art *composite* out of existing components through the
+ * public Predictor interface (paper §V / §VI-D):
+ *
+ *  - the Loop component overrides on confidently locked trip counts;
+ *  - the Statistical Corrector is a small perceptron over the TAGE
+ *    prediction and several history folds; it flips statistically
+ *    mispredicted TAGE outputs when its own confidence is high.
+ */
+#ifndef MBP_PREDICTORS_TAGE_SCL_HPP
+#define MBP_PREDICTORS_TAGE_SCL_HPP
+
+#include <array>
+#include <vector>
+
+#include "mbp/predictors/loop.hpp"
+#include "mbp/predictors/tage.hpp"
+#include "mbp/sim/predictor.hpp"
+#include "mbp/utils/history.hpp"
+
+namespace mbp::pred
+{
+
+/** TAGE + Statistical Corrector + Loop predictor. */
+class TageScl : public Predictor
+{
+  public:
+    explicit TageScl(Tage::Config config = Tage::Config::geometric())
+        : tage_(std::move(config)), ghist_(64)
+    {
+        for (auto &table : sc_tables_)
+            table.assign(kScSize, SatCounter<6>());
+        sc_lengths_ = {0, 4, 10, 21, 42};
+        for (std::size_t i = 1; i < sc_lengths_.size(); ++i)
+            sc_folds_[i] = FoldedHistory(sc_lengths_[i], kScLogSize);
+    }
+
+    bool
+    predict(std::uint64_t ip) override
+    {
+        // The loop predictor overrides only while it has globally proven
+        // more accurate than TAGE on the branches where they disagree
+        // (TAGE-SC-L's WITHLOOP counter).
+        if (loop_.isConfident(ip) && loop_use_ >= 0) {
+            ++stat_loop_used_;
+            return loop_.predict(ip);
+        }
+        bool tage_pred = tage_.predict(ip);
+        int sum = scSum(ip, tage_pred);
+        // Correct only when the corrector is confident.
+        if (sum < -kScThreshold && tage_pred) {
+            ++stat_corrections_;
+            return false;
+        }
+        if (sum > kScThreshold && !tage_pred) {
+            ++stat_corrections_;
+            return true;
+        }
+        return tage_pred;
+    }
+
+    void
+    train(const Branch &b) override
+    {
+        const bool outcome = b.isTaken();
+        bool tage_pred = tage_.predict(b.ip());
+        if (loop_.isConfident(b.ip())) {
+            bool loop_pred = loop_.predict(b.ip());
+            if (loop_pred != tage_pred)
+                loop_use_.sumOrSub(loop_pred == outcome);
+        }
+        loop_.train(b);
+        int sum = scSum(b.ip(), tage_pred);
+        // Perceptron-style update: on disagreement with the outcome or
+        // low confidence.
+        bool sc_pred = sum >= 0;
+        int magnitude = sum >= 0 ? sum : -sum;
+        if (sc_pred != outcome || magnitude <= kScTheta) {
+            for (std::size_t t = 0; t < sc_tables_.size(); ++t)
+                sc_tables_[t][scIndex(b.ip(), t, tage_pred)].sumOrSub(
+                    outcome);
+        }
+        tage_.train(b);
+    }
+
+    void
+    track(const Branch &b) override
+    {
+        const bool bit = b.isTaken();
+        for (std::size_t i = 1; i < sc_lengths_.size(); ++i) {
+            bool evicted = ghist_[sc_lengths_[i] - 1];
+            sc_folds_[i].update(bit, evicted);
+        }
+        ghist_.push(bit);
+        tage_.track(b);
+    }
+
+    json_t
+    metadata_stats() const override
+    {
+        return json_t::object({
+            {"name", "MBPlib TAGE-SC-L (lite)"},
+            {"tage", tage_.metadata_stats()},
+            {"loop", loop_.metadata_stats()},
+            {"sc_tables", std::uint64_t(sc_tables_.size())},
+            {"sc_log_size", kScLogSize},
+        });
+    }
+
+    std::uint64_t
+    storageBits() const override
+    {
+        return tage_.storageBits() + loop_.storageBits() +
+               sc_tables_.size() * kScSize * 6 + 64 /* folds + ghist */ +
+               7 /* WITHLOOP */;
+    }
+
+    json_t
+    execution_stats() const override
+    {
+        return json_t::object({
+            {"sc_corrections", stat_corrections_},
+            {"loop_used", stat_loop_used_},
+            {"with_loop", loop_use_.value()},
+            {"tage", tage_.execution_stats()},
+        });
+    }
+
+  private:
+    static constexpr int kScLogSize = 11;
+    static constexpr std::size_t kScSize = std::size_t(1) << kScLogSize;
+    static constexpr int kScThreshold = 12; //!< confidence to override
+    static constexpr int kScTheta = 10;     //!< training threshold
+
+    std::size_t
+    scIndex(std::uint64_t ip, std::size_t t, bool tage_pred) const
+    {
+        std::uint64_t base = XorFold(ip >> 2, kScLogSize);
+        std::uint64_t fold = t == 0 ? 0 : sc_folds_[t].value();
+        return static_cast<std::size_t>(
+            (base ^ fold ^ (tage_pred ? 0x2a5u : 0)) &
+            util::maskBits(kScLogSize));
+    }
+
+    int
+    scSum(std::uint64_t ip, bool tage_pred) const
+    {
+        // The TAGE prediction contributes as a strong prior so the
+        // corrector only overrides with real statistical evidence.
+        int sum = tage_pred ? kScTheta : -kScTheta;
+        for (std::size_t t = 0; t < sc_tables_.size(); ++t)
+            sum += sc_tables_[t][scIndex(ip, t, tage_pred)].value();
+        return sum;
+    }
+
+    Tage tage_;
+    LoopPredictor<> loop_;
+    SatCounter<7> loop_use_{-1}; //!< WITHLOOP: trust the loop when >= 0
+    std::array<std::vector<SatCounter<6>>, 5> sc_tables_;
+    std::array<FoldedHistory, 5> sc_folds_;
+    std::vector<int> sc_lengths_;
+    GlobalHistory ghist_;
+    std::uint64_t stat_corrections_ = 0;
+    std::uint64_t stat_loop_used_ = 0;
+};
+
+} // namespace mbp::pred
+
+#endif // MBP_PREDICTORS_TAGE_SCL_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Predictor registry implementation.
+ */
+#include "mbp/predictors/roster.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "mbp/predictors/all.hpp"
+
+namespace mbp::pred
+{
+
+namespace
+{
+
+using Factory = std::function<std::unique_ptr<Predictor>()>;
+
+const std::vector<std::pair<std::string, Factory>> &
+registry()
+{
+    static const std::vector<std::pair<std::string, Factory>> entries = {
+        {"static-taken", [] { return std::make_unique<AlwaysTaken>(); }},
+        {"static-not-taken",
+         [] { return std::make_unique<AlwaysNotTaken>(); }},
+        {"bimodal", [] { return std::make_unique<Bimodal<16>>(); }},
+        {"two-level", [] { return std::make_unique<GAs<13, 4>>(); }},
+        {"gshare", [] { return std::make_unique<Gshare<15, 17>>(); }},
+        {"agree", [] { return std::make_unique<Agree<15, 16>>(); }},
+        {"bimode", [] { return std::make_unique<BiMode<15, 15>>(); }},
+        {"yags", [] { return std::make_unique<Yags<13, 13>>(); }},
+        {"tournament",
+         [] {
+             return std::make_unique<TournamentPred>(
+                 std::make_unique<Bimodal<15>>(),
+                 std::make_unique<Bimodal<16>>(),
+                 std::make_unique<Gshare<15, 16>>());
+         }},
+        {"gskew", [] { return std::make_unique<Gskew2bc<17, 16>>(); }},
+        {"perceptron",
+         [] { return std::make_unique<HashedPerceptron<8, 12, 128>>(); }},
+        {"loop-gshare",
+         [] {
+             return std::make_unique<LoopOverride>(
+                 std::make_unique<Gshare<15, 17>>());
+         }},
+        {"filter-tage",
+         [] {
+             return std::make_unique<BiasFilter<14, 64, true>>(
+                 std::make_unique<Tage>());
+         }},
+        {"tage", [] { return std::make_unique<Tage>(); }},
+        {"batage", [] { return std::make_unique<Batage>(); }},
+        {"tage-scl", [] { return std::make_unique<TageScl>(); }},
+    };
+    return entries;
+}
+
+} // namespace
+
+std::unique_ptr<Predictor>
+makeByName(const std::string &name)
+{
+    for (const auto &[key, factory] : registry()) {
+        if (key == name)
+            return factory();
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+rosterNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &[key, factory] : registry())
+        names.push_back(key);
+    return names;
+}
+
+} // namespace mbp::pred

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * TAGE implementation.
+ */
+#include "mbp/predictors/tage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mbp/utils/bits.hpp"
+#include "mbp/utils/hash.hpp"
+
+namespace mbp::pred
+{
+
+Tage::Config
+Tage::Config::geometric(int num_tables, int min_hist, int max_hist,
+                        int log_size, int tag_bits)
+{
+    assert(num_tables >= 1);
+    Config config;
+    config.tables.resize(static_cast<std::size_t>(num_tables));
+    double ratio = num_tables > 1
+                       ? std::pow(double(max_hist) / double(min_hist),
+                                  1.0 / double(num_tables - 1))
+                       : 1.0;
+    for (int t = 0; t < num_tables; ++t) {
+        TageTableSpec &spec = config.tables[static_cast<std::size_t>(t)];
+        spec.history_len = std::max(
+            1, int(std::round(min_hist * std::pow(ratio, t))));
+        // Keep the series strictly increasing even after rounding.
+        if (t > 0) {
+            int prev =
+                config.tables[static_cast<std::size_t>(t - 1)].history_len;
+            if (spec.history_len <= prev)
+                spec.history_len = prev + 1;
+        }
+        spec.log_size = log_size;
+        // Longer-history tables earn wider tags (fewer false hits).
+        spec.tag_bits = tag_bits + (t >= num_tables / 2 ? 1 : 0);
+    }
+    return config;
+}
+
+namespace
+{
+
+// History capacity must cover the longest table even when the user supplies
+// a non-monotonic series.
+int
+maxHistoryLength(const Tage::Config &config)
+{
+    int longest = 1;
+    for (const TageTableSpec &spec : config.tables)
+        longest = std::max(longest, spec.history_len);
+    return longest;
+}
+
+} // namespace
+
+Tage::Tage(Config config)
+    : config_(std::move(config)),
+      bimodal_(std::size_t(1) << config_.log_bimodal_size),
+      ghist_(maxHistoryLength(config_)),
+      path_(4, 8)
+{
+    assert(config_.counter_bits >= 2 && config_.counter_bits <= 8);
+    assert(config_.useful_bits >= 1 && config_.useful_bits <= 8);
+    tables_.reserve(config_.tables.size());
+    for (const TageTableSpec &spec : config_.tables) {
+        assert(spec.tag_bits >= 2 && spec.tag_bits <= 16);
+        Table table;
+        table.spec = spec;
+        table.entries.assign(std::size_t(1) << spec.log_size, Entry{});
+        table.idx_fold = FoldedHistory(spec.history_len, spec.log_size);
+        table.tag_fold0 = FoldedHistory(spec.history_len, spec.tag_bits);
+        table.tag_fold1 = FoldedHistory(spec.history_len, spec.tag_bits - 1);
+        tables_.push_back(std::move(table));
+    }
+    lookup_.index.resize(tables_.size());
+    lookup_.tag.resize(tables_.size());
+}
+
+std::size_t
+Tage::bimodalIndex(std::uint64_t ip) const
+{
+    return XorFold(ip >> 2, config_.log_bimodal_size);
+}
+
+void
+Tage::computeLookup(std::uint64_t ip)
+{
+    lookup_.ip = ip;
+    lookup_.valid = true;
+    lookup_.provider = -1;
+    lookup_.alt = -1;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const Table &table = tables_[t];
+        std::uint64_t base = ip >> 2;
+        std::uint64_t idx = XorFold(base, table.spec.log_size) ^
+                            table.idx_fold.value() ^
+                            XorFold(path_.value(), table.spec.log_size);
+        lookup_.index[t] = idx & util::maskBits(table.spec.log_size);
+        std::uint64_t tag = XorFold(base, table.spec.tag_bits) ^
+                            table.tag_fold0.value() ^
+                            (table.tag_fold1.value() << 1);
+        lookup_.tag[t] = static_cast<std::uint16_t>(
+            tag & util::maskBits(table.spec.tag_bits));
+    }
+    // Longest hit provides; next hit (or the base) is the alternate.
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const Entry &e =
+            tables_[static_cast<std::size_t>(t)]
+                .entries[lookup_.index[static_cast<std::size_t>(t)]];
+        if (e.tag == lookup_.tag[static_cast<std::size_t>(t)]) {
+            if (lookup_.provider < 0) {
+                lookup_.provider = t;
+            } else {
+                lookup_.alt = t;
+                break;
+            }
+        }
+    }
+
+    bool base_pred = bimodal_[bimodalIndex(ip)] >= 0;
+    if (lookup_.provider >= 0) {
+        const Entry &prov =
+            tables_[static_cast<std::size_t>(lookup_.provider)]
+                .entries[lookup_.index[static_cast<std::size_t>(
+                    lookup_.provider)]];
+        lookup_.provider_pred = prov.ctr >= 0;
+        lookup_.alt_pred =
+            lookup_.alt >= 0
+                ? tables_[static_cast<std::size_t>(lookup_.alt)]
+                          .entries[lookup_.index[static_cast<std::size_t>(
+                              lookup_.alt)]]
+                          .ctr >= 0
+                : base_pred;
+        // "Newly allocated" heuristic: weak counter and no proven utility.
+        lookup_.provider_is_weak =
+            prov.useful == 0 && (prov.ctr == 0 || prov.ctr == -1);
+        lookup_.prediction =
+            (lookup_.provider_is_weak && use_alt_on_na_ >= 0)
+                ? lookup_.alt_pred
+                : lookup_.provider_pred;
+    } else {
+        lookup_.provider_pred = base_pred;
+        lookup_.alt_pred = base_pred;
+        lookup_.provider_is_weak = false;
+        lookup_.prediction = base_pred;
+    }
+}
+
+bool
+Tage::predict(std::uint64_t ip)
+{
+    if (!lookup_.valid || lookup_.ip != ip)
+        computeLookup(ip);
+    return lookup_.prediction;
+}
+
+void
+Tage::train(const Branch &b)
+{
+    if (!lookup_.valid || lookup_.ip != b.ip())
+        computeLookup(b.ip());
+    const bool outcome = b.isTaken();
+    const bool mispredicted = lookup_.prediction != outcome;
+
+    if (lookup_.provider >= 0)
+        ++stat_provider_hits_;
+    else
+        ++stat_base_predictions_;
+
+    if (lookup_.provider >= 0) {
+        Table &table = tables_[static_cast<std::size_t>(lookup_.provider)];
+        Entry &prov =
+            table.entries[lookup_.index[static_cast<std::size_t>(
+                lookup_.provider)]];
+
+        // use_alt_on_na chooser: when the provider looked newly allocated
+        // and the two predictions differed, learn which one to trust.
+        if (lookup_.provider_is_weak &&
+            lookup_.provider_pred != lookup_.alt_pred)
+            use_alt_on_na_.sumOrSub(lookup_.alt_pred == outcome);
+
+        // Prediction counter, clamped to the configured width.
+        int v = prov.ctr.value() + (outcome ? 1 : -1);
+        prov.ctr.set(std::max(ctrMin(), std::min(ctrMax(), v)));
+
+        // Useful counter: the provider proved (un)helpful vs the alternate.
+        if (lookup_.provider_pred != lookup_.alt_pred) {
+            if (lookup_.provider_pred == outcome) {
+                if (prov.useful.value() < uMax())
+                    ++prov.useful;
+            } else if (prov.useful.value() > 0) {
+                --prov.useful;
+            }
+        }
+        // Keep the base predictor trained when it served as alternate.
+        if (lookup_.alt < 0)
+            bimodal_[bimodalIndex(b.ip())].sumOrSub(outcome);
+    } else {
+        bimodal_[bimodalIndex(b.ip())].sumOrSub(outcome);
+    }
+
+    // Allocation: on a misprediction, try to allocate one entry in a table
+    // with a longer history than the provider.
+    if (mispredicted &&
+        lookup_.provider + 1 < static_cast<int>(tables_.size())) {
+        int first = lookup_.provider + 1;
+        // Skew the start table randomly (as TAGE does) so allocations
+        // spread over the longer tables instead of piling on `first`.
+        int start = first;
+        std::uint64_t r = rng_.bits(2);
+        while (r > 0 && start + 1 < static_cast<int>(tables_.size())) {
+            ++start;
+            r >>= 1;
+        }
+        int victim = -1;
+        for (int t = start; t < static_cast<int>(tables_.size()); ++t) {
+            Entry &e = tables_[static_cast<std::size_t>(t)]
+                           .entries[lookup_.index[
+                               static_cast<std::size_t>(t)]];
+            if (e.useful == 0) {
+                victim = t;
+                break;
+            }
+        }
+        if (victim >= 0) {
+            Entry &e = tables_[static_cast<std::size_t>(victim)]
+                           .entries[lookup_.index[
+                               static_cast<std::size_t>(victim)]];
+            e.tag = lookup_.tag[static_cast<std::size_t>(victim)];
+            e.ctr.set(outcome ? 0 : -1); // weak in the observed direction
+            e.useful.set(0);
+            ++stat_allocations_;
+        } else {
+            // Everything useful: age the candidates so future allocations
+            // can succeed.
+            for (int t = first; t < static_cast<int>(tables_.size()); ++t) {
+                Entry &e = tables_[static_cast<std::size_t>(t)]
+                               .entries[lookup_.index[
+                                   static_cast<std::size_t>(t)]];
+                if (e.useful.value() > 0)
+                    --e.useful;
+            }
+            ++stat_alloc_failures_;
+        }
+    }
+
+    // Graceful useful reset: periodically clear alternating halves of the
+    // useful counters so stale entries do not block allocation forever.
+    if (++branch_counter_ >= config_.u_reset_period) {
+        branch_counter_ = 0;
+        int bit = reset_msb_next_ ? config_.useful_bits - 1 : 0;
+        reset_msb_next_ = !reset_msb_next_;
+        for (Table &table : tables_) {
+            for (Entry &e : table.entries)
+                e.useful.set(e.useful.value() & ~(1 << bit));
+        }
+    }
+    lookup_.valid = false;
+}
+
+void
+Tage::track(const Branch &b)
+{
+    // Record which bits fall out of each fold window before pushing.
+    const bool bit = b.isTaken();
+    for (Table &table : tables_) {
+        bool evicted = ghist_[table.spec.history_len - 1];
+        table.idx_fold.update(bit, evicted);
+        table.tag_fold0.update(bit, evicted);
+        table.tag_fold1.update(bit, evicted);
+    }
+    ghist_.push(bit);
+    path_.push(b.ip());
+    lookup_.valid = false;
+}
+
+json_t
+Tage::metadata_stats() const
+{
+    json_t tables = json_t::array();
+    for (const Table &table : tables_) {
+        tables.push_back(json_t::object({
+            {"log_size", table.spec.log_size},
+            {"history_length", table.spec.history_len},
+            {"tag_bits", table.spec.tag_bits},
+        }));
+    }
+    return json_t::object({
+        {"name", "MBPlib TAGE"},
+        {"log_bimodal_size", config_.log_bimodal_size},
+        {"counter_bits", config_.counter_bits},
+        {"useful_bits", config_.useful_bits},
+        {"num_tagged_tables", std::uint64_t(tables_.size())},
+        {"tables", tables},
+    });
+}
+
+std::uint64_t
+Tage::storageBits() const
+{
+    std::uint64_t bits =
+        (std::uint64_t(1) << config_.log_bimodal_size) * 2;
+    for (const Table &table : tables_) {
+        bits += (std::uint64_t(1) << table.spec.log_size) *
+                std::uint64_t(config_.counter_bits + config_.useful_bits +
+                              table.spec.tag_bits);
+    }
+    // Global machinery: history register, path, use_alt chooser, reset
+    // period counter.
+    bits += std::uint64_t(ghist_.capacity()) + 32 + 4 + 32;
+    return bits;
+}
+
+json_t
+Tage::execution_stats() const
+{
+    return json_t::object({
+        {"allocations", stat_allocations_},
+        {"allocation_failures", stat_alloc_failures_},
+        {"provider_hits", stat_provider_hits_},
+        {"base_predictions", stat_base_predictions_},
+        {"use_alt_on_na", use_alt_on_na_.value()},
+    });
+}
+
+} // namespace mbp::pred

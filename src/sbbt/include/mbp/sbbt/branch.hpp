@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The branch record shared by the whole suite.
+ *
+ * mbp::Branch is the value handed to Predictor::train/track (paper §IV-A)
+ * and the unit stored in SBBT traces (§IV-C). The opcode encoding follows
+ * the SBBT packet definition: bit 0 = conditional, bit 1 = indirect,
+ * bits 2-3 = base type (JUMP=00, RET=01, CALL=10).
+ */
+#ifndef MBP_SBBT_BRANCH_HPP
+#define MBP_SBBT_BRANCH_HPP
+
+#include <cstdint>
+
+namespace mbp
+{
+
+/** Base flavor of a branch, bits 2-3 of the SBBT opcode. */
+enum class BranchType : std::uint8_t
+{
+    kJump = 0b00, //!< plain jump (neither pushes nor pops the RAS)
+    kRet = 0b01,  //!< pops the return address stack
+    kCall = 0b10, //!< pushes the return address stack
+};
+
+/**
+ * 4-bit SBBT branch opcode.
+ *
+ * Composed as: bit0 conditional | bit1 indirect | bits2-3 BranchType.
+ */
+class OpCode
+{
+  public:
+    constexpr OpCode() noexcept : bits_(0) {}
+    constexpr explicit OpCode(std::uint8_t bits) noexcept
+        : bits_(bits & 0xf)
+    {}
+    constexpr OpCode(BranchType type, bool conditional,
+                     bool indirect) noexcept
+        : bits_(static_cast<std::uint8_t>(
+              (static_cast<std::uint8_t>(type) << 2) |
+              (indirect ? 2u : 0u) | (conditional ? 1u : 0u)))
+    {}
+
+    /** @return The raw 4-bit encoding. */
+    constexpr std::uint8_t bits() const noexcept { return bits_; }
+
+    constexpr bool isConditional() const noexcept { return bits_ & 1; }
+    constexpr bool isIndirect() const noexcept { return bits_ & 2; }
+    constexpr BranchType type() const noexcept
+    {
+        return static_cast<BranchType>(bits_ >> 2);
+    }
+    constexpr bool isCall() const noexcept
+    {
+        return type() == BranchType::kCall;
+    }
+    constexpr bool isRet() const noexcept
+    {
+        return type() == BranchType::kRet;
+    }
+
+    /** @return Whether the 4-bit pattern is one of the defined opcodes. */
+    constexpr bool
+    valid() const noexcept
+    {
+        return (bits_ >> 2) != 0b11; // base type 11 is undefined
+    }
+
+    friend constexpr bool
+    operator==(OpCode a, OpCode b) noexcept
+    {
+        return a.bits_ == b.bits_;
+    }
+    friend constexpr bool
+    operator!=(OpCode a, OpCode b) noexcept
+    {
+        return a.bits_ != b.bits_;
+    }
+
+    // Common opcodes, spelled as factory functions for readability.
+    static constexpr OpCode jump() { return {BranchType::kJump, false, false}; }
+    static constexpr OpCode condJump()
+    {
+        return {BranchType::kJump, true, false};
+    }
+    static constexpr OpCode indJump()
+    {
+        return {BranchType::kJump, false, true};
+    }
+    static constexpr OpCode call() { return {BranchType::kCall, false, false}; }
+    static constexpr OpCode indCall()
+    {
+        return {BranchType::kCall, false, true};
+    }
+    static constexpr OpCode ret() { return {BranchType::kRet, false, true}; }
+
+  private:
+    std::uint8_t bits_;
+};
+
+/**
+ * One executed branch: instruction address, target, opcode and outcome.
+ *
+ * Aggregate-constructible so composed predictors can synthesize branches,
+ * as the generalized tournament does in paper Listing 4:
+ * `mbp::Branch metaBranch = {b.ip(), b.target(), b.opcode(), outcome};`
+ */
+struct Branch
+{
+    std::uint64_t ip_ = 0;
+    std::uint64_t target_ = 0;
+    OpCode opcode_{};
+    bool taken_ = false;
+
+    constexpr std::uint64_t ip() const noexcept { return ip_; }
+    constexpr std::uint64_t target() const noexcept { return target_; }
+    constexpr OpCode opcode() const noexcept { return opcode_; }
+    constexpr bool isTaken() const noexcept { return taken_; }
+    constexpr bool isConditional() const noexcept
+    {
+        return opcode_.isConditional();
+    }
+    constexpr bool isIndirect() const noexcept
+    {
+        return opcode_.isIndirect();
+    }
+    constexpr bool isCall() const noexcept { return opcode_.isCall(); }
+    constexpr bool isRet() const noexcept { return opcode_.isRet(); }
+
+    friend constexpr bool
+    operator==(const Branch &a, const Branch &b) noexcept
+    {
+        return a.ip_ == b.ip_ && a.target_ == b.target_ &&
+               a.opcode_ == b.opcode_ && a.taken_ == b.taken_;
+    }
+};
+
+} // namespace mbp
+
+#endif // MBP_SBBT_BRANCH_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Streaming SBBT trace reader.
+ */
+#ifndef MBP_SBBT_READER_HPP
+#define MBP_SBBT_READER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mbp/compress/streams.hpp"
+#include "mbp/sbbt/format.hpp"
+
+namespace mbp::sbbt
+{
+
+/**
+ * Reads branches from an SBBT trace, transparently decompressing.
+ *
+ * Usage:
+ * @code
+ *   SbbtReader reader("trace.sbbt.flz");
+ *   if (!reader.ok()) fail(reader.error());
+ *   PacketData p;
+ *   while (reader.next(p)) { ... reader.instrNumber() ... }
+ * @endcode
+ */
+class SbbtReader
+{
+  public:
+    /** Opens @p path and parses the header. Check ok() afterwards. */
+    explicit SbbtReader(const std::string &path);
+
+    /** Reads from an arbitrary stream (tests, in-memory traces). */
+    explicit SbbtReader(std::unique_ptr<compress::InStream> input);
+
+    /** @return Whether the trace opened and the header parsed. */
+    bool ok() const { return error_.empty(); }
+
+    /** @return Description of the first error encountered ("" when none). */
+    const std::string &error() const { return error_; }
+
+    /** @return The trace header. Valid when ok(). */
+    const Header &header() const { return header_; }
+
+    /**
+     * Advances to the next branch.
+     *
+     * @param out Receives the branch and its instruction gap.
+     * @return False at end of trace or on error (check error()).
+     */
+    bool next(PacketData &out);
+
+    /**
+     * @return 1-based instruction number of the most recent branch (the
+     *         count of instructions executed up to and including it).
+     */
+    std::uint64_t instrNumber() const { return instr_number_; }
+
+    /** @return Branches delivered so far. */
+    std::uint64_t branchesRead() const { return branches_read_; }
+
+    /** @return Whether the whole trace was consumed without error. */
+    bool
+    exhausted() const
+    {
+        return done_ && error_.empty();
+    }
+
+  private:
+    void readHeader();
+
+    std::unique_ptr<compress::InStream> input_;
+    Header header_;
+    std::string error_;
+    std::uint64_t instr_number_ = 0;
+    std::uint64_t branches_read_ = 0;
+    bool done_ = false;
+};
+
+} // namespace mbp::sbbt
+
+#endif // MBP_SBBT_READER_HPP

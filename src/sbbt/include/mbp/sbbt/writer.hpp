@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming SBBT trace writer.
+ */
+#ifndef MBP_SBBT_WRITER_HPP
+#define MBP_SBBT_WRITER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mbp/compress/streams.hpp"
+#include "mbp/sbbt/format.hpp"
+
+namespace mbp::sbbt
+{
+
+/**
+ * Writes an SBBT trace, transparently compressing by file extension.
+ *
+ * The header carries total instruction and branch counts, which are only
+ * known once writing finishes. Two modes are supported:
+ *  - Counts supplied up front (`expected` constructor argument): the header
+ *    is written first and verified against the actual totals on close().
+ *    Required when writing through a (non-seekable) compressed sink.
+ *  - Counts discovered while writing: the writer emits a placeholder header
+ *    and patches it on close(). Only possible for uncompressed files.
+ */
+class SbbtWriter
+{
+  public:
+    /**
+     * Opens @p path for writing.
+     *
+     * @param path     Output file; ".gz"/".flz" selects compression.
+     * @param expected Final header counts when known in advance.
+     * @param level    Compression effort (-1 = codec default; the paper
+     *                 distributes traces at the maximum level).
+     */
+    explicit SbbtWriter(const std::string &path,
+                        std::optional<Header> expected = std::nullopt,
+                        int level = -1);
+
+    ~SbbtWriter();
+
+    SbbtWriter(const SbbtWriter &) = delete;
+    SbbtWriter &operator=(const SbbtWriter &) = delete;
+
+    /** @return Whether the writer is usable (file opened, no error). */
+    bool ok() const { return error_.empty(); }
+
+    /** @return Description of the first error ("" when none). */
+    const std::string &error() const { return error_; }
+
+    /**
+     * Appends one branch.
+     *
+     * @param branch    The branch (must satisfy the SBBT validity rules).
+     * @param instr_gap Non-branch instructions since the previous branch
+     *                  (<= 4095).
+     * @return False on error.
+     */
+    bool append(const Branch &branch, std::uint32_t instr_gap);
+
+    /**
+     * Finalizes the trace: flushes, writes/patches the header.
+     *
+     * @return False when the file could not be finalized or, in
+     *         counts-up-front mode, when the totals do not match.
+     */
+    bool close();
+
+    /** @return Instructions written so far (branches + gaps). */
+    std::uint64_t instructionCount() const { return instr_count_; }
+
+    /** @return Branches written so far. */
+    std::uint64_t branchCount() const { return branch_count_; }
+
+  private:
+    std::string path_;
+    std::unique_ptr<compress::OutStream> out_;
+    std::optional<Header> expected_;
+    std::string error_;
+    std::uint64_t instr_count_ = 0;
+    std::uint64_t branch_count_ = 0;
+    bool needs_patch_ = false;
+    bool closed_ = false;
+};
+
+} // namespace mbp::sbbt
+
+#endif // MBP_SBBT_WRITER_HPP

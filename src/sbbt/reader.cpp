@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SbbtReader implementation.
+ */
+#include "mbp/sbbt/reader.hpp"
+
+namespace mbp::sbbt
+{
+
+SbbtReader::SbbtReader(const std::string &path)
+{
+    input_ = compress::openInput(path);
+    if (!input_) {
+        error_ = "cannot open trace file: " + path;
+        done_ = true;
+        return;
+    }
+    readHeader();
+}
+
+SbbtReader::SbbtReader(std::unique_ptr<compress::InStream> input)
+    : input_(std::move(input))
+{
+    if (!input_) {
+        error_ = "null input stream";
+        done_ = true;
+        return;
+    }
+    readHeader();
+}
+
+void
+SbbtReader::readHeader()
+{
+    std::uint8_t bytes[kHeaderSize];
+    if (!input_->readExact(bytes, kHeaderSize)) {
+        error_ = "truncated SBBT header";
+        done_ = true;
+        return;
+    }
+    if (!decodeHeader(bytes, header_, &error_))
+        done_ = true;
+}
+
+bool
+SbbtReader::next(PacketData &out)
+{
+    if (done_)
+        return false;
+    std::uint8_t bytes[kPacketSize];
+    std::size_t n = input_->read(bytes, kPacketSize);
+    if (n == 0) {
+        done_ = true;
+        if (input_->failed())
+            error_ = "corrupt compressed stream";
+        else if (branches_read_ != header_.branch_count)
+            error_ = "trace ended early: header promises " +
+                     std::to_string(header_.branch_count) + " branches, got " +
+                     std::to_string(branches_read_);
+        return false;
+    }
+    if (n != kPacketSize) {
+        done_ = true;
+        error_ = "truncated SBBT packet";
+        return false;
+    }
+    if (!decodePacket(bytes, out, &error_)) {
+        done_ = true;
+        return false;
+    }
+    ++branches_read_;
+    instr_number_ += out.instr_gap + 1; // gap plus the branch itself
+    return true;
+}
+
+} // namespace mbp::sbbt

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SbbtWriter implementation.
+ */
+#include "mbp/sbbt/writer.hpp"
+
+#include <cstdio>
+
+namespace mbp::sbbt
+{
+
+SbbtWriter::SbbtWriter(const std::string &path, std::optional<Header> expected,
+                       int level)
+    : path_(path), expected_(expected)
+{
+    out_ = compress::openOutput(path, level);
+    if (!out_) {
+        error_ = "cannot create trace file: " + path;
+        closed_ = true;
+        return;
+    }
+    Header header;
+    if (expected_) {
+        header = *expected_;
+    } else {
+        if (compress::codecFromPath(path) != compress::Codec::kRaw) {
+            error_ = "writing a compressed SBBT trace requires the header "
+                     "counts up front (non-seekable sink): " + path;
+            closed_ = true;
+            return;
+        }
+        needs_patch_ = true;
+    }
+    auto bytes = encodeHeader(header);
+    if (!out_->write(bytes.data(), bytes.size()))
+        error_ = "write error on " + path;
+}
+
+SbbtWriter::~SbbtWriter()
+{
+    close();
+}
+
+bool
+SbbtWriter::append(const Branch &branch, std::uint32_t instr_gap)
+{
+    if (!ok() || closed_)
+        return false;
+    if (instr_gap > kMaxInstrGap) {
+        error_ = "instruction gap " + std::to_string(instr_gap) +
+                 " exceeds the 12-bit SBBT limit";
+        return false;
+    }
+    if (!branchIsValid(branch)) {
+        error_ = "branch violates SBBT validity rules";
+        return false;
+    }
+    if (!addressIsCanonical(branch.ip()) ||
+        !addressIsCanonical(branch.target())) {
+        error_ = "address does not fit the 52-bit canonical encoding";
+        return false;
+    }
+    auto bytes = encodePacket({branch, instr_gap});
+    if (!out_->write(bytes.data(), bytes.size())) {
+        error_ = "write error on " + path_;
+        return false;
+    }
+    instr_count_ += instr_gap + 1;
+    ++branch_count_;
+    return true;
+}
+
+bool
+SbbtWriter::close()
+{
+    if (closed_)
+        return ok();
+    closed_ = true;
+    if (!out_)
+        return false;
+    if (!out_->close()) {
+        if (error_.empty())
+            error_ = "error finalizing " + path_;
+        return false;
+    }
+    if (expected_) {
+        // The header may promise more instructions than gaps account for:
+        // instructions executed after the last branch are represented only
+        // in the header total (as in traces recorded from real programs).
+        if (expected_->instruction_count < instr_count_ ||
+            expected_->branch_count != branch_count_) {
+            error_ = "header counts mismatch: promised " +
+                     std::to_string(expected_->instruction_count) + "/" +
+                     std::to_string(expected_->branch_count) + ", wrote " +
+                     std::to_string(instr_count_) + "/" +
+                     std::to_string(branch_count_);
+            return false;
+        }
+        return true;
+    }
+    if (needs_patch_) {
+        // Uncompressed file: rewrite the header in place with real counts.
+        std::FILE *f = std::fopen(path_.c_str(), "r+b");
+        if (!f) {
+            error_ = "cannot reopen " + path_ + " to patch header";
+            return false;
+        }
+        Header header;
+        header.instruction_count = instr_count_;
+        header.branch_count = branch_count_;
+        auto bytes = encodeHeader(header);
+        bool ok_write = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                        bytes.size();
+        ok_write = std::fclose(f) == 0 && ok_write;
+        if (!ok_write) {
+            error_ = "failed patching header of " + path_;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace mbp::sbbt

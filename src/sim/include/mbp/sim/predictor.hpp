@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The branch predictor interface (paper §IV-A/§IV-B).
+ *
+ * A predictor overrides three functions:
+ *  - predict(ip): produce the outcome guess. Must not change any state that
+ *    affects future predictions.
+ *  - train(branch): update the prediction structures with the resolved
+ *    outcome.
+ *  - track(branch): update the *scenario* — the record of recent program
+ *    behavior (global history, path history, RAS...) used as input to
+ *    predictions of other branches.
+ *
+ * The split between train and track is what makes predictors composable: a
+ * meta-predictor may train a subcomponent selectively (partial update) while
+ * still tracking every branch through it, and a filter may skip tracking
+ * entirely (paper §VI-D).
+ *
+ * When driven by the simulator, track() is invoked for all branches, while
+ * train() is invoked (before track) only for conditional branches.
+ */
+#ifndef MBP_SIM_PREDICTOR_HPP
+#define MBP_SIM_PREDICTOR_HPP
+
+#include <cstdint>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sbbt/branch.hpp"
+
+namespace mbp
+{
+
+/** Abstract base class for every branch predictor in the suite. */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /**
+     * Guesses the outcome of the branch at @p ip given the current
+     * scenario.
+     *
+     * Implementations must be idempotent with respect to future
+     * predictions: calling predict() repeatedly without an intervening
+     * train/track must return the same value. Caching the table lookups for
+     * the subsequent train() call is allowed (and common).
+     *
+     * @param ip Instruction address of the branch.
+     * @return True when the branch is predicted taken.
+     */
+    virtual bool predict(std::uint64_t ip) = 0;
+
+    /**
+     * Updates the prediction structures with the resolved branch.
+     *
+     * Called for conditional branches before track(). When the predictor is
+     * a subcomponent, the owner decides when (and with what Branch) to call
+     * it — e.g. partial update policies.
+     */
+    virtual void train(const Branch &branch) = 0;
+
+    /**
+     * Updates the scenario (speculation-free program state such as global
+     * and path history) with the resolved branch. Called for every branch.
+     */
+    virtual void track(const Branch &branch) = 0;
+
+    /**
+     * Describes the predictor (name and configuration parameters) for the
+     * `metadata.predictor` section of the simulator output.
+     */
+    virtual json_t
+    metadata_stats() const
+    {
+        return json_t::object({{"name", "unnamed predictor"}});
+    }
+
+    /**
+     * Execution statistics unique to the design (e.g. table conflicts) for
+     * the `predictor_statistics` output section. Called after simulation.
+     */
+    virtual json_t execution_stats() const { return json_t::object(); }
+
+    /**
+     * Hardware storage cost of the design in bits — the championship
+     * budget accounting (the CBPs cap predictors at 64 kB + epsilon).
+     * Predictors that implement it have the value echoed into the
+     * simulator output; 0 means "not reported".
+     */
+    virtual std::uint64_t storageBits() const { return 0; }
+};
+
+} // namespace mbp
+
+#endif // MBP_SIM_PREDICTOR_HPP

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The MBPlib simulators (paper §IV, §VI-C).
+ *
+ * Because MBPlib is a library, user code owns main() and calls these
+ * functions, optionally from inside its own optimization or scripting
+ * logic:
+ *
+ * @code
+ *   Gshare<25, 18> predictor;
+ *   mbp::SimArgs args;
+ *   args.trace_path = "traces/SHORT_SERVER-1.sbbt.flz";
+ *   mbp::json_t result = mbp::simulate(predictor, args);
+ *   std::cout << result.dump(2) << '\n';
+ * @endcode
+ */
+#ifndef MBP_SIM_SIMULATOR_HPP
+#define MBP_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sim/predictor.hpp"
+
+namespace mbp
+{
+
+/** Version string embedded in simulator output. */
+inline constexpr const char *kMbpVersion = "v0.5.0";
+
+/** Parameters of a simulation run. */
+struct SimArgs
+{
+    /** Path to the SBBT trace (possibly compressed). */
+    std::string trace_path;
+
+    /**
+     * Instructions of warm-up: mispredictions in this prefix update the
+     * predictor but are not counted in the metrics.
+     */
+    std::uint64_t warmup_instr = 0;
+
+    /**
+     * Instruction budget after warm-up; the run stops once this many
+     * instructions have been simulated (or at end of trace).
+     */
+    std::uint64_t sim_instr = std::numeric_limits<std::uint64_t>::max();
+
+    /** Forward only conditional branches to track() (paper Listing 1). */
+    bool track_only_conditional = false;
+
+    /** Maximum entries emitted in the `most_failed` output section. */
+    std::size_t most_failed_cap = 64;
+
+    /**
+     * Collect per-branch statistics (the most_failed ranking and
+     * num_most_failed_branches). Disabling removes the per-branch hash
+     * update from the hot loop for maximum simulation speed; see
+     * bench/ablation_sim_options.
+     */
+    bool collect_most_failed = true;
+};
+
+/**
+ * Runs @p predictor over the trace and returns the JSON document described
+ * in paper §IV-E (metadata / metrics / predictor_statistics / most_failed).
+ *
+ * On error (unreadable or corrupt trace) the returned object contains a
+ * top-level "error" string instead of "metrics".
+ */
+json_t simulate(Predictor &predictor, const SimArgs &args);
+
+/**
+ * The comparison simulator (paper §VI-C): runs two predictors in parallel
+ * over the same trace. The `most_failed` section ranks the branches by the
+ * absolute difference in mispredictions between both predictors, telling
+ * which branches each design predicts better.
+ */
+json_t compare(Predictor &a, Predictor &b, const SimArgs &args);
+
+/**
+ * Championship-style multi-trace driver: runs a *fresh* predictor (from
+ * @p factory) over every trace and aggregates.
+ *
+ * The returned object has a "traces" array (one simulate() result each,
+ * with most_failed trimmed to keep the document small) and a "summary"
+ * object with the arithmetic-mean MPKI (the championship metric), total
+ * mispredictions/instructions and total simulation time.
+ *
+ * This lives in the library rather than in user scripts because running
+ * the training set is *the* evaluation workflow of the field (§II); user
+ * code can still iterate manually for custom aggregation.
+ */
+json_t simulateSuite(
+    const std::function<std::unique_ptr<Predictor>()> &factory,
+    const std::vector<std::string> &trace_paths, const SimArgs &base_args);
+
+/**
+ * Parallel variant of simulateSuite: traces are distributed over
+ * @p num_threads worker threads, each with its own fresh predictor, so
+ * the result is bit-identical to the sequential run (modulo
+ * `simulation_time` fields). Trace-level parallelism is the natural unit
+ * — and something the user can only do because MBPlib is a library that
+ * leaves program execution to the caller (paper §VI-B).
+ *
+ * @param num_threads Worker count (values < 2 fall back to the
+ *                    sequential driver).
+ */
+json_t simulateSuiteParallel(
+    const std::function<std::unique_ptr<Predictor>()> &factory,
+    const std::vector<std::string> &trace_paths, const SimArgs &base_args,
+    unsigned num_threads);
+
+/**
+ * Analytic CPI model from the paper's motivation (§II): an in-order
+ * machine fetching @p fetch_width instructions per cycle that resolves
+ * branches in pipeline stage @p resolve_stage.
+ *
+ * CPI = 1/fetch_width + (mpki/1000) * (resolve_stage - 1).
+ */
+constexpr double
+analyticCpi(int fetch_width, int resolve_stage, double mpki)
+{
+    return 1.0 / fetch_width + (mpki / 1000.0) * (resolve_stage - 1);
+}
+
+/** Speedup obtained by lowering MPKI on the analytic machine of §II. */
+constexpr double
+analyticSpeedup(int fetch_width, int resolve_stage, double mpki_before,
+                double mpki_after)
+{
+    return analyticCpi(fetch_width, resolve_stage, mpki_before) /
+           analyticCpi(fetch_width, resolve_stage, mpki_after);
+}
+
+} // namespace mbp
+
+#endif // MBP_SIM_SIMULATOR_HPP

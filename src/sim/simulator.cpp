@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Implementation of the standard and comparison simulators.
+ */
+#include "mbp/sim/simulator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/utils/flat_hash_map.hpp"
+
+namespace mbp
+{
+
+namespace
+{
+
+/** Per-static-branch accounting for the most_failed ranking. */
+struct BranchStat
+{
+    std::uint64_t occurrences = 0;  // measured conditional executions
+    std::uint64_t mispredictions_a = 0;
+    std::uint64_t mispredictions_b = 0; // comparison simulator only
+};
+
+/** State shared by simulate() and compare(). */
+struct RunAccounting
+{
+    util::FlatHashMap<BranchStat> per_branch;
+    std::uint64_t static_branches = 0; // distinct branch IPs (any opcode)
+    std::uint64_t dynamic_cond = 0;    // measured conditional executions
+    std::uint64_t dynamic_branches = 0;
+    std::uint64_t mispredictions_a = 0;
+    std::uint64_t mispredictions_b = 0;
+
+    // Tracks uniqueness of *all* branch sites, including unconditional
+    // ones, which never get a per_branch entry otherwise.
+    util::FlatHashMap<char> seen_ips;
+
+    void
+    noteBranchSite(std::uint64_t ip)
+    {
+        char &mark = seen_ips[ip];
+        if (mark == 0) {
+            mark = 1;
+            ++static_branches;
+        }
+    }
+};
+
+json_t
+makeMetadata(const char *simulator_name, const SimArgs &args,
+             std::uint64_t simulation_instr, bool exhausted,
+             const RunAccounting &acc)
+{
+    return json_t::object({
+        {"simulator", simulator_name},
+        {"version", kMbpVersion},
+        {"trace", args.trace_path},
+        {"warmup_instr", args.warmup_instr},
+        {"simulation_instr", simulation_instr},
+        {"exhausted_trace", exhausted},
+        {"num_conditional_branches", acc.dynamic_cond},
+        {"num_branch_instructions", acc.static_branches},
+        {"track_only_conditional", args.track_only_conditional},
+    });
+}
+
+json_t
+errorResult(const char *simulator_name, const SimArgs &args,
+            const std::string &message)
+{
+    return json_t::object({
+        {"metadata", json_t::object({{"simulator", simulator_name},
+                                     {"version", kMbpVersion},
+                                     {"trace", args.trace_path}})},
+        {"error", message},
+    });
+}
+
+double
+mpkiOf(std::uint64_t mispredictions, std::uint64_t instructions)
+{
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(mispredictions) /
+                     (static_cast<double>(instructions) / 1000.0);
+}
+
+double
+accuracyOf(std::uint64_t mispredictions, std::uint64_t executions)
+{
+    return executions == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(mispredictions) /
+                           static_cast<double>(executions);
+}
+
+/** Sorted (by primary misprediction count) snapshot of per-branch stats. */
+std::vector<std::pair<std::uint64_t, BranchStat>>
+sortedByMispredictions(const RunAccounting &acc)
+{
+    std::vector<std::pair<std::uint64_t, BranchStat>> rows;
+    rows.reserve(acc.per_branch.size());
+    acc.per_branch.forEach([&](std::uint64_t ip, const BranchStat &stat) {
+        if (stat.mispredictions_a > 0)
+            rows.emplace_back(ip, stat);
+    });
+    std::sort(rows.begin(), rows.end(), [](const auto &x, const auto &y) {
+        if (x.second.mispredictions_a != y.second.mispredictions_a)
+            return x.second.mispredictions_a > y.second.mispredictions_a;
+        return x.first < y.first; // deterministic tie break
+    });
+    return rows;
+}
+
+} // namespace
+
+json_t
+simulate(Predictor &predictor, const SimArgs &args)
+{
+    constexpr const char *kName = "MBPlib std simulator";
+    sbbt::SbbtReader reader(args.trace_path);
+    if (!reader.ok())
+        return errorResult(kName, args, reader.error());
+
+    RunAccounting acc;
+    const std::uint64_t limit =
+        args.sim_instr >= std::numeric_limits<std::uint64_t>::max() -
+                              args.warmup_instr
+            ? std::numeric_limits<std::uint64_t>::max()
+            : args.warmup_instr + args.sim_instr;
+
+    auto start_time = std::chrono::steady_clock::now();
+    sbbt::PacketData packet;
+    std::uint64_t last_instr = 0;
+    while (reader.next(packet)) {
+        const Branch &b = packet.branch;
+        last_instr = reader.instrNumber();
+        if (last_instr > limit)
+            break;
+        const bool measured = last_instr > args.warmup_instr;
+        acc.noteBranchSite(b.ip());
+        ++acc.dynamic_branches;
+        if (b.isConditional()) {
+            bool guess = predictor.predict(b.ip());
+            if (measured) {
+                ++acc.dynamic_cond;
+                if (guess != b.isTaken())
+                    ++acc.mispredictions_a;
+                if (args.collect_most_failed) {
+                    BranchStat &stat = acc.per_branch[b.ip()];
+                    ++stat.occurrences;
+                    if (guess != b.isTaken())
+                        ++stat.mispredictions_a;
+                }
+            }
+            predictor.train(b);
+        }
+        if (!args.track_only_conditional || b.isConditional())
+            predictor.track(b);
+    }
+    auto end_time = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(end_time - start_time)
+                         .count();
+
+    if (!reader.error().empty())
+        return errorResult(kName, args, reader.error());
+
+    const bool exhausted = reader.exhausted();
+    std::uint64_t end_instr =
+        exhausted ? std::max(reader.header().instruction_count, last_instr)
+                  : std::min(last_instr, limit);
+    std::uint64_t simulation_instr =
+        end_instr > args.warmup_instr ? end_instr - args.warmup_instr : 0;
+
+    // Rank branches; num_most_failed_branches is the minimum number of
+    // branches that account, on their own, for half of the mispredictions.
+    auto rows = sortedByMispredictions(acc);
+    std::uint64_t half = (acc.mispredictions_a + 1) / 2;
+    std::uint64_t running = 0;
+    std::size_t num_most_failed = 0;
+    while (num_most_failed < rows.size() && running < half)
+        running += rows[num_most_failed++].second.mispredictions_a;
+
+    json_t most_failed = json_t::array();
+    for (std::size_t i = 0;
+         i < std::min(num_most_failed, args.most_failed_cap); ++i) {
+        const auto &[ip, stat] = rows[i];
+        most_failed.push_back(json_t::object({
+            {"ip", ip},
+            {"occurrences", stat.occurrences},
+            {"mpki", mpkiOf(stat.mispredictions_a, simulation_instr)},
+            {"accuracy",
+             accuracyOf(stat.mispredictions_a, stat.occurrences)},
+        }));
+    }
+
+    json_t result = json_t::object();
+    result["metadata"] =
+        makeMetadata(kName, args, simulation_instr, exhausted, acc);
+    result["metadata"]["predictor"] = predictor.metadata_stats();
+    if (std::uint64_t bits = predictor.storageBits(); bits != 0)
+        result["metadata"]["predictor"]["storage_bits"] = bits;
+    result["metrics"] = json_t::object({
+        {"mpki", mpkiOf(acc.mispredictions_a, simulation_instr)},
+        {"mispredictions", acc.mispredictions_a},
+        {"accuracy", accuracyOf(acc.mispredictions_a, acc.dynamic_cond)},
+        {"num_most_failed_branches", std::uint64_t(num_most_failed)},
+        {"simulation_time", seconds},
+    });
+    result["predictor_statistics"] = predictor.execution_stats();
+    result["most_failed"] = std::move(most_failed);
+    return result;
+}
+
+namespace
+{
+
+/** Assembles the suite document from per-trace results, in trace order. */
+json_t
+assembleSuite(std::vector<json_t> results)
+{
+    json_t traces = json_t::array();
+    std::uint64_t total_mispredictions = 0;
+    std::uint64_t total_instructions = 0;
+    std::uint64_t total_cond = 0;
+    double total_time = 0.0;
+    double mpki_sum = 0.0;
+    std::size_t failures = 0;
+    for (json_t &result : results) {
+        if (result.contains("error")) {
+            ++failures;
+            traces.push_back(std::move(result));
+            continue;
+        }
+        const json_t &metrics = *result.find("metrics");
+        total_mispredictions += metrics.find("mispredictions")->asUint();
+        total_time += metrics.find("simulation_time")->asDouble();
+        mpki_sum += metrics.find("mpki")->asDouble();
+        const json_t &md = *result.find("metadata");
+        total_instructions += md.find("simulation_instr")->asUint();
+        total_cond += md.find("num_conditional_branches")->asUint();
+        // Keep the per-trace documents compact: the aggregate consumer
+        // rarely wants every trace's full most_failed listing.
+        json_t compact = json_t::object();
+        compact["metadata"] = *result.find("metadata");
+        compact["metrics"] = *result.find("metrics");
+        traces.push_back(std::move(compact));
+    }
+    std::size_t succeeded = results.size() - failures;
+    json_t out = json_t::object();
+    out["summary"] = json_t::object({
+        {"num_traces", std::uint64_t(results.size())},
+        {"failed_traces", std::uint64_t(failures)},
+        {"amean_mpki", succeeded ? mpki_sum / double(succeeded) : 0.0},
+        {"total_mispredictions", total_mispredictions},
+        {"total_instructions", total_instructions},
+        {"total_conditional_branches", total_cond},
+        {"total_simulation_time", total_time},
+    });
+    out["traces"] = std::move(traces);
+    return out;
+}
+
+} // namespace
+
+json_t
+simulateSuite(const std::function<std::unique_ptr<Predictor>()> &factory,
+              const std::vector<std::string> &trace_paths,
+              const SimArgs &base_args)
+{
+    std::vector<json_t> results;
+    results.reserve(trace_paths.size());
+    for (const std::string &path : trace_paths) {
+        std::unique_ptr<Predictor> predictor = factory();
+        SimArgs args = base_args;
+        args.trace_path = path;
+        results.push_back(simulate(*predictor, args));
+    }
+    return assembleSuite(std::move(results));
+}
+
+json_t
+simulateSuiteParallel(
+    const std::function<std::unique_ptr<Predictor>()> &factory,
+    const std::vector<std::string> &trace_paths, const SimArgs &base_args,
+    unsigned num_threads)
+{
+    if (num_threads < 2 || trace_paths.size() < 2)
+        return simulateSuite(factory, trace_paths, base_args);
+    if (num_threads > trace_paths.size())
+        num_threads = static_cast<unsigned>(trace_paths.size());
+
+    std::vector<json_t> results(trace_paths.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= trace_paths.size())
+                return;
+            std::unique_ptr<Predictor> predictor = factory();
+            SimArgs args = base_args;
+            args.trace_path = trace_paths[i];
+            results[i] = simulate(*predictor, args);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+    return assembleSuite(std::move(results));
+}
+
+json_t
+compare(Predictor &a, Predictor &b, const SimArgs &args)
+{
+    constexpr const char *kName = "MBPlib comparison simulator";
+    sbbt::SbbtReader reader(args.trace_path);
+    if (!reader.ok())
+        return errorResult(kName, args, reader.error());
+
+    RunAccounting acc;
+    const std::uint64_t limit =
+        args.sim_instr >= std::numeric_limits<std::uint64_t>::max() -
+                              args.warmup_instr
+            ? std::numeric_limits<std::uint64_t>::max()
+            : args.warmup_instr + args.sim_instr;
+
+    auto start_time = std::chrono::steady_clock::now();
+    sbbt::PacketData packet;
+    std::uint64_t last_instr = 0;
+    while (reader.next(packet)) {
+        const Branch &branch = packet.branch;
+        last_instr = reader.instrNumber();
+        if (last_instr > limit)
+            break;
+        const bool measured = last_instr > args.warmup_instr;
+        acc.noteBranchSite(branch.ip());
+        ++acc.dynamic_branches;
+        if (branch.isConditional()) {
+            bool guess_a = a.predict(branch.ip());
+            bool guess_b = b.predict(branch.ip());
+            if (measured) {
+                ++acc.dynamic_cond;
+                BranchStat &stat = acc.per_branch[branch.ip()];
+                ++stat.occurrences;
+                if (guess_a != branch.isTaken()) {
+                    ++stat.mispredictions_a;
+                    ++acc.mispredictions_a;
+                }
+                if (guess_b != branch.isTaken()) {
+                    ++stat.mispredictions_b;
+                    ++acc.mispredictions_b;
+                }
+            }
+            a.train(branch);
+            b.train(branch);
+        }
+        if (!args.track_only_conditional || branch.isConditional()) {
+            a.track(branch);
+            b.track(branch);
+        }
+    }
+    auto end_time = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(end_time - start_time)
+                         .count();
+
+    if (!reader.error().empty())
+        return errorResult(kName, args, reader.error());
+
+    const bool exhausted = reader.exhausted();
+    std::uint64_t end_instr =
+        exhausted ? std::max(reader.header().instruction_count, last_instr)
+                  : std::min(last_instr, limit);
+    std::uint64_t simulation_instr =
+        end_instr > args.warmup_instr ? end_instr - args.warmup_instr : 0;
+
+    // Rank by the absolute difference in mispredictions: the branches whose
+    // predictability changed the most between the two designs.
+    std::vector<std::pair<std::uint64_t, BranchStat>> rows;
+    rows.reserve(acc.per_branch.size());
+    acc.per_branch.forEach([&](std::uint64_t ip, const BranchStat &stat) {
+        if (stat.mispredictions_a != stat.mispredictions_b)
+            rows.emplace_back(ip, stat);
+    });
+    auto diff = [](const BranchStat &s) {
+        return s.mispredictions_a > s.mispredictions_b
+                   ? s.mispredictions_a - s.mispredictions_b
+                   : s.mispredictions_b - s.mispredictions_a;
+    };
+    std::sort(rows.begin(), rows.end(), [&](const auto &x, const auto &y) {
+        std::uint64_t dx = diff(x.second), dy = diff(y.second);
+        if (dx != dy)
+            return dx > dy;
+        return x.first < y.first;
+    });
+
+    json_t most_failed = json_t::array();
+    for (std::size_t i = 0; i < std::min(rows.size(), args.most_failed_cap);
+         ++i) {
+        const auto &[ip, stat] = rows[i];
+        most_failed.push_back(json_t::object({
+            {"ip", ip},
+            {"occurrences", stat.occurrences},
+            {"mpki_0", mpkiOf(stat.mispredictions_a, simulation_instr)},
+            {"mpki_1", mpkiOf(stat.mispredictions_b, simulation_instr)},
+            {"mpki_diff",
+             mpkiOf(stat.mispredictions_a, simulation_instr) -
+                 mpkiOf(stat.mispredictions_b, simulation_instr)},
+        }));
+    }
+
+    json_t result = json_t::object();
+    result["metadata"] =
+        makeMetadata(kName, args, simulation_instr, exhausted, acc);
+    result["metadata"]["predictor_0"] = a.metadata_stats();
+    result["metadata"]["predictor_1"] = b.metadata_stats();
+    result["metrics"] = json_t::object({
+        {"mpki_0", mpkiOf(acc.mispredictions_a, simulation_instr)},
+        {"mpki_1", mpkiOf(acc.mispredictions_b, simulation_instr)},
+        {"mispredictions_0", acc.mispredictions_a},
+        {"mispredictions_1", acc.mispredictions_b},
+        {"accuracy_0", accuracyOf(acc.mispredictions_a, acc.dynamic_cond)},
+        {"accuracy_1", accuracyOf(acc.mispredictions_b, acc.dynamic_cond)},
+        {"simulation_time", seconds},
+    });
+    result["predictor_statistics_0"] = a.execution_stats();
+    result["predictor_statistics_1"] = b.execution_stats();
+    result["most_failed"] = std::move(most_failed);
+    return result;
+}
+
+} // namespace mbp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Corpus materialization implementation.
+ */
+#include "mbp/tools/corpus.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "cbp5/trace.hpp"
+#include "champsim/trace_synth.hpp"
+#include "mbp/sbbt/writer.hpp"
+
+namespace mbp::tools
+{
+
+namespace
+{
+
+bool
+exists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    ::mkdir(dir.c_str(), 0755); // EEXIST is fine
+}
+
+/** Counts instructions/branches (needed up front for compressed SBBT). */
+sbbt::Header
+countHeader(const tracegen::WorkloadSpec &spec)
+{
+    tracegen::TraceGenerator gen(spec);
+    tracegen::TraceEvent ev;
+    while (gen.next(ev)) {
+    }
+    sbbt::Header header;
+    header.instruction_count = gen.instructionsEmitted();
+    header.branch_count = gen.branchesEmitted();
+    return header;
+}
+
+} // namespace
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::vector<CorpusEntry>
+materialize(const std::string &dir,
+            const std::vector<tracegen::WorkloadSpec> &suite,
+            const CorpusFormats &formats)
+{
+    ensureDir(dir);
+    std::vector<CorpusEntry> entries;
+    entries.reserve(suite.size());
+    for (const tracegen::WorkloadSpec &spec : suite) {
+        CorpusEntry entry;
+        entry.name = spec.name;
+        entry.num_instr = spec.num_instr;
+        std::string base = dir + "/" + spec.name;
+        entry.sbbt_flz = base + ".sbbt.flz";
+        entry.sbbt_raw = base + ".sbbt";
+        entry.btt_gz = base + ".btt.gz";
+        entry.btt_flz = base + ".btt.flz";
+        entry.champsim = base + ".cst.gz";
+
+        auto want = [&](bool enabled, const std::string &path) {
+            return enabled && !exists(path);
+        };
+        bool need_sbbt_flz = want(formats.sbbt_flz, entry.sbbt_flz);
+        bool need_sbbt_raw = want(formats.sbbt_raw, entry.sbbt_raw);
+        bool need_btt_gz = want(formats.btt_gz, entry.btt_gz);
+        bool need_btt_flz = want(formats.btt_flz, entry.btt_flz);
+        bool need_champsim = want(formats.champsim, entry.champsim);
+        if (!(need_sbbt_flz || need_sbbt_raw || need_btt_gz ||
+              need_btt_flz || need_champsim)) {
+            entries.push_back(std::move(entry));
+            continue;
+        }
+
+        std::optional<sbbt::Header> header;
+        if (need_sbbt_flz)
+            header = countHeader(spec);
+
+        std::unique_ptr<sbbt::SbbtWriter> sbbt_flz_w, sbbt_raw_w;
+        std::unique_ptr<cbp5::BttWriter> btt_gz_w, btt_flz_w;
+        std::unique_ptr<champsim::TraceWriter> cs_w;
+        std::unique_ptr<champsim::SyntheticTraceBuilder> cs_b;
+        if (need_sbbt_flz) {
+            // Distribution form: maximum effort, like the paper's zstd -22.
+            sbbt_flz_w = std::make_unique<sbbt::SbbtWriter>(entry.sbbt_flz,
+                                                            header, 16);
+        }
+        if (need_sbbt_raw)
+            sbbt_raw_w = std::make_unique<sbbt::SbbtWriter>(entry.sbbt_raw);
+        if (need_btt_gz)
+            btt_gz_w = std::make_unique<cbp5::BttWriter>(entry.btt_gz);
+        if (need_btt_flz)
+            btt_flz_w = std::make_unique<cbp5::BttWriter>(entry.btt_flz);
+        if (need_champsim) {
+            cs_w = std::make_unique<champsim::TraceWriter>(entry.champsim);
+            champsim::SynthConfig synth;
+            synth.seed = spec.seed;
+            cs_b = std::make_unique<champsim::SyntheticTraceBuilder>(*cs_w,
+                                                                     synth);
+        }
+
+        tracegen::TraceGenerator gen(spec);
+        tracegen::TraceEvent ev;
+        while (gen.next(ev)) {
+            if (sbbt_flz_w)
+                sbbt_flz_w->append(ev.branch, ev.instr_gap);
+            if (sbbt_raw_w)
+                sbbt_raw_w->append(ev.branch, ev.instr_gap);
+            if (btt_gz_w)
+                btt_gz_w->append(ev.branch, ev.instr_gap);
+            if (btt_flz_w)
+                btt_flz_w->append(ev.branch, ev.instr_gap);
+            if (cs_b)
+                cs_b->append(ev.branch, ev.instr_gap);
+        }
+        bool ok = true;
+        if (sbbt_flz_w && !sbbt_flz_w->close()) {
+            std::fprintf(stderr, "corpus: %s: %s\n", entry.sbbt_flz.c_str(),
+                         sbbt_flz_w->error().c_str());
+            ok = false;
+        }
+        if (sbbt_raw_w && !sbbt_raw_w->close())
+            ok = false;
+        if (btt_gz_w && !btt_gz_w->close())
+            ok = false;
+        if (btt_flz_w && !btt_flz_w->close())
+            ok = false;
+        if (cs_w && !cs_w->close())
+            ok = false;
+        if (!ok)
+            std::fprintf(stderr, "corpus: failed to materialize %s\n",
+                         spec.name.c_str());
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+} // namespace mbp::tools

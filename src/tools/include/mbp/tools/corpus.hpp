@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace corpus materialization: renders workload suites to disk in every
+ * trace format the suite's simulators consume, with caching so benchmarks
+ * and examples can share one corpus directory.
+ */
+#ifndef MBP_TOOLS_CORPUS_HPP
+#define MBP_TOOLS_CORPUS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbp/tracegen/generator.hpp"
+
+namespace mbp::tools
+{
+
+/** Which renderings of a workload to materialize. */
+struct CorpusFormats
+{
+    bool sbbt_flz = true;   //!< trace.sbbt.flz (MBPlib distribution form)
+    bool sbbt_raw = false;  //!< trace.sbbt (uncompressed)
+    bool btt_gz = false;    //!< trace.btt.gz (CBP5-framework distribution)
+    bool btt_flz = false;   //!< trace.btt.flz (Table IV recompression)
+    bool champsim = false;  //!< trace.cst.gz (champsim-lite)
+};
+
+/** Paths of one materialized workload. */
+struct CorpusEntry
+{
+    std::string name;
+    std::uint64_t num_instr = 0;
+    std::string sbbt_flz;
+    std::string sbbt_raw;
+    std::string btt_gz;
+    std::string btt_flz;
+    std::string champsim;
+};
+
+/**
+ * Ensures every workload of @p suite exists under @p dir in the requested
+ * formats, generating the missing files (one generator pass per format, so
+ * each file gets an identical stream).
+ *
+ * @return One entry per workload, in suite order.
+ */
+std::vector<CorpusEntry> materialize(const std::string &dir,
+                                     const std::vector<tracegen::WorkloadSpec> &suite,
+                                     const CorpusFormats &formats);
+
+/** @return Size of @p path in bytes, or 0 when missing. */
+std::uint64_t fileSize(const std::string &path);
+
+} // namespace mbp::tools
+
+#endif // MBP_TOOLS_CORPUS_HPP

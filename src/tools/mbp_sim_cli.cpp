@@ -1,0 +1,77 @@
+/**
+ * @file
+ * mbp_sim: run any roster predictor over a trace from the command line
+ * and print the JSON result of paper Listing 1. A convenience wrapper —
+ * the library-first workflow (your own main(), your own binaries per
+ * configuration, paper §VI-A) remains the intended interface.
+ *
+ * Usage:
+ *   mbp_sim <predictor> <trace.sbbt[.gz|.flz]> [warmup_instr] [sim_instr]
+ *   mbp_sim compare <pred_a> <pred_b> <trace>
+ *   mbp_sim list
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sim/simulator.hpp"
+
+namespace
+{
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s <predictor> <trace> [warmup_instr] [sim_instr]\n"
+                 "       %s compare <pred_a> <pred_b> <trace>\n"
+                 "       %s list\n",
+                 prog, prog, prog);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "list") == 0) {
+        for (const std::string &name : mbp::pred::rosterNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "compare") == 0) {
+        if (argc != 5)
+            return usage(argv[0]);
+        auto a = mbp::pred::makeByName(argv[2]);
+        auto b = mbp::pred::makeByName(argv[3]);
+        if (!a || !b) {
+            std::fprintf(stderr, "unknown predictor (try '%s list')\n",
+                         argv[0]);
+            return 2;
+        }
+        mbp::SimArgs args;
+        args.trace_path = argv[4];
+        mbp::json_t result = mbp::compare(*a, *b, args);
+        std::printf("%s\n", result.dump(2).c_str());
+        return result.contains("error") ? 1 : 0;
+    }
+    if (argc < 3 || argc > 5)
+        return usage(argv[0]);
+    auto predictor = mbp::pred::makeByName(argv[1]);
+    if (!predictor) {
+        std::fprintf(stderr, "unknown predictor '%s' (try '%s list')\n",
+                     argv[1], argv[0]);
+        return 2;
+    }
+    mbp::SimArgs args;
+    args.trace_path = argv[2];
+    if (argc > 3)
+        args.warmup_instr = std::strtoull(argv[3], nullptr, 10);
+    if (argc > 4)
+        args.sim_instr = std::strtoull(argv[4], nullptr, 10);
+    mbp::json_t result = mbp::simulate(*predictor, args);
+    std::printf("%s\n", result.dump(2).c_str());
+    return result.contains("error") ? 1 : 0;
+}

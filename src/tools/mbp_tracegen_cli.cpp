@@ -1,0 +1,111 @@
+/**
+ * @file
+ * mbp_tracegen: generates the synthetic trace corpora from the command
+ * line. Substitute for downloading the CBP5/DPC3 trace sets (see
+ * DESIGN.md).
+ *
+ * Usage:
+ *   mbp_tracegen suite <cbp5-train|cbp5-eval|dpc3> <dir> [scale] [formats]
+ *   mbp_tracegen one <dir> <name> <seed> <num_instr> [formats]
+ *
+ * formats is a comma list of: sbbt,sbbt-raw,btt,btt-flz,champsim
+ * (default: sbbt).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/suite.hpp"
+
+namespace
+{
+
+mbp::tools::CorpusFormats
+parseFormats(const char *arg)
+{
+    mbp::tools::CorpusFormats formats;
+    if (!arg)
+        return formats;
+    formats = {};
+    std::string list = arg;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string item = list.substr(pos, comma - pos);
+        if (item == "sbbt")
+            formats.sbbt_flz = true;
+        else if (item == "sbbt-raw")
+            formats.sbbt_raw = true;
+        else if (item == "btt")
+            formats.btt_gz = true;
+        else if (item == "btt-flz")
+            formats.btt_flz = true;
+        else if (item == "champsim")
+            formats.champsim = true;
+        else
+            std::fprintf(stderr, "unknown format: %s\n", item.c_str());
+        pos = comma + 1;
+    }
+    return formats;
+}
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s suite <cbp5-train|cbp5-eval|dpc3> <dir> "
+                 "[scale] [formats]\n"
+                 "       %s one <dir> <name> <seed> <num_instr> [formats]\n",
+                 prog, prog);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage(argv[0]);
+    std::string mode = argv[1];
+    if (mode == "suite") {
+        if (argc < 4)
+            return usage(argv[0]);
+        std::string which = argv[2];
+        std::string dir = argv[3];
+        double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+        auto formats = parseFormats(argc > 5 ? argv[5] : nullptr);
+        std::vector<mbp::tracegen::WorkloadSpec> suite;
+        if (which == "cbp5-train")
+            suite = mbp::tracegen::cbp5TrainMini(scale);
+        else if (which == "cbp5-eval")
+            suite = mbp::tracegen::cbp5EvalMini(scale);
+        else if (which == "dpc3")
+            suite = mbp::tracegen::dpc3Mini(scale);
+        else
+            return usage(argv[0]);
+        auto entries = mbp::tools::materialize(dir, suite, formats);
+        for (const auto &entry : entries)
+            std::printf("%-16s %12llu instructions\n", entry.name.c_str(),
+                        (unsigned long long)entry.num_instr);
+        return 0;
+    }
+    if (mode == "one") {
+        if (argc < 6)
+            return usage(argv[0]);
+        mbp::tracegen::WorkloadSpec spec;
+        spec.name = argv[3];
+        spec.seed = std::strtoull(argv[4], nullptr, 10);
+        spec.num_instr = std::strtoull(argv[5], nullptr, 10);
+        auto formats = parseFormats(argc > 6 ? argv[6] : nullptr);
+        auto entries = mbp::tools::materialize(argv[2], {spec}, formats);
+        std::printf("%s: %llu instructions\n", entries[0].name.c_str(),
+                    (unsigned long long)entries[0].num_instr);
+        return 0;
+    }
+    return usage(argv[0]);
+}

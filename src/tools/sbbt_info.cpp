@@ -1,0 +1,78 @@
+/**
+ * @file
+ * sbbt_info: inspects an SBBT trace — header fields, per-opcode counts,
+ * outcome statistics and format validation. Exists because the simulation
+ * library exposes the trace reader as a subcomponent (paper §III): tools
+ * that inspect traces link the reader alone.
+ */
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/utils/flat_hash_map.hpp"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <trace.sbbt[.gz|.flz]>...\n",
+                     argv[0]);
+        return 2;
+    }
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        mbp::sbbt::SbbtReader reader(argv[i]);
+        if (!reader.ok()) {
+            std::fprintf(stderr, "%s: %s\n", argv[i],
+                         reader.error().c_str());
+            rc = 1;
+            continue;
+        }
+        std::uint64_t cond = 0, taken = 0, calls = 0, rets = 0,
+                      indirect = 0;
+        std::uint32_t max_gap = 0;
+        mbp::util::FlatHashMap<char> sites;
+        mbp::sbbt::PacketData packet;
+        while (reader.next(packet)) {
+            const mbp::Branch &b = packet.branch;
+            sites[b.ip()] = 1;
+            if (b.isConditional())
+                ++cond;
+            if (b.isTaken())
+                ++taken;
+            if (b.isCall())
+                ++calls;
+            if (b.isRet())
+                ++rets;
+            if (b.isIndirect())
+                ++indirect;
+            if (packet.instr_gap > max_gap)
+                max_gap = packet.instr_gap;
+        }
+        if (!reader.error().empty()) {
+            std::fprintf(stderr, "%s: %s\n", argv[i],
+                         reader.error().c_str());
+            rc = 1;
+            continue;
+        }
+        mbp::json_t info = mbp::json_t::object({
+            {"trace", argv[i]},
+            {"version", mbp::json_t::array({reader.header().major,
+                                            reader.header().minor,
+                                            reader.header().patch})},
+            {"instruction_count", reader.header().instruction_count},
+            {"branch_count", reader.header().branch_count},
+            {"static_branch_sites", std::uint64_t(sites.size())},
+            {"conditional_branches", cond},
+            {"taken_branches", taken},
+            {"calls", calls},
+            {"returns", rets},
+            {"indirect_branches", indirect},
+            {"max_instr_gap", max_gap},
+        });
+        std::printf("%s\n", info.dump(2).c_str());
+    }
+    return rc;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * sbbt_recompress: rewrites an SBBT trace with a different codec/effort,
+ * as the paper did when re-encoding trace sets (§IV, §VII-D). Works for
+ * any supported codec pair; the codec is chosen by the output extension.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/sbbt/writer.hpp"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3 || argc > 4) {
+        std::fprintf(
+            stderr,
+            "usage: %s <in.sbbt[.gz|.flz]> <out.sbbt[.gz|.flz]> [level]\n",
+            argv[0]);
+        return 2;
+    }
+    int level = argc == 4 ? std::atoi(argv[3]) : 16;
+
+    mbp::sbbt::SbbtReader reader(argv[1]);
+    if (!reader.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[1], reader.error().c_str());
+        return 1;
+    }
+    mbp::sbbt::SbbtWriter writer(argv[2], reader.header(), level);
+    if (!writer.ok()) {
+        std::fprintf(stderr, "%s\n", writer.error().c_str());
+        return 1;
+    }
+    mbp::sbbt::PacketData packet;
+    while (reader.next(packet)) {
+        if (!writer.append(packet.branch, packet.instr_gap)) {
+            std::fprintf(stderr, "%s\n", writer.error().c_str());
+            return 1;
+        }
+    }
+    if (!reader.error().empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[1], reader.error().c_str());
+        return 1;
+    }
+    if (!writer.close()) {
+        std::fprintf(stderr, "%s\n", writer.error().c_str());
+        return 1;
+    }
+    std::printf("%s -> %s (%llu branches)\n", argv[1], argv[2],
+                (unsigned long long)writer.branchCount());
+    return 0;
+}

@@ -1,0 +1,682 @@
+/**
+ * @file
+ * Synthetic program builder and executor.
+ *
+ * The generator first *builds* a random program out of an IR of blocks,
+ * loops, ifs, calls and switches, then *interprets* it with an explicit
+ * frame stack, emitting one TraceEvent per executed branch.
+ */
+#include "mbp/tracegen/generator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "mbp/utils/bits.hpp"
+
+namespace mbp::tracegen
+{
+
+namespace
+{
+
+constexpr std::uint64_t kCodeBase = 0x400000;
+constexpr std::uint32_t kMaxGap = 4000; // safely below the SBBT limit
+
+/** Outcome model of one conditional branch (or switch selector). */
+struct Behavior
+{
+    enum class Kind
+    {
+        kBiased,    //!< taken with fixed probability
+        kPattern,   //!< fixed repeating pattern (period <= 64)
+        kLoopMod,   //!< taken iff (enclosing-loop iteration % m) < k
+        kMarkov,    //!< two-state chain: P(taken) depends on last outcome
+        kGhrParity, //!< parity of taps on the global outcome history
+        kRandom,    //!< uniform coin — inherently unpredictable
+    };
+
+    Kind kind = Kind::kBiased;
+    int p_mille = 900;      // kBiased / kRandom noise level
+    std::uint64_t pattern = 0; // kPattern bits
+    int period = 1;         // kPattern
+    int pos = 0;            // kPattern state
+    int m = 4, k = 2;       // kLoopMod
+    int p0 = 100, p1 = 900; // kMarkov P(taken | last==0/1), in mille
+    bool last = false;      // kMarkov state
+    std::uint64_t taps = 0; // kGhrParity
+    bool invert = false;    // kGhrParity
+    int noise_mille = 0;    // kGhrParity noise
+};
+
+/** One IR node of the synthetic program. */
+struct Node
+{
+    enum class Kind { kBlock, kLoop, kIf, kCall, kSwitch };
+
+    Kind kind = Kind::kBlock;
+    std::uint64_t ip = 0; //!< address of this node's branch instruction
+
+    // kBlock
+    int len = 4;
+
+    // kLoop
+    std::vector<Node> body;
+    std::uint64_t head_ip = 0;
+    int trip_min = 1;
+    int trip_bits = 2; //!< random mode: trips = trip_min + rng(trip_bits)
+    /**
+     * Trip-count model: fixed (one value, a pure repeating tail pattern),
+     * cycling (a short deterministic sequence of trip counts — learnable
+     * only with enough history), or random (data-dependent exits).
+     */
+    enum class TripMode { kFixed, kCycling, kRandom };
+    TripMode trip_mode = TripMode::kRandom;
+    std::vector<std::uint32_t> trip_values; //!< kFixed / kCycling
+    std::size_t loop_id = 0;                //!< runtime cycling state slot
+
+    // kIf (body = then, else_body = else)
+    std::vector<Node> else_body;
+    std::size_t behavior = 0;
+    std::uint64_t else_ip = 0; //!< taken target (start of else / end)
+    std::uint64_t end_ip = 0;  //!< join point after the construct
+    bool has_else = false;
+    std::uint64_t skip_ip = 0; //!< ip of the jump-over-else instruction
+
+    // kCall
+    int callee = 0;
+
+    // kSwitch
+    std::vector<std::vector<Node>> cases;
+    std::vector<std::uint64_t> case_ips;
+    std::size_t selector = 0; //!< behavior index driving case selection
+};
+
+struct Function
+{
+    std::vector<Node> body;
+    std::uint64_t entry_ip = 0;
+    std::uint64_t ret_ip = 0;
+};
+
+/** Interpreter frame. */
+struct Frame
+{
+    enum class Kind { kSeq, kLoop, kFunction };
+
+    Kind kind = Kind::kSeq;
+    const std::vector<Node> *seq = nullptr;
+    std::size_t pos = 0;
+    // kSeq: optional jump emitted when the sequence completes (end of a
+    // then-block jumping over the else).
+    std::uint64_t exit_jump_ip = 0;
+    std::uint64_t exit_jump_target = 0;
+    // kLoop
+    const Node *loop = nullptr;
+    std::uint64_t remaining = 0;
+    std::uint64_t iteration = 0;
+    // kFunction
+    const Function *function = nullptr;
+    std::uint64_t ret_addr = 0;
+};
+
+} // namespace
+
+struct TraceGenerator::Impl
+{
+    explicit Impl(const WorkloadSpec &s) : spec(s), build_rng(s.seed ^ 0xb5),
+                                           run_rng(s.seed * 0x9e3779b97f4a7c15ull + 1)
+    {
+        buildProgram();
+        loop_positions.assign(num_loops, 0);
+        pushProgramStart();
+    }
+
+    // ------------------------------------------------------------------
+    // Program construction
+    // ------------------------------------------------------------------
+
+    std::uint64_t
+    takeIp(int slots = 1)
+    {
+        std::uint64_t ip = next_ip;
+        next_ip += std::uint64_t(4) * slots;
+        return ip;
+    }
+
+    std::size_t
+    makeBehavior()
+    {
+        // Exactly one draw from build_rng per behavior: the rest comes from
+        // a derived sub-generator. This keeps the program *structure*
+        // identical across noise_fraction settings — raising the noise only
+        // swaps some behaviors for random ones.
+        Lfsr sub(build_rng.next());
+        Behavior b;
+        if (static_cast<double>(sub.next() % 1000) <
+            spec.noise_fraction * 1000.0) {
+            b.kind = Behavior::Kind::kRandom;
+            b.p_mille = 300 + int(sub.next() % 400); // p in [.3, .7]
+            behaviors.push_back(b);
+            return behaviors.size() - 1;
+        }
+        std::uint64_t roll = sub.next() % 1000;
+        if (roll < 150) {
+            // Constant branches (never-triggered error paths and the
+            // like): a sizable share of real static branches never
+            // deviate, which is what branch filters exploit.
+            b.kind = Behavior::Kind::kBiased;
+            b.p_mille = (sub.next() & 1) ? 1000 : 0;
+        } else if (roll < 390) {
+            b.kind = Behavior::Kind::kBiased;
+            // Strong biases are the common case in real code.
+            int p = int(sub.next() % 180);
+            b.p_mille = (sub.next() & 1) ? 990 - p : 10 + p;
+        } else if (roll < 610) {
+            b.kind = Behavior::Kind::kPattern;
+            // Mix short periods (any history predictor) with long ones
+            // that only long-history predictors can capture.
+            b.period = (sub.next() & 1) ? 2 + int(sub.next() % 14)
+                                        : 16 + int(sub.next() % 45);
+            b.pattern = sub.next();
+        } else if (roll < 760) {
+            b.kind = Behavior::Kind::kLoopMod;
+            b.m = 2 + int(sub.next() % 12);
+            b.k = 1 + int(sub.next() % std::uint64_t(b.m - 1));
+        } else if (roll < 880) {
+            b.kind = Behavior::Kind::kMarkov;
+            b.p0 = 30 + int(sub.next() % 200);
+            b.p1 = 770 + int(sub.next() % 200);
+            if (sub.next() & 1)
+                std::swap(b.p0, b.p1);
+        } else {
+            b.kind = Behavior::Kind::kGhrParity;
+            // 2-4 taps, half reaching only recent history (GShare-range),
+            // half reaching far back (long-history predictors only).
+            int num_taps = 2 + int(sub.next() % 3);
+            int reach = (sub.next() & 1) ? 12 : 48;
+            for (int i = 0; i < num_taps; ++i)
+                b.taps |= std::uint64_t(1) << (sub.next() % reach);
+            b.invert = sub.next() & 1;
+            b.noise_mille = int(sub.next() % 40);
+        }
+        behaviors.push_back(b);
+        return behaviors.size() - 1;
+    }
+
+    Node
+    makeBlock()
+    {
+        Node n;
+        n.kind = Node::Kind::kBlock;
+        int avg = std::max(1, spec.avg_block_len);
+        n.len = 1 + int(build_rng.next() % std::uint64_t(2 * avg));
+        n.ip = takeIp(n.len);
+        return n;
+    }
+
+    std::vector<Node>
+    buildSeq(int depth, int fn_index, int budget)
+    {
+        std::vector<Node> seq;
+        seq.push_back(makeBlock());
+        int items = 2 + int(build_rng.next() % 4) + (depth == 0 ? 2 : 0);
+        for (int i = 0; i < items && budget > 0; ++i) {
+            std::uint64_t roll = build_rng.next() % 100;
+            if (depth >= 3)
+                roll %= 75; // no calls/switches deep down; favor leaves
+            if (roll < 40) {
+                seq.push_back(buildLoop(depth, fn_index, budget - 1));
+            } else if (roll < 75) {
+                seq.push_back(buildIf(depth, fn_index, budget - 1));
+            } else if (roll < 88 && fn_index + 1 < spec.num_functions) {
+                Node n;
+                n.kind = Node::Kind::kCall;
+                n.ip = takeIp();
+                n.callee = fn_index + 1 +
+                           int(build_rng.next() %
+                               std::uint64_t(spec.num_functions - fn_index -
+                                             1));
+                seq.push_back(n);
+            } else {
+                seq.push_back(buildSwitch(depth, fn_index, budget - 1));
+            }
+            seq.push_back(makeBlock());
+        }
+        return seq;
+    }
+
+    Node
+    buildLoop(int depth, int fn_index, int budget)
+    {
+        Node n;
+        n.kind = Node::Kind::kLoop;
+        n.head_ip = next_ip;
+        n.body = depth < 3 && budget > 0
+                     ? buildSeq(depth + 1, fn_index, budget / 2)
+                     : std::vector<Node>{makeBlock()};
+        n.ip = takeIp();
+        // Trip-count classes: tiny loops dominate (their tail branches are
+        // what separates history predictors from bimodal), with a tail of
+        // medium and large loops. Deeply nested loops are kept short so
+        // execution keeps visiting the whole program instead of spinning
+        // inside one nest (trip counts multiply down a nest).
+        std::uint64_t cls = build_rng.next() % 8;
+        if (depth >= 2)
+            cls %= 5;
+        else if (depth == 1)
+            cls %= 7;
+        switch (cls) {
+          case 0:
+          case 1:
+          case 2: n.trip_min = 2; n.trip_bits = 2; break;
+          case 3:
+          case 4: n.trip_min = 3; n.trip_bits = 4; break;
+          case 5:
+          case 6: n.trip_min = 8; n.trip_bits = 5; break;
+          default: n.trip_min = 30; n.trip_bits = 8; break;
+        }
+        // Most trip counts are deterministic — fixed or cycling through a
+        // short list — because real exits depend on data-structure sizes
+        // that repeat. Random exits exist but must not dominate, or every
+        // predictor hits the same noise floor.
+        std::uint64_t mode_roll = build_rng.next() % 100;
+        if (mode_roll < 45) {
+            n.trip_mode = Node::TripMode::kFixed;
+            n.trip_values = {std::uint32_t(
+                n.trip_min + int(build_rng.next() % (1u << n.trip_bits)))};
+        } else if (mode_roll < 80) {
+            n.trip_mode = Node::TripMode::kCycling;
+            int cycle = 2 + int(build_rng.next() % 3);
+            for (int i = 0; i < cycle; ++i)
+                n.trip_values.push_back(std::uint32_t(
+                    n.trip_min +
+                    int(build_rng.next() % (1u << n.trip_bits))));
+        } else {
+            n.trip_mode = Node::TripMode::kRandom;
+        }
+        n.loop_id = num_loops++;
+        return n;
+    }
+
+    Node
+    buildIf(int depth, int fn_index, int budget)
+    {
+        Node n;
+        n.kind = Node::Kind::kIf;
+        n.behavior = makeBehavior();
+        n.ip = takeIp();
+        n.body = depth < 3 && budget > 0
+                     ? buildSeq(depth + 1, fn_index, budget / 2)
+                     : std::vector<Node>{makeBlock()};
+        n.has_else = (build_rng.next() % 3) == 0;
+        if (n.has_else) {
+            n.skip_ip = takeIp();
+            n.else_ip = next_ip;
+            n.else_body = depth < 3 && budget > 0
+                              ? buildSeq(depth + 1, fn_index, budget / 2)
+                              : std::vector<Node>{makeBlock()};
+        }
+        n.end_ip = next_ip;
+        if (!n.has_else)
+            n.else_ip = n.end_ip;
+        return n;
+    }
+
+    Node
+    buildSwitch(int depth, int fn_index, int budget)
+    {
+        Node n;
+        n.kind = Node::Kind::kSwitch;
+        n.selector = makeBehavior();
+        n.ip = takeIp();
+        int num_cases = 2 + int(build_rng.next() % 6);
+        for (int c = 0; c < num_cases; ++c) {
+            n.case_ips.push_back(next_ip);
+            n.cases.push_back(depth < 3 && budget > 0
+                                  ? buildSeq(depth + 1, fn_index, budget / 3)
+                                  : std::vector<Node>{makeBlock()});
+        }
+        return n;
+    }
+
+    void
+    buildProgram()
+    {
+        functions.resize(static_cast<std::size_t>(
+            std::max(1, spec.num_functions)));
+        for (int f = 0; f < std::max(1, spec.num_functions); ++f) {
+            Function &fn = functions[static_cast<std::size_t>(f)];
+            fn.entry_ip = next_ip;
+            fn.body = buildSeq(0, f, 48);
+            fn.ret_ip = takeIp();
+        }
+        program_end_ip = takeIp();
+    }
+
+    // ------------------------------------------------------------------
+    // Phase changes: re-draw the mutable parameters of every behavior.
+    // ------------------------------------------------------------------
+
+    void
+    rephase()
+    {
+        for (Behavior &b : behaviors) {
+            switch (b.kind) {
+              case Behavior::Kind::kBiased:
+                if (run_rng.next() % 3 == 0)
+                    b.p_mille = 1000 - b.p_mille; // bias flip
+                break;
+              case Behavior::Kind::kPattern:
+                b.pattern = run_rng.next();
+                break;
+              case Behavior::Kind::kLoopMod:
+                b.k = 1 + int(run_rng.next() % std::uint64_t(b.m));
+                break;
+              case Behavior::Kind::kMarkov:
+                if (run_rng.next() & 1)
+                    std::swap(b.p0, b.p1);
+                break;
+              case Behavior::Kind::kGhrParity:
+                b.invert = run_rng.next() & 1;
+                break;
+              case Behavior::Kind::kRandom:
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    void
+    pushProgramStart()
+    {
+        Frame f;
+        f.kind = Frame::Kind::kFunction;
+        f.function = &functions[0];
+        f.seq = &functions[0].body;
+        f.ret_addr = program_end_ip; // "main" returns to the restart stub
+        stack.push_back(f);
+    }
+
+    bool
+    chance(int mille)
+    {
+        return static_cast<int>(run_rng.next() % 1000) < mille;
+    }
+
+    std::uint64_t
+    innermostLoopIteration() const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == Frame::Kind::kLoop)
+                return it->iteration;
+        }
+        return 0;
+    }
+
+    bool
+    evalBehavior(std::size_t id)
+    {
+        Behavior &b = behaviors[id];
+        bool outcome = false;
+        switch (b.kind) {
+          case Behavior::Kind::kBiased:
+          case Behavior::Kind::kRandom:
+            outcome = chance(b.p_mille);
+            break;
+          case Behavior::Kind::kPattern:
+            outcome = (b.pattern >> b.pos) & 1;
+            b.pos = (b.pos + 1) % b.period;
+            break;
+          case Behavior::Kind::kLoopMod:
+            outcome = static_cast<int>(innermostLoopIteration() %
+                                       std::uint64_t(b.m)) < b.k;
+            break;
+          case Behavior::Kind::kMarkov:
+            outcome = chance(b.last ? b.p1 : b.p0);
+            b.last = outcome;
+            break;
+          case Behavior::Kind::kGhrParity:
+            outcome = (std::popcount(ghr & b.taps) & 1) != 0;
+            outcome ^= b.invert;
+            if (b.noise_mille && chance(b.noise_mille))
+                outcome = !outcome;
+            break;
+        }
+        return outcome;
+    }
+
+    /** Case selector: mostly geometric (case 0 hottest), pattern-driven. */
+    int
+    selectCase(const Node &sw)
+    {
+        int num = static_cast<int>(sw.cases.size());
+        bool spin = evalBehavior(sw.selector);
+        if (!spin)
+            return 0;
+        int c = 1;
+        while (c + 1 < num && chance(450))
+            ++c;
+        return c;
+    }
+
+    /** Finalizes a branch event and applies accounting. */
+    TraceEvent
+    emit(std::uint64_t ip, std::uint64_t target, OpCode opcode, bool taken)
+    {
+        TraceEvent ev;
+        std::uint32_t gap = std::min<std::uint64_t>(pending_gap, kMaxGap);
+        pending_gap = 0;
+        ev.branch = Branch{ip, taken ? target : 0, opcode, taken};
+        if (!opcode.isIndirect() || !opcode.isConditional() || taken) {
+            // Direct branches always record their (static) target.
+            ev.branch.target_ = target;
+        }
+        if (opcode.isConditional() && opcode.isIndirect() && !taken)
+            ev.branch.target_ = 0; // SBBT validity rule 2
+        ev.instr_gap = gap;
+        instr_emitted += gap + 1;
+        ++branches_emitted;
+        if (opcode.isConditional())
+            ghr = (ghr << 1) | (taken ? 1 : 0);
+        if (spec.phase_length > 0 &&
+            instr_emitted / spec.phase_length != phase_index) {
+            phase_index = instr_emitted / spec.phase_length;
+            rephase();
+        }
+        return ev;
+    }
+
+    /**
+     * Advances the interpreter until a branch is produced.
+     * The program restarts from main() forever; the caller enforces the
+     * instruction budget.
+     */
+    TraceEvent
+    step()
+    {
+        while (true) {
+            if (stack.empty()) {
+                // Restart stub: an unconditional backward jump to main.
+                pushProgramStart();
+                return emit(program_end_ip, functions[0].entry_ip,
+                            OpCode::jump(), true);
+            }
+            Frame &frame = stack.back();
+            if (frame.pos < frame.seq->size()) {
+                const Node &node = (*frame.seq)[frame.pos];
+                switch (node.kind) {
+                  case Node::Kind::kBlock:
+                    pending_gap += node.len;
+                    ++frame.pos;
+                    continue;
+                  case Node::Kind::kLoop: {
+                    ++frame.pos;
+                    Frame lf;
+                    lf.kind = Frame::Kind::kLoop;
+                    lf.loop = &node;
+                    lf.seq = &node.body;
+                    switch (node.trip_mode) {
+                      case Node::TripMode::kFixed:
+                        lf.remaining = node.trip_values[0];
+                        break;
+                      case Node::TripMode::kCycling: {
+                        std::uint32_t &pos = loop_positions[node.loop_id];
+                        lf.remaining = node.trip_values[pos];
+                        pos = (pos + 1) %
+                              std::uint32_t(node.trip_values.size());
+                        break;
+                      }
+                      case Node::TripMode::kRandom:
+                        lf.remaining = std::uint64_t(node.trip_min) +
+                                       run_rng.bits(node.trip_bits);
+                        break;
+                    }
+                    stack.push_back(lf);
+                    continue; // body executes; tail branch at seq end
+                  }
+                  case Node::Kind::kIf: {
+                    ++frame.pos;
+                    bool taken = evalBehavior(node.behavior); // skip then
+                    Frame sf;
+                    sf.kind = Frame::Kind::kSeq;
+                    if (taken) {
+                        if (node.has_else) {
+                            sf.seq = &node.else_body;
+                            stack.push_back(sf);
+                        }
+                        // No else: fall straight to the join point.
+                    } else {
+                        sf.seq = &node.body;
+                        if (node.has_else) {
+                            sf.exit_jump_ip = node.skip_ip;
+                            sf.exit_jump_target = node.end_ip;
+                        }
+                        stack.push_back(sf);
+                    }
+                    return emit(node.ip, node.else_ip, OpCode::condJump(),
+                                taken);
+                  }
+                  case Node::Kind::kCall: {
+                    ++frame.pos;
+                    const Function &fn =
+                        functions[static_cast<std::size_t>(node.callee)];
+                    Frame ff;
+                    ff.kind = Frame::Kind::kFunction;
+                    ff.function = &fn;
+                    ff.seq = &fn.body;
+                    ff.ret_addr = node.ip + 4;
+                    stack.push_back(ff);
+                    return emit(node.ip, fn.entry_ip, OpCode::call(), true);
+                  }
+                  case Node::Kind::kSwitch: {
+                    ++frame.pos;
+                    int c = selectCase(node);
+                    Frame sf;
+                    sf.kind = Frame::Kind::kSeq;
+                    sf.seq = &node.cases[static_cast<std::size_t>(c)];
+                    stack.push_back(sf);
+                    return emit(node.ip,
+                                node.case_ips[static_cast<std::size_t>(c)],
+                                OpCode::indJump(), true);
+                  }
+                }
+            }
+            // Sequence exhausted: close the frame.
+            switch (frame.kind) {
+              case Frame::Kind::kSeq: {
+                std::uint64_t jump_ip = frame.exit_jump_ip;
+                std::uint64_t jump_target = frame.exit_jump_target;
+                stack.pop_back();
+                if (jump_ip != 0)
+                    return emit(jump_ip, jump_target, OpCode::jump(), true);
+                continue;
+              }
+              case Frame::Kind::kLoop: {
+                const Node &loop = *frame.loop;
+                ++frame.iteration;
+                bool taken = --frame.remaining > 0;
+                if (taken) {
+                    frame.pos = 0;
+                } else {
+                    stack.pop_back();
+                }
+                return emit(loop.ip, loop.head_ip, OpCode::condJump(),
+                            taken);
+              }
+              case Frame::Kind::kFunction: {
+                const Function &fn = *frame.function;
+                std::uint64_t ret_addr = frame.ret_addr;
+                stack.pop_back();
+                return emit(fn.ret_ip, ret_addr, OpCode::ret(), true);
+              }
+            }
+        }
+    }
+
+    WorkloadSpec spec;
+    Lfsr build_rng;
+    Lfsr run_rng;
+    std::vector<Function> functions;
+    std::vector<Behavior> behaviors;
+    std::uint64_t next_ip = kCodeBase;
+    std::uint64_t program_end_ip = 0;
+    std::size_t num_loops = 0;
+    std::vector<std::uint32_t> loop_positions;
+
+    std::vector<Frame> stack;
+    std::uint64_t pending_gap = 0;
+    std::uint64_t instr_emitted = 0;
+    std::uint64_t branches_emitted = 0;
+    std::uint64_t ghr = 0;
+    std::uint64_t phase_index = 0;
+};
+
+TraceGenerator::TraceGenerator(const WorkloadSpec &spec)
+    : impl_(std::make_unique<Impl>(spec))
+{}
+
+TraceGenerator::~TraceGenerator() = default;
+
+bool
+TraceGenerator::next(TraceEvent &out)
+{
+    if (impl_->instr_emitted >= impl_->spec.num_instr)
+        return false;
+    out = impl_->step();
+    return true;
+}
+
+std::uint64_t
+TraceGenerator::instructionsEmitted() const
+{
+    return impl_->instr_emitted;
+}
+
+std::uint64_t
+TraceGenerator::branchesEmitted() const
+{
+    return impl_->branches_emitted;
+}
+
+const WorkloadSpec &
+TraceGenerator::spec() const
+{
+    return impl_->spec;
+}
+
+std::vector<TraceEvent>
+generateAll(const WorkloadSpec &spec)
+{
+    TraceGenerator gen(spec);
+    std::vector<TraceEvent> events;
+    TraceEvent ev;
+    while (gen.next(ev))
+        events.push_back(ev);
+    return events;
+}
+
+} // namespace mbp::tracegen

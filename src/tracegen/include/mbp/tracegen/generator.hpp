@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic branch-trace generator.
+ *
+ * The paper evaluates on the CBP5 and DPC3 trace sets, which are not
+ * redistributable (the CBP5 traces are no longer even available online —
+ * the authors obtained them privately). This generator is the repo's
+ * substitute (see DESIGN.md): it builds a random *program* — functions,
+ * nested loops, conditionals with realistic outcome behaviors, calls,
+ * returns and indirect switches — and then *executes* it, emitting the
+ * resulting branch stream. Every simulator in the suite consumes the same
+ * stream (rendered to its own trace format), so cross-simulator speed and
+ * accuracy comparisons stay apples-to-apples.
+ *
+ * Determinism: the whole program shape and every outcome derive from
+ * WorkloadSpec::seed via xorshift generators, so a given spec always
+ * produces bit-identical traces.
+ */
+#ifndef MBP_TRACEGEN_GENERATOR_HPP
+#define MBP_TRACEGEN_GENERATOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/sbbt/branch.hpp"
+#include "mbp/utils/lfsr.hpp"
+
+namespace mbp::tracegen
+{
+
+/** Parameters describing one synthetic workload. */
+struct WorkloadSpec
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+    /** Total instructions to emit (branches + gaps). */
+    std::uint64_t num_instr = 10'000'000;
+    /** Number of functions in the synthetic program (>= 1). */
+    int num_functions = 12;
+    /** Average non-branch instructions between branches (>= 1). */
+    int avg_block_len = 5;
+    /**
+     * Fraction [0,1] of conditional branches with inherently random
+     * outcomes; raising it makes the workload harder for every predictor.
+     */
+    double noise_fraction = 0.10;
+    /** Phase changes: after this many instructions the behavior biases of
+     *  the program's branches are re-drawn (0 = no phase changes). */
+    std::uint64_t phase_length = 0;
+};
+
+/** One generated event: a branch plus its distance to the previous one. */
+struct TraceEvent
+{
+    Branch branch;
+    std::uint32_t instr_gap = 0;
+};
+
+/**
+ * Pull-based generator: build once, then call next() until it returns
+ * false (instruction budget exhausted).
+ */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const WorkloadSpec &spec);
+    ~TraceGenerator();
+
+    TraceGenerator(const TraceGenerator &) = delete;
+    TraceGenerator &operator=(const TraceGenerator &) = delete;
+
+    /**
+     * Produces the next branch event.
+     *
+     * @return False once the configured instruction budget is reached; the
+     *         generator stops on a branch boundary, so the total emitted
+     *         instruction count may exceed num_instr by at most one block.
+     */
+    bool next(TraceEvent &out);
+
+    /** @return Instructions emitted so far (gaps + branches). */
+    std::uint64_t instructionsEmitted() const;
+
+    /** @return Branches emitted so far. */
+    std::uint64_t branchesEmitted() const;
+
+    /** @return The spec this generator was built from. */
+    const WorkloadSpec &spec() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Convenience: drains a fresh generator for @p spec into a vector.
+ * Intended for tests and small workloads.
+ */
+std::vector<TraceEvent> generateAll(const WorkloadSpec &spec);
+
+} // namespace mbp::tracegen
+
+#endif // MBP_TRACEGEN_GENERATOR_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Named workload suites standing in for the paper's trace sets.
+ *
+ * The paper evaluates on the CBP5 training set (223 traces), the CBP5
+ * evaluation set (440 traces) and the DPC3 set (95 traces). These presets
+ * produce miniature equivalents: the trace-count ratios and the qualitative
+ * variety (lengths spanning two orders of magnitude, varying noise levels,
+ * some traces with phase changes) are preserved, scaled down so a full
+ * sweep runs on a laptop in minutes rather than days.
+ */
+#ifndef MBP_TRACEGEN_SUITE_HPP
+#define MBP_TRACEGEN_SUITE_HPP
+
+#include <string>
+#include <vector>
+
+#include "mbp/tracegen/generator.hpp"
+
+namespace mbp::tracegen
+{
+
+/**
+ * Builds a suite of workload specs.
+ *
+ * @param name       Suite tag used in trace names.
+ * @param num_traces Number of workloads.
+ * @param base_seed  Seed prefix; every trace derives its own seed.
+ * @param scale      Multiplies every trace's instruction count.
+ */
+std::vector<WorkloadSpec> makeSuite(const std::string &name, int num_traces,
+                                    std::uint64_t base_seed,
+                                    double scale = 1.0);
+
+/** Miniature CBP5 training set: 14 traces, 1M-60M instructions. */
+std::vector<WorkloadSpec> cbp5TrainMini(double scale = 1.0);
+
+/** Miniature CBP5 evaluation set: 28 traces. */
+std::vector<WorkloadSpec> cbp5EvalMini(double scale = 1.0);
+
+/** Miniature DPC3 set: 6 traces sized for cycle-level simulation. */
+std::vector<WorkloadSpec> dpc3Mini(double scale = 1.0);
+
+} // namespace mbp::tracegen
+
+#endif // MBP_TRACEGEN_SUITE_HPP

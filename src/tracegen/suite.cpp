@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload suite presets.
+ */
+#include "mbp/tracegen/suite.hpp"
+
+#include "mbp/utils/lfsr.hpp"
+
+namespace mbp::tracegen
+{
+
+std::vector<WorkloadSpec>
+makeSuite(const std::string &name, int num_traces, std::uint64_t base_seed,
+          double scale)
+{
+    std::vector<WorkloadSpec> suite;
+    suite.reserve(static_cast<std::size_t>(num_traces));
+    Lfsr rng(base_seed * 0x9e3779b97f4a7c15ull + 7);
+    for (int i = 0; i < num_traces; ++i) {
+        WorkloadSpec spec;
+        spec.name = name + "-" + std::to_string(i + 1);
+        spec.seed = base_seed * 1000 + std::uint64_t(i);
+        // Lengths span roughly two orders of magnitude, like the real
+        // suites (a few hundred million to tens of billions, scaled down).
+        std::uint64_t cls = rng.next() % 10;
+        std::uint64_t base;
+        if (cls < 4)
+            base = 1'000'000 + rng.next() % 2'000'000;
+        else if (cls < 8)
+            base = 4'000'000 + rng.next() % 6'000'000;
+        else
+            base = 15'000'000 + rng.next() % 45'000'000;
+        spec.num_instr = static_cast<std::uint64_t>(double(base) * scale);
+        if (spec.num_instr < 100'000)
+            spec.num_instr = 100'000;
+        // Program sizes and difficulty vary per trace.
+        spec.num_functions = 6 + int(rng.next() % 20);
+        spec.avg_block_len = 4 + int(rng.next() % 4);
+        spec.noise_fraction = 0.02 + 0.01 * double(rng.next() % 14);
+        // A few traces change behavior mid-run, like the long CBP5 traces
+        // used to study adaptation.
+        spec.phase_length =
+            (rng.next() % 5 == 0) ? spec.num_instr / 4 : 0;
+        suite.push_back(spec);
+    }
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+cbp5TrainMini(double scale)
+{
+    return makeSuite("cbp5-train", 14, 52016, scale);
+}
+
+std::vector<WorkloadSpec>
+cbp5EvalMini(double scale)
+{
+    return makeSuite("cbp5-eval", 28, 62016, scale);
+}
+
+std::vector<WorkloadSpec>
+dpc3Mini(double scale)
+{
+    // Cycle-level simulation is ~100x slower, so the DPC3 stand-in uses
+    // fewer, shorter traces (the paper also truncates DPC3 runs to 100M).
+    auto suite = makeSuite("dpc3", 6, 32019, scale * 0.6);
+    return suite;
+}
+
+} // namespace mbp::tracegen

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the suite.
+ */
+#ifndef MBP_UTILS_BITS_HPP
+#define MBP_UTILS_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace mbp::util
+{
+
+/** @return A mask with the low @p n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+maskBits(int n)
+{
+    return n >= 64 ? ~std::uint64_t(0) : (std::uint64_t(1) << n) - 1;
+}
+
+/** @return Whether @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return ceil(log2(v)) for v >= 1. */
+constexpr int
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : 64 - std::countl_zero(v - 1);
+}
+
+/** @return floor(log2(v)) for v >= 1. */
+constexpr int
+floorLog2(std::uint64_t v)
+{
+    return v == 0 ? 0 : 63 - std::countl_zero(v);
+}
+
+} // namespace mbp::util
+
+#endif // MBP_UTILS_BITS_HPP

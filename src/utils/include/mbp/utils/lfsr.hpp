@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random bit source for predictors that need
+ * randomized allocation/replacement (TAGE, BATAGE).
+ */
+#ifndef MBP_UTILS_LFSR_HPP
+#define MBP_UTILS_LFSR_HPP
+
+#include <cstdint>
+
+#include "mbp/utils/bits.hpp"
+
+namespace mbp
+{
+
+/**
+ * A 64-bit xorshift generator. Cheap (three shifts and xors per draw) and
+ * deterministic, so simulations are reproducible run to run — the property
+ * paper §VII-C relies on.
+ */
+class Lfsr
+{
+  public:
+    /** @param seed Any value; 0 is remapped to a fixed non-zero seed. */
+    explicit constexpr Lfsr(std::uint64_t seed = 0x2545f4914f6cdd1dull)
+        : state_(seed ? seed : 0x2545f4914f6cdd1dull)
+    {}
+
+    /** @return The next 64-bit pseudo-random value. */
+    constexpr std::uint64_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+
+    /** @return The next @p n random bits (n in [1, 64]). */
+    constexpr std::uint64_t
+    bits(int n)
+    {
+        return next() & util::maskBits(n);
+    }
+
+    /** @return True with probability 1 / 2^n. */
+    constexpr bool
+    oneIn2Pow(int n)
+    {
+        return bits(n) == 0;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace mbp
+
+#endif // MBP_UTILS_LFSR_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fixed-width saturating counters (paper §V).
+ *
+ * Modeling the counters as a class with custom arithmetic operators lets a
+ * GShare update be spelled `table[hash].sumOrSub(b.isTaken())`, as in the
+ * paper's Listing 2, while the class handles saturation for all inputs.
+ */
+#ifndef MBP_UTILS_SAT_COUNTER_HPP
+#define MBP_UTILS_SAT_COUNTER_HPP
+
+#include <compare>
+#include <cstdint>
+
+namespace mbp
+{
+
+/**
+ * A @p Bits -wide saturating counter.
+ *
+ * Signed counters hold [-2^(Bits-1), 2^(Bits-1) - 1] and predict taken when
+ * non-negative; unsigned counters hold [0, 2^Bits - 1]. Default-initialized
+ * counters start at 0 (the weakly-taken state for signed counters).
+ *
+ * @tparam Bits   Width in bits, 1 to 31.
+ * @tparam Signed Whether the range is centered on zero.
+ */
+template <int Bits, bool Signed = true>
+class SatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 31, "unsupported counter width");
+
+  public:
+    /** Smallest representable value. */
+    static constexpr std::int32_t kMin =
+        Signed ? -(std::int32_t(1) << (Bits - 1)) : 0;
+    /** Largest representable value. */
+    static constexpr std::int32_t kMax =
+        Signed ? (std::int32_t(1) << (Bits - 1)) - 1
+               : (std::int32_t(1) << Bits) - 1;
+
+    constexpr SatCounter() noexcept = default;
+    constexpr SatCounter(std::int32_t v) noexcept : value_(clamp(v)) {}
+
+    /** @return The current value. */
+    constexpr std::int32_t value() const noexcept { return value_; }
+    constexpr operator std::int32_t() const noexcept { return value_; }
+
+    /** Saturating add. */
+    constexpr SatCounter &
+    operator+=(std::int32_t delta) noexcept
+    {
+        value_ = clamp(static_cast<std::int64_t>(value_) + delta);
+        return *this;
+    }
+    /** Saturating subtract. */
+    constexpr SatCounter &
+    operator-=(std::int32_t delta) noexcept
+    {
+        return *this += -delta;
+    }
+    constexpr SatCounter &
+    operator++() noexcept
+    {
+        return *this += 1;
+    }
+    constexpr SatCounter &
+    operator--() noexcept
+    {
+        return *this -= 1;
+    }
+
+    /**
+     * Moves the counter towards taken/not-taken: the canonical two-bit
+     * counter update, `c.sumOrSub(branch.isTaken())`.
+     */
+    constexpr SatCounter &
+    sumOrSub(bool up) noexcept
+    {
+        return up ? ++*this : --*this;
+    }
+
+    /** Moves the value one step towards zero (used by decay policies). */
+    constexpr SatCounter &
+    weaken() noexcept
+    {
+        if (value_ > 0)
+            --value_;
+        else if (value_ < 0)
+            ++value_;
+        return *this;
+    }
+
+    /** @return Whether the counter sits at either extreme. */
+    constexpr bool
+    isSaturated() const noexcept
+    {
+        return value_ == kMin || value_ == kMax;
+    }
+
+    /**
+     * @return Whether the counter is in a weak state (one step from the
+     *         taken/not-taken boundary).
+     */
+    constexpr bool
+    isWeak() const noexcept
+    {
+        return Signed ? (value_ == 0 || value_ == -1)
+                      : (value_ == (kMax + 1) / 2 ||
+                         value_ == (kMax + 1) / 2 - 1);
+    }
+
+    /** Sets the value, clamping to the representable range. */
+    constexpr void set(std::int32_t v) noexcept { value_ = clamp(v); }
+
+    // Comparisons go through the implicit std::int32_t conversion; defining
+    // them here as well would make `counter >= 0` ambiguous.
+
+  private:
+    static constexpr std::int32_t
+    clamp(std::int64_t v) noexcept
+    {
+        if (v < kMin)
+            return kMin;
+        if (v > kMax)
+            return kMax;
+        return static_cast<std::int32_t>(v);
+    }
+
+    std::int32_t value_ = 0;
+};
+
+// The short aliases the paper uses: iN is a signed N-bit saturating counter,
+// uN the unsigned flavor.
+using i2 = SatCounter<2, true>;
+using i3 = SatCounter<3, true>;
+using i4 = SatCounter<4, true>;
+using i5 = SatCounter<5, true>;
+using i6 = SatCounter<6, true>;
+using i8 = SatCounter<8, true>;
+using u1 = SatCounter<1, false>;
+using u2 = SatCounter<2, false>;
+using u3 = SatCounter<3, false>;
+using u4 = SatCounter<4, false>;
+
+} // namespace mbp
+
+#endif // MBP_UTILS_SAT_COUNTER_HPP

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Unit and property tests for the compression substrate: FLZ block codec,
+ * framed streams, gzip streams, buffered stream wrappers, codec sniffing.
+ */
+#include "mbp/compress/flz.hpp"
+#include "mbp/compress/streams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+namespace compress = mbp::compress;
+using compress::Codec;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+flzRoundTrip(const std::vector<std::uint8_t> &input, int effort = 4)
+{
+    auto comp = compress::flzCompress(
+        input.data(), input.size(), effort);
+    std::vector<std::uint8_t> out(input.size());
+    EXPECT_TRUE(compress::flzDecompressBlock(comp.data(), comp.size(),
+                                             out.data(), out.size()));
+    return out;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+/** Pushes `data` through sink-chain into memory and reads it back. */
+std::vector<std::uint8_t>
+streamRoundTrip(const std::vector<std::uint8_t> &data, Codec codec, int level,
+                std::size_t chunk)
+{
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    std::unique_ptr<compress::ByteSink> sink;
+    switch (codec) {
+      case Codec::kGzip:
+        sink = compress::makeGzipSink(std::move(mem), level);
+        break;
+      case Codec::kFlz:
+        sink = compress::makeFlzSink(std::move(mem), level);
+        break;
+      case Codec::kRaw:
+        sink = std::move(mem);
+        break;
+    }
+    for (std::size_t i = 0; i < data.size(); i += chunk) {
+        std::size_t n = std::min(chunk, data.size() - i);
+        EXPECT_TRUE(sink->write(data.data() + i, n));
+    }
+    EXPECT_TRUE(sink->finish());
+    std::vector<std::uint8_t> encoded = mem_raw->buffer();
+
+    auto src = std::make_unique<compress::MemorySource>(encoded.data(),
+                                                        encoded.size());
+    std::unique_ptr<compress::ByteSource> dec;
+    switch (codec) {
+      case Codec::kGzip:
+        dec = compress::makeGzipSource(std::move(src));
+        break;
+      case Codec::kFlz:
+        dec = compress::makeFlzSource(std::move(src));
+        break;
+      case Codec::kRaw:
+        dec = std::move(src);
+        break;
+    }
+    std::vector<std::uint8_t> out;
+    std::uint8_t buf[777];
+    std::size_t n;
+    while ((n = dec->read(buf, sizeof buf)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    EXPECT_FALSE(dec->failed());
+    return out;
+}
+
+std::vector<std::uint8_t>
+makeCompressibleData(std::size_t size, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<std::uint8_t> data;
+    data.reserve(size);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> mode(0, 3);
+    while (data.size() < size) {
+        switch (mode(rng)) {
+          case 0: { // random run
+            std::size_t n = 1 + rng() % 64;
+            for (std::size_t i = 0; i < n && data.size() < size; ++i)
+                data.push_back(static_cast<std::uint8_t>(byte(rng)));
+            break;
+          }
+          case 1: { // RLE run
+            std::uint8_t b = static_cast<std::uint8_t>(byte(rng));
+            std::size_t n = 4 + rng() % 500;
+            for (std::size_t i = 0; i < n && data.size() < size; ++i)
+                data.push_back(b);
+            break;
+          }
+          case 2: { // repeat earlier content
+            if (data.size() < 8)
+                break;
+            std::size_t off = 1 + rng() % std::min<std::size_t>(
+                                      data.size(), 60000);
+            std::size_t n = 4 + rng() % 300;
+            for (std::size_t i = 0; i < n && data.size() < size; ++i)
+                data.push_back(data[data.size() - off]);
+            break;
+          }
+          default: { // short pattern
+            std::size_t period = 1 + rng() % 9;
+            std::size_t n = period * (2 + rng() % 40);
+            std::size_t start = data.size();
+            for (std::size_t i = 0; i < n && data.size() < size; ++i) {
+                data.push_back(i < period
+                                   ? static_cast<std::uint8_t>(byte(rng))
+                                   : data[start + i - period]);
+            }
+            break;
+          }
+        }
+    }
+    data.resize(size);
+    return data;
+}
+
+} // namespace
+
+TEST(Flz, EmptyInput)
+{
+    auto comp = compress::flzCompress(nullptr, 0);
+    ASSERT_FALSE(comp.empty());
+    std::uint8_t sentinel[1] = {0xcd};
+    EXPECT_TRUE(compress::flzDecompressBlock(comp.data(), comp.size(),
+                                             sentinel, 0));
+    EXPECT_EQ(sentinel[0], 0xcd) << "must not write past declared size";
+}
+
+TEST(Flz, TinyInputsAreLiteralOnly)
+{
+    for (std::size_t n = 1; n <= 5; ++n) {
+        std::vector<std::uint8_t> in;
+        for (std::size_t i = 0; i < n; ++i)
+            in.push_back(static_cast<std::uint8_t>(i + 1));
+        EXPECT_EQ(flzRoundTrip(in), in) << "size " << n;
+    }
+}
+
+TEST(Flz, RleCompressesWell)
+{
+    std::vector<std::uint8_t> in(100000, 0xab);
+    auto comp = compress::flzCompress(in.data(), in.size());
+    EXPECT_LT(comp.size(), in.size() / 50);
+    EXPECT_EQ(flzRoundTrip(in), in);
+}
+
+TEST(Flz, OverlappingMatchDecodes)
+{
+    // "abcabcabc..." forces offset < match length (overlap copy).
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < 1000; ++i)
+        in.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+    EXPECT_EQ(flzRoundTrip(in), in);
+}
+
+TEST(Flz, IncompressibleDataSurvives)
+{
+    std::mt19937 rng(7);
+    std::vector<std::uint8_t> in(65536);
+    for (auto &b : in)
+        b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(flzRoundTrip(in), in);
+    auto comp = compress::flzCompress(in.data(), in.size());
+    EXPECT_LE(comp.size(), compress::flzCompressBound(in.size()));
+}
+
+TEST(Flz, LongLiteralRunLengthEncoding)
+{
+    // > 15+255 literals before a match exercises the extension bytes.
+    std::mt19937 rng(11);
+    std::vector<std::uint8_t> in(500);
+    for (std::size_t i = 0; i < 400; ++i)
+        in[i] = static_cast<std::uint8_t>(rng());
+    for (std::size_t i = 400; i < 500; ++i)
+        in[i] = 0x55; // long match at the end
+    EXPECT_EQ(flzRoundTrip(in), in);
+}
+
+TEST(Flz, RejectsCorruptOffsets)
+{
+    // Token demanding a match with offset beyond output start.
+    std::vector<std::uint8_t> bogus = {0x04, 'a', 0x09, 0x00};
+    std::vector<std::uint8_t> out(16);
+    EXPECT_FALSE(compress::flzDecompressBlock(bogus.data(), bogus.size(),
+                                              out.data(), out.size()));
+    // Zero offset is invalid too.
+    std::vector<std::uint8_t> zero_off = {0x14, 'a', 0x00, 0x00};
+    EXPECT_FALSE(compress::flzDecompressBlock(zero_off.data(),
+                                              zero_off.size(), out.data(),
+                                              out.size()));
+}
+
+TEST(Flz, RejectsWrongDeclaredSize)
+{
+    std::vector<std::uint8_t> in(1000, 'x');
+    auto comp = compress::flzCompress(in.data(), in.size());
+    std::vector<std::uint8_t> out(in.size() + 1);
+    EXPECT_FALSE(compress::flzDecompressBlock(comp.data(), comp.size(),
+                                              out.data(), out.size()));
+}
+
+/** Property sweep: random structured buffers round-trip at all efforts. */
+class FlzProperty : public testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(FlzProperty, RoundTrip)
+{
+    auto [seed, effort] = GetParam();
+    auto data = makeCompressibleData(50000 + seed * 1111, seed);
+    EXPECT_EQ(flzRoundTrip(data, effort), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FlzProperty,
+    testing::Combine(testing::Range(0, 12), testing::Values(1, 4, 16)));
+
+class StreamRoundTrip
+    : public testing::TestWithParam<std::tuple<Codec, int, std::size_t>>
+{};
+
+TEST_P(StreamRoundTrip, ArbitraryChunking)
+{
+    auto [codec, size, chunk] = GetParam();
+    auto data = makeCompressibleData(static_cast<std::size_t>(size), 99);
+    EXPECT_EQ(streamRoundTrip(data, codec, -1, chunk), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StreamRoundTrip,
+    testing::Combine(testing::Values(Codec::kRaw, Codec::kGzip, Codec::kFlz),
+                     testing::Values(0, 1, 1000, 300000, 1 << 20),
+                     testing::Values(std::size_t(1), std::size_t(4096),
+                                     std::size_t(1 << 20))));
+
+TEST(FlzFrame, MultipleBlocks)
+{
+    // More data than one frame block forces several blocks.
+    auto data = makeCompressibleData(3 * compress::kFlzBlockSize + 17, 3);
+    EXPECT_EQ(streamRoundTrip(data, Codec::kFlz, 9, 1 << 16), data);
+}
+
+TEST(FlzFrame, DetectsTruncation)
+{
+    auto data = makeCompressibleData(100000, 5);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeFlzSink(std::move(mem), -1);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+    encoded.resize(encoded.size() / 2);
+
+    auto dec = compress::makeFlzSource(std::make_unique<compress::MemorySource>(
+        encoded.data(), encoded.size()));
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t got = 0, n;
+    while ((n = dec->read(out.data() + got, out.size() - got)) > 0)
+        got += n;
+    EXPECT_TRUE(dec->failed());
+}
+
+TEST(FlzFrame, RejectsBadMagic)
+{
+    std::uint8_t junk[16] = {'N', 'O', 'P', 'E'};
+    auto dec = compress::makeFlzSource(
+        std::make_unique<compress::MemorySource>(junk, sizeof junk));
+    std::uint8_t buf[8];
+    EXPECT_EQ(dec->read(buf, sizeof buf), 0u);
+    EXPECT_TRUE(dec->failed());
+}
+
+TEST(Gzip, DetectsTruncation)
+{
+    auto data = makeCompressibleData(100000, 6);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeGzipSink(std::move(mem), 6);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+    encoded.resize(encoded.size() / 3);
+
+    auto dec = compress::makeGzipSource(std::make_unique<compress::MemorySource>(
+        encoded.data(), encoded.size()));
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t got = 0, n;
+    while ((n = dec->read(out.data() + got, out.size() - got)) > 0)
+        got += n;
+    EXPECT_LT(got, data.size());
+    EXPECT_TRUE(dec->failed());
+}
+
+TEST(Codec, FromPath)
+{
+    EXPECT_EQ(compress::codecFromPath("a/b/t.sbbt.gz"), Codec::kGzip);
+    EXPECT_EQ(compress::codecFromPath("t.sbbt.flz"), Codec::kFlz);
+    EXPECT_EQ(compress::codecFromPath("t.sbbt.zst"), Codec::kFlz);
+    EXPECT_EQ(compress::codecFromPath("t.sbbt"), Codec::kRaw);
+    EXPECT_EQ(compress::codecFromPath("nogz"), Codec::kRaw);
+}
+
+TEST(Codec, Names)
+{
+    EXPECT_STREQ(compress::codecName(Codec::kRaw), "raw");
+    EXPECT_STREQ(compress::codecName(Codec::kGzip), "gzip");
+    EXPECT_STREQ(compress::codecName(Codec::kFlz), "flz");
+}
+
+class FileRoundTrip : public testing::TestWithParam<const char *>
+{};
+
+TEST_P(FileRoundTrip, OpenOutputOpenInput)
+{
+    std::string path = tempPath(std::string("rt_") + GetParam());
+    auto data = makeCompressibleData(200000, 42);
+    {
+        auto out = compress::openOutput(path, -1);
+        ASSERT_NE(out, nullptr);
+        ASSERT_TRUE(out->write(data.data(), data.size()));
+        ASSERT_TRUE(out->close());
+    }
+    auto in = compress::openInput(path);
+    ASSERT_NE(in, nullptr);
+    std::vector<std::uint8_t> back(data.size());
+    EXPECT_TRUE(in->readExact(back.data(), back.size()));
+    EXPECT_TRUE(in->atEnd());
+    EXPECT_EQ(back, data);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Extensions, FileRoundTrip,
+                         testing::Values("plain.bin", "zipped.bin.gz",
+                                         "fast.bin.flz"));
+
+TEST(FileSniff, MagicDetectionWithoutExtension)
+{
+    // Write gzip data into a file with no .gz extension; openInput must
+    // sniff the magic and decompress anyway.
+    std::string path = tempPath("sniffme.dat");
+    auto data = makeCompressibleData(5000, 13);
+    {
+        auto sink = compress::openSink(path, Codec::kGzip, 6);
+        ASSERT_NE(sink, nullptr);
+        ASSERT_TRUE(sink->write(data.data(), data.size()));
+        ASSERT_TRUE(sink->finish());
+    }
+    auto in = compress::openInput(path);
+    ASSERT_NE(in, nullptr);
+    std::vector<std::uint8_t> back(data.size());
+    EXPECT_TRUE(in->readExact(back.data(), back.size()));
+    EXPECT_EQ(back, data);
+    std::remove(path.c_str());
+}
+
+TEST(InStream, GetLine)
+{
+    std::string text = "first\nsecond\n\nlast-without-newline";
+    auto in = compress::InStream(
+        std::make_unique<compress::MemorySource>(text.data(), text.size()),
+        8 /* tiny buffer to exercise refills */);
+    std::string line;
+    ASSERT_TRUE(in.getLine(line));
+    EXPECT_EQ(line, "first");
+    ASSERT_TRUE(in.getLine(line));
+    EXPECT_EQ(line, "second");
+    ASSERT_TRUE(in.getLine(line));
+    EXPECT_EQ(line, "");
+    ASSERT_TRUE(in.getLine(line));
+    EXPECT_EQ(line, "last-without-newline");
+    EXPECT_FALSE(in.getLine(line));
+}
+
+TEST(OutStream, LargeWriteBypassesBuffer)
+{
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    compress::OutStream out(std::move(mem), 16);
+    std::vector<std::uint8_t> big(1000, 0x5a);
+    ASSERT_TRUE(out.write(big.data(), big.size()));
+    ASSERT_TRUE(out.write("tail"));
+    ASSERT_TRUE(out.close());
+    EXPECT_EQ(mem_raw->buffer().size(), 1004u);
+}
+
+TEST(OpenInput, MissingFileReturnsNull)
+{
+    EXPECT_EQ(compress::openInput("/nonexistent/nowhere.gz"), nullptr);
+    EXPECT_EQ(compress::openOutput("/nonexistent/dir/file.gz"), nullptr);
+}
+
+/** Wide-offset (v2) block codec: same properties as v1 plus long-range. */
+class FlzWideProperty : public testing::TestWithParam<int>
+{};
+
+TEST_P(FlzWideProperty, RoundTripWide)
+{
+    auto data = makeCompressibleData(80000 + GetParam() * 3333,
+                                     unsigned(GetParam()) + 100);
+    auto bound = compress::flzCompressBound(data.size());
+    std::vector<std::uint8_t> comp(bound);
+    std::size_t n = compress::flzCompressBlock(data.data(), data.size(),
+                                               comp.data(), 8, true);
+    ASSERT_LE(n, bound);
+    std::vector<std::uint8_t> out(data.size());
+    ASSERT_TRUE(compress::flzDecompressBlock(comp.data(), n, out.data(),
+                                             out.size(), true));
+    EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlzWideProperty, testing::Range(0, 8));
+
+TEST(FlzWide, CatchesLongRangeMatchesNarrowCannot)
+{
+    // Two identical high-entropy 200 kB chunks separated by 300 kB of
+    // noise: the chunk has no internal matches, so the only way to
+    // compress the second copy is referencing the first — possible only
+    // with 24-bit offsets.
+    std::mt19937 rng(21);
+    std::vector<std::uint8_t> chunk(200000);
+    for (auto &b : chunk)
+        b = static_cast<std::uint8_t>(rng());
+    std::vector<std::uint8_t> data = chunk;
+    for (int i = 0; i < 300000; ++i)
+        data.push_back(static_cast<std::uint8_t>(rng()));
+    data.insert(data.end(), chunk.begin(), chunk.end());
+
+    std::vector<std::uint8_t> buf(compress::flzCompressBound(data.size()));
+    std::size_t narrow = compress::flzCompressBlock(data.data(), data.size(),
+                                                    buf.data(), 8, false);
+    std::size_t wide = compress::flzCompressBlock(data.data(), data.size(),
+                                                  buf.data(), 8, true);
+    EXPECT_LT(wide, narrow);
+}
+
+TEST(FlzWide, FrameMagicSelectsWidth)
+{
+    auto data = makeCompressibleData(50000, 31);
+    for (bool wide : {false, true}) {
+        auto mem = std::make_unique<compress::MemorySink>();
+        auto *mem_raw = mem.get();
+        auto sink = compress::makeFlzSink(std::move(mem), -1, wide);
+        ASSERT_TRUE(sink->write(data.data(), data.size()));
+        ASSERT_TRUE(sink->finish());
+        auto encoded = mem_raw->buffer();
+        ASSERT_GE(encoded.size(), 4u);
+        EXPECT_EQ(encoded[3], wide ? '2' : '1');
+        // The source auto-detects either frame version.
+        auto dec = compress::makeFlzSource(
+            std::make_unique<compress::MemorySource>(encoded.data(),
+                                                     encoded.size()));
+        std::vector<std::uint8_t> out(data.size());
+        std::size_t got = 0, n;
+        while ((n = dec->read(out.data() + got, out.size() - got)) > 0)
+            got += n;
+        EXPECT_FALSE(dec->failed());
+        EXPECT_EQ(got, data.size());
+        EXPECT_EQ(out, data);
+    }
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for mbp::json::Value (build, dump, parse, round trips).
+ */
+#include "mbp/json/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace json = mbp::json;
+using json::Value;
+
+TEST(JsonValue, DefaultIsNull)
+{
+    Value v;
+    EXPECT_TRUE(v.isNull());
+    EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonValue, BoolDump)
+{
+    EXPECT_EQ(Value(true).dump(), "true");
+    EXPECT_EQ(Value(false).dump(), "false");
+}
+
+TEST(JsonValue, IntegerFlavorsSurvive)
+{
+    Value i(-42);
+    Value u(18446744073709551615ull);
+    EXPECT_EQ(i.dump(), "-42");
+    EXPECT_EQ(u.dump(), "18446744073709551615");
+    EXPECT_EQ(i.asInt(), -42);
+    EXPECT_EQ(u.asUint(), 18446744073709551615ull);
+}
+
+TEST(JsonValue, DoubleShortestRoundTrip)
+{
+    Value v(3.312043080187229);
+    auto parsed = Value::parse(v.dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->asDouble(), 3.312043080187229);
+}
+
+TEST(JsonValue, WholeDoubleKeepsPoint)
+{
+    EXPECT_EQ(Value(1.0).dump(), "1.0");
+    EXPECT_EQ(Value(-4.0).dump(), "-4.0");
+}
+
+TEST(JsonValue, NanAndInfSerializeAsNull)
+{
+    EXPECT_EQ(Value(std::nan("")).dump(), "null");
+    EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonValue, StringEscaping)
+{
+    Value v("a\"b\\c\n\t\x01");
+    EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder)
+{
+    Value v = Value::object();
+    v["zeta"] = 1;
+    v["alpha"] = 2;
+    v["mid"] = 3;
+    EXPECT_EQ(v.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonValue, SubscriptAutoCreatesObject)
+{
+    Value v;
+    v["metrics"]["mpki"] = 3.25;
+    EXPECT_TRUE(v.isObject());
+    ASSERT_NE(v.find("metrics"), nullptr);
+    EXPECT_TRUE(v.find("metrics")->contains("mpki"));
+}
+
+TEST(JsonValue, PushBackAutoCreatesArray)
+{
+    Value v;
+    v.push_back(1);
+    v.push_back("two");
+    EXPECT_TRUE(v.isArray());
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1].asString(), "two");
+}
+
+TEST(JsonValue, NestedDumpPretty)
+{
+    Value v = Value::object({{"a", Value::array({1, 2})}, {"b", "x"}});
+    EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": \"x\"\n}");
+}
+
+TEST(JsonValue, EmptyContainersDumpCompactly)
+{
+    EXPECT_EQ(Value::object().dump(2), "{}");
+    EXPECT_EQ(Value::array().dump(2), "[]");
+}
+
+TEST(JsonParse, BasicDocument)
+{
+    auto v = Value::parse(R"({"a": [1, -2, 3.5], "b": {"c": null}})");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ((*v)["a"][1].asInt(), -2);
+    EXPECT_DOUBLE_EQ((*v)["a"][2].asDouble(), 3.5);
+    EXPECT_TRUE((*v)["b"]["c"].isNull());
+}
+
+TEST(JsonParse, WhitespaceTolerant)
+{
+    auto v = Value::parse(" \n\t { \"k\" : [ ] } \r\n");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->find("k")->isArray());
+}
+
+TEST(JsonParse, UnicodeEscape)
+{
+    auto v = Value::parse(R"("Aé€")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asString(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParse, RejectsMalformed)
+{
+    std::string err;
+    EXPECT_FALSE(Value::parse("{", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(Value::parse("[1,]").has_value());
+    EXPECT_FALSE(Value::parse("{\"a\":1,}").has_value());
+    EXPECT_FALSE(Value::parse("tru").has_value());
+    EXPECT_FALSE(Value::parse("\"abc").has_value());
+    EXPECT_FALSE(Value::parse("1 2").has_value());
+    EXPECT_FALSE(Value::parse("-").has_value());
+    EXPECT_FALSE(Value::parse("").has_value());
+}
+
+TEST(JsonParse, DeepNestingIsBounded)
+{
+    std::string doc(1000, '[');
+    doc += std::string(1000, ']');
+    EXPECT_FALSE(Value::parse(doc).has_value());
+}
+
+TEST(JsonParse, BigUintOverflowFallsBackToDouble)
+{
+    auto v = Value::parse("99999999999999999999999999");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->isNumber());
+    EXPECT_GT(v->asDouble(), 9.9e24);
+}
+
+TEST(JsonEquality, StructuralAndNumeric)
+{
+    EXPECT_EQ(Value(1), Value(1u));
+    EXPECT_EQ(Value(2.0), Value(2));
+    EXPECT_NE(Value(-1), Value(18446744073709551615ull));
+    EXPECT_EQ(Value::object({{"a", 1}}), Value::object({{"a", 1}}));
+    EXPECT_NE(Value::object({{"a", 1}}), Value::object({{"a", 2}}));
+}
+
+TEST(JsonRoundTrip, DumpParseDump)
+{
+    Value v = Value::object({
+        {"metadata", Value::object({{"simulator", "MBPlib std simulator"},
+                                    {"simulation_instr", 1283944652ull}})},
+        {"metrics", Value::object({{"mpki", 3.312043080187229},
+                                   {"accuracy", 0.973891378192002}})},
+        {"most_failed", Value::array({Value::object({{"ip", 1995000000ull}})})},
+    });
+    auto round = Value::parse(v.dump());
+    ASSERT_TRUE(round.has_value());
+    EXPECT_EQ(*round, v);
+    EXPECT_EQ(round->dump(), v.dump());
+    // Pretty output parses back to the same value too.
+    auto pretty = Value::parse(v.dump(4));
+    ASSERT_TRUE(pretty.has_value());
+    EXPECT_EQ(*pretty, v);
+}
+
+TEST(JsonParse, RandomGarbageNeverCrashes)
+{
+    // Feed random byte soup and mutated valid documents to the parser; it
+    // must always return cleanly (value or nullopt), never crash or hang.
+    std::mt19937 rng(17);
+    const std::string valid =
+        R"({"a":[1,2,{"b":null,"c":"x\n"}],"d":-3.5e2,"e":true})";
+    for (int round = 0; round < 500; ++round) {
+        std::string doc;
+        if (round % 2 == 0) {
+            std::size_t n = rng() % 64;
+            for (std::size_t i = 0; i < n; ++i)
+                doc.push_back(static_cast<char>(rng() % 256));
+        } else {
+            doc = valid;
+            std::size_t pos = rng() % doc.size();
+            switch (rng() % 3) {
+              case 0: doc[pos] = static_cast<char>(rng() % 256); break;
+              case 1: doc.erase(pos, 1); break;
+              default: doc.insert(pos, 1,
+                                  static_cast<char>(rng() % 256));
+                break;
+            }
+        }
+        auto parsed = Value::parse(doc);
+        if (parsed.has_value()) {
+            // Whatever parsed must re-serialize and re-parse stably.
+            auto again = Value::parse(parsed->dump());
+            ASSERT_TRUE(again.has_value());
+            EXPECT_EQ(*again, *parsed);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the extended simulation APIs: the multi-trace suite driver
+ * and the stats-collection switch.
+ */
+#include "mbp/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "mbp/predictors/bimodal.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/sbbt/writer.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+using namespace mbp;
+
+namespace
+{
+
+std::string
+writeTrace(const std::string &name, std::uint64_t seed,
+           std::uint64_t num_instr)
+{
+    std::string path = testing::TempDir() + "/" + name;
+    tracegen::WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_instr = num_instr;
+    sbbt::SbbtWriter writer(path);
+    tracegen::TraceGenerator gen(spec);
+    tracegen::TraceEvent ev;
+    while (gen.next(ev))
+        EXPECT_TRUE(writer.append(ev.branch, ev.instr_gap));
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return path;
+}
+
+} // namespace
+
+TEST(SimulateSuite, AggregatesAcrossTraces)
+{
+    std::vector<std::string> traces = {
+        writeTrace("suite_a.sbbt", 1, 200'000),
+        writeTrace("suite_b.sbbt", 2, 300'000),
+        writeTrace("suite_c.sbbt", 3, 150'000),
+    };
+    SimArgs args;
+    json_t result = simulateSuite(
+        [] { return std::make_unique<pred::Gshare<12, 14>>(); }, traces,
+        args);
+
+    const json_t &summary = *result.find("summary");
+    EXPECT_EQ(summary.find("num_traces")->asUint(), 3u);
+    EXPECT_EQ(summary.find("failed_traces")->asUint(), 0u);
+    EXPECT_EQ(result.find("traces")->size(), 3u);
+
+    // The aggregate equals the per-trace numbers.
+    double mpki_sum = 0.0;
+    std::uint64_t misp = 0, instr = 0;
+    for (const auto &trace : result.find("traces")->elements()) {
+        mpki_sum += trace.find("metrics")->find("mpki")->asDouble();
+        misp += trace.find("metrics")->find("mispredictions")->asUint();
+        instr += trace.find("metadata")->find("simulation_instr")->asUint();
+    }
+    EXPECT_DOUBLE_EQ(summary.find("amean_mpki")->asDouble(),
+                     mpki_sum / 3.0);
+    EXPECT_EQ(summary.find("total_mispredictions")->asUint(), misp);
+    EXPECT_EQ(summary.find("total_instructions")->asUint(), instr);
+    EXPECT_GT(instr, 600'000u);
+
+    // Each trace got a *fresh* predictor: re-running a single trace alone
+    // gives the same mispredictions as in the suite run.
+    pred::Gshare<12, 14> fresh;
+    SimArgs single;
+    single.trace_path = traces[1];
+    json_t alone = simulate(fresh, single);
+    EXPECT_EQ((*result.find("traces"))[1]
+                  .find("metrics")
+                  ->find("mispredictions")
+                  ->asUint(),
+              alone.find("metrics")->find("mispredictions")->asUint());
+
+    for (const auto &t : traces)
+        std::remove(t.c_str());
+}
+
+TEST(SimulateSuite, ReportsPerTraceErrors)
+{
+    std::vector<std::string> traces = {
+        writeTrace("suite_ok.sbbt", 5, 100'000),
+        "/nonexistent/missing.sbbt",
+    };
+    json_t result = simulateSuite(
+        [] { return std::make_unique<pred::Bimodal<12>>(); }, traces,
+        SimArgs{});
+    EXPECT_EQ(result.find("summary")->find("failed_traces")->asUint(), 1u);
+    EXPECT_TRUE((*result.find("traces"))[1].contains("error"));
+    std::remove(traces[0].c_str());
+}
+
+TEST(SimulateSuite, SuiteDocumentsAreCompact)
+{
+    std::vector<std::string> traces = {
+        writeTrace("suite_compact.sbbt", 9, 100'000)};
+    json_t result = simulateSuite(
+        [] { return std::make_unique<pred::Bimodal<12>>(); }, traces,
+        SimArgs{});
+    EXPECT_FALSE((*result.find("traces"))[0].contains("most_failed"));
+    std::remove(traces[0].c_str());
+}
+
+TEST(CollectMostFailed, DisablingDropsRankingButKeepsMetrics)
+{
+    std::string path = writeTrace("nostats.sbbt", 11, 300'000);
+    pred::Gshare<12, 14> with_stats;
+    pred::Gshare<12, 14> without_stats;
+    SimArgs args;
+    args.trace_path = path;
+    json_t full = simulate(with_stats, args);
+    args.collect_most_failed = false;
+    json_t lean = simulate(without_stats, args);
+
+    // Identical core metrics...
+    EXPECT_EQ(full.find("metrics")->find("mispredictions")->asUint(),
+              lean.find("metrics")->find("mispredictions")->asUint());
+    EXPECT_DOUBLE_EQ(full.find("metrics")->find("mpki")->asDouble(),
+                     lean.find("metrics")->find("mpki")->asDouble());
+    // ...but no ranking work was done.
+    EXPECT_GT(full.find("most_failed")->size(), 0u);
+    EXPECT_EQ(lean.find("most_failed")->size(), 0u);
+    EXPECT_EQ(lean.find("metrics")
+                  ->find("num_most_failed_branches")
+                  ->asUint(),
+              0u);
+    std::remove(path.c_str());
+}
+
+TEST(SimulateSuiteParallel, MatchesSequentialResults)
+{
+    std::vector<std::string> traces;
+    for (int i = 0; i < 5; ++i)
+        traces.push_back(writeTrace("par_" + std::to_string(i) + ".sbbt",
+                                    std::uint64_t(100 + i), 150'000));
+    auto factory = [] { return std::make_unique<pred::Gshare<12, 14>>(); };
+    json_t serial = simulateSuite(factory, traces, SimArgs{});
+    json_t parallel = simulateSuiteParallel(factory, traces, SimArgs{}, 4);
+
+    const json_t &ss = *serial.find("summary");
+    const json_t &ps = *parallel.find("summary");
+    EXPECT_EQ(ss.find("total_mispredictions")->asUint(),
+              ps.find("total_mispredictions")->asUint());
+    EXPECT_EQ(ss.find("total_instructions")->asUint(),
+              ps.find("total_instructions")->asUint());
+    EXPECT_DOUBLE_EQ(ss.find("amean_mpki")->asDouble(),
+                     ps.find("amean_mpki")->asDouble());
+    // Per-trace results arrive in trace order in both drivers.
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        EXPECT_EQ((*serial.find("traces"))[i]
+                      .find("metrics")
+                      ->find("mispredictions")
+                      ->asUint(),
+                  (*parallel.find("traces"))[i]
+                      .find("metrics")
+                      ->find("mispredictions")
+                      ->asUint())
+            << i;
+    }
+    for (const auto &t : traces)
+        std::remove(t.c_str());
+}
+
+TEST(SimulateSuiteParallel, OneThreadFallsBackToSequential)
+{
+    std::vector<std::string> traces = {
+        writeTrace("par_single.sbbt", 77, 100'000)};
+    auto factory = [] { return std::make_unique<pred::Bimodal<12>>(); };
+    json_t result = simulateSuiteParallel(factory, traces, SimArgs{}, 1);
+    EXPECT_EQ(result.find("summary")->find("num_traces")->asUint(), 1u);
+    std::remove(traces[0].c_str());
+}
+
+// ---------------------------------------------------------------------
+// Golden determinism guard
+// ---------------------------------------------------------------------
+
+TEST(Golden, PinnedWorkloadAndPredictorResults)
+{
+    // Pins the exact misprediction counts of two predictors on a fixed
+    // synthetic workload. This is a tripwire for *unintended* behavior
+    // changes in the generator, the trace pipeline or the predictors: if
+    // you change any of them deliberately, re-run and update the pinned
+    // numbers (they are not meaningful in themselves).
+    std::string path = writeTrace("golden.sbbt", 20260705, 500'000);
+    auto run = [&](Predictor &p) {
+        SimArgs args;
+        args.trace_path = path;
+        json_t r = simulate(p, args);
+        return r.find("metrics")->find("mispredictions")->asUint();
+    };
+    pred::Bimodal<14> bimodal;
+    pred::Gshare<12, 14> gshare;
+    std::uint64_t bimodal_misp = run(bimodal);
+    std::uint64_t gshare_misp = run(gshare);
+    // Determinism: identical re-runs.
+    pred::Bimodal<14> bimodal2;
+    pred::Gshare<12, 14> gshare2;
+    EXPECT_EQ(run(bimodal2), bimodal_misp);
+    EXPECT_EQ(run(gshare2), gshare_misp);
+    // Golden values (update deliberately, never to silence a failure you
+    // do not understand):
+    EXPECT_EQ(bimodal_misp, 10720u);
+    EXPECT_EQ(gshare_misp, 7901u);
+    std::remove(path.c_str());
+}
