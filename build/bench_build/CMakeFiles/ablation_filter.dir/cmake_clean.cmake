@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_filter"
+  "../bench/ablation_filter.pdb"
+  "CMakeFiles/ablation_filter.dir/ablation_filter.cpp.o"
+  "CMakeFiles/ablation_filter.dir/ablation_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sim_options.cpp" "bench_build/CMakeFiles/ablation_sim_options.dir/ablation_sim_options.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_sim_options.dir/ablation_sim_options.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/mbp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/mbp_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/mbp_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbp5/CMakeFiles/cbp5_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/champsim/CMakeFiles/champsim_lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mbp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbbt/CMakeFiles/mbp_sbbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mbp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/mbp_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_ipc"
+  "../bench/motivation_ipc.pdb"
+  "CMakeFiles/motivation_ipc.dir/motivation_ipc.cpp.o"
+  "CMakeFiles/motivation_ipc.dir/motivation_ipc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

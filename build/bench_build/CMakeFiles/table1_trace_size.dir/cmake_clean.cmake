@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_trace_size"
+  "../bench/table1_trace_size.pdb"
+  "CMakeFiles/table1_trace_size.dir/table1_trace_size.cpp.o"
+  "CMakeFiles/table1_trace_size.dir/table1_trace_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trace_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

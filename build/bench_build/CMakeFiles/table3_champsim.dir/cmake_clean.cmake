@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_champsim"
+  "../bench/table3_champsim.pdb"
+  "CMakeFiles/table3_champsim.dir/table3_champsim.cpp.o"
+  "CMakeFiles/table3_champsim.dir/table3_champsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_champsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

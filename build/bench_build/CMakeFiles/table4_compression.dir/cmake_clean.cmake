@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_compression"
+  "../bench/table4_compression.pdb"
+  "CMakeFiles/table4_compression.dir/table4_compression.cpp.o"
+  "CMakeFiles/table4_compression.dir/table4_compression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/championship.dir/championship.cpp.o"
+  "CMakeFiles/championship.dir/championship.cpp.o.d"
+  "championship"
+  "championship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/championship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison.dir/comparison.cpp.o"
+  "CMakeFiles/comparison.dir/comparison.cpp.o.d"
+  "comparison"
+  "comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_search.dir/design_space_search.cpp.o"
+  "CMakeFiles/design_space_search.dir/design_space_search.cpp.o.d"
+  "design_space_search"
+  "design_space_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

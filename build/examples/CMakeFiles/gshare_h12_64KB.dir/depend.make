@@ -1,0 +1,2 @@
+# Empty dependencies file for gshare_h12_64KB.
+# This may be replaced when dependencies are built.

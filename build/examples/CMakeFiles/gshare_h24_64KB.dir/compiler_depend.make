@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gshare_h24_64KB.
+# This may be replaced when dependencies are built.

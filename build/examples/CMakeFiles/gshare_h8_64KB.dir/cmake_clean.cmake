@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gshare_h8_64KB.dir/gshare_param.cpp.o"
+  "CMakeFiles/gshare_h8_64KB.dir/gshare_param.cpp.o.d"
+  "gshare_h8_64KB"
+  "gshare_h8_64KB.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gshare_h8_64KB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

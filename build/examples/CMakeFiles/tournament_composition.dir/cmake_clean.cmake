@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tournament_composition.dir/tournament_composition.cpp.o"
+  "CMakeFiles/tournament_composition.dir/tournament_composition.cpp.o.d"
+  "tournament_composition"
+  "tournament_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tournament_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

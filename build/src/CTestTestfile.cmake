@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("json")
+subdirs("compress")
+subdirs("sbbt")
+subdirs("utils")
+subdirs("sim")
+subdirs("predictors")
+subdirs("cbp5")
+subdirs("champsim")
+subdirs("tracegen")
+subdirs("tools")

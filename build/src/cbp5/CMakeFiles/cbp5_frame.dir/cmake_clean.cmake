@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp5_frame.dir/framework.cpp.o"
+  "CMakeFiles/cbp5_frame.dir/framework.cpp.o.d"
+  "CMakeFiles/cbp5_frame.dir/trace.cpp.o"
+  "CMakeFiles/cbp5_frame.dir/trace.cpp.o.d"
+  "libcbp5_frame.a"
+  "libcbp5_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp5_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

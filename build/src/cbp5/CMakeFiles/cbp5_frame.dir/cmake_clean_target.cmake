@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbp5_frame.a"
+)

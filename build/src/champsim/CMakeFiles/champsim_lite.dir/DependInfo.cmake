@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/champsim/branch_unit.cpp" "src/champsim/CMakeFiles/champsim_lite.dir/branch_unit.cpp.o" "gcc" "src/champsim/CMakeFiles/champsim_lite.dir/branch_unit.cpp.o.d"
+  "/root/repo/src/champsim/cache.cpp" "src/champsim/CMakeFiles/champsim_lite.dir/cache.cpp.o" "gcc" "src/champsim/CMakeFiles/champsim_lite.dir/cache.cpp.o.d"
+  "/root/repo/src/champsim/core.cpp" "src/champsim/CMakeFiles/champsim_lite.dir/core.cpp.o" "gcc" "src/champsim/CMakeFiles/champsim_lite.dir/core.cpp.o.d"
+  "/root/repo/src/champsim/trace.cpp" "src/champsim/CMakeFiles/champsim_lite.dir/trace.cpp.o" "gcc" "src/champsim/CMakeFiles/champsim_lite.dir/trace.cpp.o.d"
+  "/root/repo/src/champsim/trace_synth.cpp" "src/champsim/CMakeFiles/champsim_lite.dir/trace_synth.cpp.o" "gcc" "src/champsim/CMakeFiles/champsim_lite.dir/trace_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/mbp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbbt/CMakeFiles/mbp_sbbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/mbp_utils.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mbp_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

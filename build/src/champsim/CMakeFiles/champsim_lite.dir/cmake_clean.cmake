@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/champsim_lite.dir/branch_unit.cpp.o"
+  "CMakeFiles/champsim_lite.dir/branch_unit.cpp.o.d"
+  "CMakeFiles/champsim_lite.dir/cache.cpp.o"
+  "CMakeFiles/champsim_lite.dir/cache.cpp.o.d"
+  "CMakeFiles/champsim_lite.dir/core.cpp.o"
+  "CMakeFiles/champsim_lite.dir/core.cpp.o.d"
+  "CMakeFiles/champsim_lite.dir/trace.cpp.o"
+  "CMakeFiles/champsim_lite.dir/trace.cpp.o.d"
+  "CMakeFiles/champsim_lite.dir/trace_synth.cpp.o"
+  "CMakeFiles/champsim_lite.dir/trace_synth.cpp.o.d"
+  "libchampsim_lite.a"
+  "libchampsim_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/champsim_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_compress.dir/flz.cpp.o"
+  "CMakeFiles/mbp_compress.dir/flz.cpp.o.d"
+  "CMakeFiles/mbp_compress.dir/streams.cpp.o"
+  "CMakeFiles/mbp_compress.dir/streams.cpp.o.d"
+  "libmbp_compress.a"
+  "libmbp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

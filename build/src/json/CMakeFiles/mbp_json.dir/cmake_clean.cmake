@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_json.dir/json.cpp.o"
+  "CMakeFiles/mbp_json.dir/json.cpp.o.d"
+  "libmbp_json.a"
+  "libmbp_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_predictors.dir/batage.cpp.o"
+  "CMakeFiles/mbp_predictors.dir/batage.cpp.o.d"
+  "CMakeFiles/mbp_predictors.dir/roster.cpp.o"
+  "CMakeFiles/mbp_predictors.dir/roster.cpp.o.d"
+  "CMakeFiles/mbp_predictors.dir/tage.cpp.o"
+  "CMakeFiles/mbp_predictors.dir/tage.cpp.o.d"
+  "libmbp_predictors.a"
+  "libmbp_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sbbt/format.cpp" "src/sbbt/CMakeFiles/mbp_sbbt.dir/format.cpp.o" "gcc" "src/sbbt/CMakeFiles/mbp_sbbt.dir/format.cpp.o.d"
+  "/root/repo/src/sbbt/reader.cpp" "src/sbbt/CMakeFiles/mbp_sbbt.dir/reader.cpp.o" "gcc" "src/sbbt/CMakeFiles/mbp_sbbt.dir/reader.cpp.o.d"
+  "/root/repo/src/sbbt/writer.cpp" "src/sbbt/CMakeFiles/mbp_sbbt.dir/writer.cpp.o" "gcc" "src/sbbt/CMakeFiles/mbp_sbbt.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/mbp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

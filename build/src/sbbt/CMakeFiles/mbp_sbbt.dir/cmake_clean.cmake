@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_sbbt.dir/format.cpp.o"
+  "CMakeFiles/mbp_sbbt.dir/format.cpp.o.d"
+  "CMakeFiles/mbp_sbbt.dir/reader.cpp.o"
+  "CMakeFiles/mbp_sbbt.dir/reader.cpp.o.d"
+  "CMakeFiles/mbp_sbbt.dir/writer.cpp.o"
+  "CMakeFiles/mbp_sbbt.dir/writer.cpp.o.d"
+  "libmbp_sbbt.a"
+  "libmbp_sbbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_sbbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

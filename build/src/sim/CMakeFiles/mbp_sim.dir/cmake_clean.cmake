@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mbp_sim.dir/simulator.cpp.o.d"
+  "libmbp_sim.a"
+  "libmbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

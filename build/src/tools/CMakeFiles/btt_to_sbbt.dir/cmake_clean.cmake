@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btt_to_sbbt.dir/btt_to_sbbt.cpp.o"
+  "CMakeFiles/btt_to_sbbt.dir/btt_to_sbbt.cpp.o.d"
+  "btt_to_sbbt"
+  "btt_to_sbbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btt_to_sbbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

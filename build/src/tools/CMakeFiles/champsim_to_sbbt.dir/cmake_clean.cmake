@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/champsim_to_sbbt.dir/champsim_to_sbbt.cpp.o"
+  "CMakeFiles/champsim_to_sbbt.dir/champsim_to_sbbt.cpp.o.d"
+  "champsim_to_sbbt"
+  "champsim_to_sbbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/champsim_to_sbbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/mbp_corpus.dir/corpus.cpp.o.d"
+  "libmbp_corpus.a"
+  "libmbp_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_sim_cli.dir/mbp_sim_cli.cpp.o"
+  "CMakeFiles/mbp_sim_cli.dir/mbp_sim_cli.cpp.o.d"
+  "mbp_sim"
+  "mbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

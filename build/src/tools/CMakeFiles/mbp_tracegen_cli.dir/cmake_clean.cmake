@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_tracegen_cli.dir/mbp_tracegen_cli.cpp.o"
+  "CMakeFiles/mbp_tracegen_cli.dir/mbp_tracegen_cli.cpp.o.d"
+  "mbp_tracegen"
+  "mbp_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_tracegen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

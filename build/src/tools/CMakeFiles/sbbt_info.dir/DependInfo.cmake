@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/sbbt_info.cpp" "src/tools/CMakeFiles/sbbt_info.dir/sbbt_info.cpp.o" "gcc" "src/tools/CMakeFiles/sbbt_info.dir/sbbt_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sbbt/CMakeFiles/mbp_sbbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mbp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/mbp_utils.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mbp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

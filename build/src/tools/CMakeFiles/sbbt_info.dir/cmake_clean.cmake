@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbbt_info.dir/sbbt_info.cpp.o"
+  "CMakeFiles/sbbt_info.dir/sbbt_info.cpp.o.d"
+  "sbbt_info"
+  "sbbt_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbbt_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbbt_recompress.dir/sbbt_recompress.cpp.o"
+  "CMakeFiles/sbbt_recompress.dir/sbbt_recompress.cpp.o.d"
+  "sbbt_recompress"
+  "sbbt_recompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbbt_recompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

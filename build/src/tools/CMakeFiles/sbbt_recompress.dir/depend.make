@@ -1,0 +1,2 @@
+# Empty dependencies file for sbbt_recompress.
+# This may be replaced when dependencies are built.

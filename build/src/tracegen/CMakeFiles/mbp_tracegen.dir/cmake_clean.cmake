@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_tracegen.dir/generator.cpp.o"
+  "CMakeFiles/mbp_tracegen.dir/generator.cpp.o.d"
+  "CMakeFiles/mbp_tracegen.dir/suite.cpp.o"
+  "CMakeFiles/mbp_tracegen.dir/suite.cpp.o.d"
+  "libmbp_tracegen.a"
+  "libmbp_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

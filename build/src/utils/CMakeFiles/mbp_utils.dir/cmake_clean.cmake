@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_utils.dir/utils.cpp.o"
+  "CMakeFiles/mbp_utils.dir/utils.cpp.o.d"
+  "libmbp_utils.a"
+  "libmbp_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp5_test.dir/cbp5_test.cpp.o"
+  "CMakeFiles/cbp5_test.dir/cbp5_test.cpp.o.d"
+  "cbp5_test"
+  "cbp5_test.pdb"
+  "cbp5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/champsim_test.dir/champsim_test.cpp.o"
+  "CMakeFiles/champsim_test.dir/champsim_test.cpp.o.d"
+  "champsim_test"
+  "champsim_test.pdb"
+  "champsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/champsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

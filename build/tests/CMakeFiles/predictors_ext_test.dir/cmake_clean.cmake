@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictors_ext_test.dir/predictors_ext_test.cpp.o"
+  "CMakeFiles/predictors_ext_test.dir/predictors_ext_test.cpp.o.d"
+  "predictors_ext_test"
+  "predictors_ext_test.pdb"
+  "predictors_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictors_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbbt_test.dir/sbbt_test.cpp.o"
+  "CMakeFiles/sbbt_test.dir/sbbt_test.cpp.o.d"
+  "sbbt_test"
+  "sbbt_test.pdb"
+  "sbbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracegen_test.dir/tracegen_test.cpp.o"
+  "CMakeFiles/tracegen_test.dir/tracegen_test.cpp.o.d"
+  "tracegen_test"
+  "tracegen_test.pdb"
+  "tracegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

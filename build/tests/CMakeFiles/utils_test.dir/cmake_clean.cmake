@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utils_test.dir/utils_test.cpp.o"
+  "CMakeFiles/utils_test.dir/utils_test.cpp.o.d"
+  "utils_test"
+  "utils_test.pdb"
+  "utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

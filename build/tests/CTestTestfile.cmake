@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/sbbt_test[1]_include.cmake")
+include("/root/repo/build/tests/utils_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/tracegen_test[1]_include.cmake")
+include("/root/repo/build/tests/predictors_test[1]_include.cmake")
+include("/root/repo/build/tests/cbp5_test[1]_include.cmake")
+include("/root/repo/build/tests/champsim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/predictors_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
