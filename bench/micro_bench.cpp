@@ -8,12 +8,15 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <random>
 
 #include "bench_predictors.hpp"
 #include "mbp/compress/flz.hpp"
 #include "mbp/compress/streams.hpp"
 #include "mbp/sbbt/format.hpp"
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/sbbt/writer.hpp"
 #include "mbp/tracegen/generator.hpp"
 #include "mbp/utils/flat_hash_map.hpp"
 #include "mbp/utils/hash.hpp"
@@ -144,6 +147,80 @@ BM_GzipRoundTripDecompress(benchmark::State &state)
                             static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_GzipRoundTripDecompress);
+
+/**
+ * On-disk compressed trace for the end-to-end pipeline benchmark. Built
+ * lazily on first use: a count pass (compressed SBBT needs the header
+ * counts up front), then a streaming write. ~14M branches from a 70M
+ * instruction workload, so one benchmark iteration decompresses and
+ * decodes roughly 220 MB of packet data.
+ */
+const std::string &
+pipelineTracePath()
+{
+    static const std::string path = [] {
+        tracegen::WorkloadSpec spec;
+        spec.name = "pipeline";
+        spec.seed = 13;
+        spec.num_instr = 70'000'000;
+        std::uint64_t instr = 0, branches = 0;
+        {
+            tracegen::TraceGenerator gen(spec);
+            tracegen::TraceEvent ev;
+            while (gen.next(ev)) {
+                instr += ev.instr_gap + 1;
+                ++branches;
+            }
+        }
+        sbbt::Header header;
+        header.instruction_count = instr;
+        header.branch_count = branches;
+        std::string p = (std::filesystem::temp_directory_path() /
+                         "mbp_pipeline_bench.sbbt.flz")
+                            .string();
+        sbbt::SbbtWriter writer(p, header, 1);
+        tracegen::TraceGenerator gen(spec);
+        tracegen::TraceEvent ev;
+        while (gen.next(ev))
+            writer.append(ev.branch, ev.instr_gap);
+        writer.close();
+        return p;
+    }();
+    return path;
+}
+
+/**
+ * The full trace-read pipeline: open, decompress, decode, iterate.
+ * range(0) is the reader block size in packets (1 = the seed
+ * packet-at-a-time path), range(1) enables the prefetch thread.
+ * items/s == branches/s, the number quoted by docs/FORMATS.md.
+ */
+void
+BM_SbbtTracePipeline(benchmark::State &state)
+{
+    const std::string &path = pipelineTracePath();
+    sbbt::ReaderOptions options;
+    options.block_packets = static_cast<std::size_t>(state.range(0));
+    options.prefetch = state.range(1) != 0;
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        sbbt::SbbtReader reader(path, options);
+        sbbt::PacketData p;
+        std::uint64_t n = 0;
+        while (reader.next(p))
+            ++n;
+        branches = n;
+        benchmark::DoNotOptimize(reader.instrNumber());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(branches));
+    state.counters["branches"] = static_cast<double>(branches);
+}
+BENCHMARK(BM_SbbtTracePipeline)
+    ->Args({1, 0})    // seed packet-at-a-time reader
+    ->Args({4096, 0}) // block-decoded
+    ->Args({4096, 1}) // block-decoded + prefetch thread
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_XorFold(benchmark::State &state)

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Background-thread read-ahead for trace decompression.
+ *
+ * Decompression (gzip inflate, FLZ block decode) is CPU work that the seed
+ * trace pipeline performed inline with prediction, serializing the two. A
+ * PrefetchSource wraps any ByteSource and moves that work onto a dedicated
+ * worker thread: while the simulator consumes block N out of one slot of a
+ * two-slot ring, the worker decompresses block N+1 into the other. The
+ * consumer-visible behavior (byte sequence, end-of-stream, failure flag) is
+ * identical to reading the inner source directly.
+ */
+#ifndef MBP_COMPRESS_PREFETCH_HPP
+#define MBP_COMPRESS_PREFETCH_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "mbp/compress/streams.hpp"
+
+namespace mbp::compress
+{
+
+/**
+ * Double-buffered read-ahead wrapper around a ByteSource.
+ *
+ * The worker thread fills 2 slots of @p block_size bytes round-robin and
+ * hands them to the consumer through a condition-variable protocol; it
+ * exits as soon as the inner source reports end of stream (or the
+ * destructor requests shutdown, which joins the thread before the inner
+ * source is released). Decoding errors of the inner source are latched and
+ * reported through failed() exactly like a synchronous read would.
+ *
+ * Not thread-safe on the consumer side: read()/failed()/stallSeconds()
+ * must be called from one thread (the usual InStream discipline).
+ */
+class PrefetchSource : public ByteSource
+{
+  public:
+    /** Default per-slot buffer size. */
+    static constexpr std::size_t kDefaultBlockSize = 1 << 20;
+
+    /**
+     * Starts the worker thread.
+     *
+     * @param inner      Source whose read() (i.e. decompression) should run
+     *                   in the background.
+     * @param block_size Bytes per ring slot (clamped to at least 4 KiB).
+     */
+    explicit PrefetchSource(std::unique_ptr<ByteSource> inner,
+                            std::size_t block_size = kDefaultBlockSize);
+
+    /** Requests shutdown and joins the worker. */
+    ~PrefetchSource() override;
+
+    PrefetchSource(const PrefetchSource &) = delete;
+    PrefetchSource &operator=(const PrefetchSource &) = delete;
+
+    std::size_t read(void *dst, std::size_t size) override;
+
+    /** @return Whether the inner source reported corruption. */
+    bool
+    failed() const override
+    {
+        return failed_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * @return Seconds the consumer spent blocked waiting for the worker —
+     *         the residual serialization left after overlapping
+     *         decompression with consumption.
+     */
+    double stallSeconds() const { return stall_seconds_; }
+
+    /** @return Bytes delivered to the consumer so far. */
+    std::uint64_t bytesProduced() const { return bytes_produced_; }
+
+  private:
+    struct Slot
+    {
+        std::vector<std::uint8_t> data;
+        std::size_t size = 0;
+    };
+
+    void workerLoop();
+
+    std::unique_ptr<ByteSource> inner_;
+    Slot slots_[2];
+
+    std::mutex mutex_;
+    std::condition_variable can_produce_;
+    std::condition_variable can_consume_;
+    std::uint64_t produced_ = 0; // slots filled, monotonic
+    std::uint64_t consumed_ = 0; // slots released, monotonic
+    bool eof_ = false;           // worker hit end of inner stream
+    bool stop_ = false;          // destructor requested shutdown
+    std::atomic<bool> failed_{false};
+
+    // Consumer-side state, untouched by the worker.
+    std::size_t pos_ = 0;
+    bool have_slot_ = false;
+    double stall_seconds_ = 0.0;
+    std::uint64_t bytes_produced_ = 0;
+
+    std::thread worker_;
+};
+
+} // namespace mbp::compress
+
+#endif // MBP_COMPRESS_PREFETCH_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * PrefetchSource implementation: a single producer (the worker thread,
+ * which owns the inner source's read side) and a single consumer exchange
+ * two fixed slots through a mutex + two condition variables. Slot payloads
+ * are only touched by the thread that currently owns the slot; ownership
+ * transfers happen-before via the mutex around the produced_/consumed_
+ * counters.
+ */
+#include "mbp/compress/prefetch.hpp"
+
+#include <chrono>
+
+namespace mbp::compress
+{
+
+PrefetchSource::PrefetchSource(std::unique_ptr<ByteSource> inner,
+                               std::size_t block_size)
+    : inner_(std::move(inner))
+{
+    block_size = std::max<std::size_t>(block_size, 4096);
+    for (Slot &slot : slots_)
+        slot.data.resize(block_size);
+    if (!inner_) {
+        eof_ = true;
+        return;
+    }
+    worker_ = std::thread(&PrefetchSource::workerLoop, this);
+}
+
+PrefetchSource::~PrefetchSource()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    can_produce_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+void
+PrefetchSource::workerLoop()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            can_produce_.wait(
+                lock, [this] { return stop_ || produced_ - consumed_ < 2; });
+            if (stop_)
+                return;
+        }
+        // The slot is owned by the worker until ++produced_ below.
+        Slot &slot = slots_[produced_ % 2];
+        std::size_t filled = 0;
+        bool end = false;
+        while (filled < slot.data.size()) {
+            std::size_t n = inner_->read(slot.data.data() + filled,
+                                         slot.data.size() - filled);
+            if (n == 0) {
+                end = true;
+                break;
+            }
+            filled += n;
+        }
+        if (inner_->failed())
+            failed_.store(true, std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            slot.size = filled;
+            ++produced_;
+            if (end)
+                eof_ = true;
+        }
+        can_consume_.notify_one();
+        if (end)
+            return;
+    }
+}
+
+std::size_t
+PrefetchSource::read(void *dst, std::size_t size)
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    std::size_t total = 0;
+    while (total < size) {
+        if (!have_slot_) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (produced_ == consumed_) {
+                if (eof_)
+                    break;
+                auto wait_start = std::chrono::steady_clock::now();
+                can_consume_.wait(lock, [this] {
+                    return produced_ > consumed_ || eof_;
+                });
+                stall_seconds_ += std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      wait_start)
+                                      .count();
+                if (produced_ == consumed_)
+                    break; // end of stream, nothing pending
+            }
+            have_slot_ = true;
+            pos_ = 0;
+        }
+        Slot &slot = slots_[consumed_ % 2];
+        std::size_t n = std::min(size - total, slot.size - pos_);
+        std::memcpy(out + total, slot.data.data() + pos_, n);
+        pos_ += n;
+        total += n;
+        if (pos_ == slot.size) {
+            have_slot_ = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++consumed_;
+            }
+            can_produce_.notify_one();
+        }
+    }
+    bytes_produced_ += total;
+    return total;
+}
+
+} // namespace mbp::compress

@@ -97,8 +97,9 @@ class GzipSource : public ByteSource
             if (strm_.avail_in == 0) {
                 std::size_t n = inner_->read(in_buf_.data(), in_buf_.size());
                 if (n == 0) {
-                    if (strm_.avail_out == size)
-                        failed_ = true; // truncated stream
+                    // Input ended before Z_STREAM_END: the stream is
+                    // truncated even if this call already produced bytes.
+                    failed_ = true;
                     break;
                 }
                 strm_.next_in = in_buf_.data();
@@ -291,6 +292,14 @@ class FlzSource : public ByteSource
         std::uint32_t comp_size = decode32(hdr + 4);
         if (raw_size == 0) {
             done_ = true;
+            return false;
+        }
+        // Corrupt headers must not drive allocations: no legal frame has
+        // blocks beyond the v2 block size, nor a compressed payload larger
+        // than the worst-case encoding of its declared raw size.
+        if (raw_size > kFlz2BlockSize ||
+            comp_size > flzCompressBound(raw_size)) {
+            failed_ = true;
             return false;
         }
         raw_.resize(raw_size);

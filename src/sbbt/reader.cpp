@@ -1,24 +1,42 @@
 /**
  * @file
  * SbbtReader implementation.
+ *
+ * The reader decodes the trace in blocks: one InStream::read pulls
+ * block_packets * kPacketSize bytes, every complete packet is decoded into
+ * block_ up front, and next() hands them out by index. Errors discovered
+ * while refilling (truncated tail, invalid packet) are parked in
+ * pending_error_ so that every packet preceding the error is still
+ * delivered first, matching the packet-at-a-time semantics bit for bit.
  */
 #include "mbp/sbbt/reader.hpp"
+
+#include "mbp/compress/prefetch.hpp"
 
 namespace mbp::sbbt
 {
 
-SbbtReader::SbbtReader(const std::string &path)
+SbbtReader::SbbtReader(const std::string &path, const ReaderOptions &options)
 {
-    input_ = compress::openInput(path);
-    if (!input_) {
+    auto source = compress::openSource(path);
+    if (!source) {
         error_ = "cannot open trace file: " + path;
         done_ = true;
         return;
     }
+    if (options.prefetch) {
+        auto prefetch = std::make_unique<compress::PrefetchSource>(
+            std::move(source), options.prefetch_block_bytes);
+        prefetch_ = prefetch.get();
+        source = std::move(prefetch);
+    }
+    input_ = std::make_unique<compress::InStream>(std::move(source));
+    initBlocks(options);
     readHeader();
 }
 
-SbbtReader::SbbtReader(std::unique_ptr<compress::InStream> input)
+SbbtReader::SbbtReader(std::unique_ptr<compress::InStream> input,
+                       const ReaderOptions &options)
     : input_(std::move(input))
 {
     if (!input_) {
@@ -26,7 +44,22 @@ SbbtReader::SbbtReader(std::unique_ptr<compress::InStream> input)
         done_ = true;
         return;
     }
+    initBlocks(options);
     readHeader();
+}
+
+void
+SbbtReader::initBlocks(const ReaderOptions &options)
+{
+    std::size_t block_packets = std::max<std::size_t>(options.block_packets, 1);
+    raw_.resize(block_packets * kPacketSize);
+    block_.resize(block_packets);
+}
+
+double
+SbbtReader::prefetchStallSeconds() const
+{
+    return prefetch_ ? prefetch_->stallSeconds() : 0.0;
 }
 
 void
@@ -38,17 +71,24 @@ SbbtReader::readHeader()
         done_ = true;
         return;
     }
+    bytes_read_ += kHeaderSize;
     if (!decodeHeader(bytes, header_, &error_))
         done_ = true;
 }
 
 bool
-SbbtReader::next(PacketData &out)
+SbbtReader::refill()
 {
     if (done_)
         return false;
-    std::uint8_t bytes[kPacketSize];
-    std::size_t n = input_->read(bytes, kPacketSize);
+    if (!pending_error_.empty()) {
+        error_ = std::move(pending_error_);
+        pending_error_.clear();
+        done_ = true;
+        return false;
+    }
+    std::size_t n = input_->read(raw_.data(), raw_.size());
+    bytes_read_ += n;
     if (n == 0) {
         done_ = true;
         if (input_->failed())
@@ -59,17 +99,29 @@ SbbtReader::next(PacketData &out)
                      std::to_string(branches_read_);
         return false;
     }
-    if (n != kPacketSize) {
+    // A short read means the stream ended: InStream::read only returns less
+    // than requested at end of input. A ragged tail is a truncated packet.
+    std::size_t full = n / kPacketSize;
+    if (n % kPacketSize != 0)
+        pending_error_ = "truncated SBBT packet";
+    std::size_t decoded = 0;
+    std::string decode_error;
+    for (; decoded < full; ++decoded) {
+        if (!decodePacket(raw_.data() + decoded * kPacketSize,
+                          block_[decoded], &decode_error)) {
+            // The invalid packet precedes any ragged tail in stream order.
+            pending_error_ = decode_error;
+            break;
+        }
+    }
+    block_pos_ = 0;
+    block_fill_ = decoded;
+    if (decoded == 0) {
+        error_ = std::move(pending_error_);
+        pending_error_.clear();
         done_ = true;
-        error_ = "truncated SBBT packet";
         return false;
     }
-    if (!decodePacket(bytes, out, &error_)) {
-        done_ = true;
-        return false;
-    }
-    ++branches_read_;
-    instr_number_ += out.instr_gap + 1; // gap plus the branch itself
     return true;
 }
 

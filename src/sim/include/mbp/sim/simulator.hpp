@@ -31,7 +31,7 @@ namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.5.0";
+inline constexpr const char *kMbpVersion = "v0.6.0";
 
 /** Parameters of a simulation run. */
 struct SimArgs
@@ -60,10 +60,30 @@ struct SimArgs
     /**
      * Collect per-branch statistics (the most_failed ranking and
      * num_most_failed_branches). Disabling removes the per-branch hash
-     * update from the hot loop for maximum simulation speed; see
+     * update from the hot loop for maximum simulation speed — and omits
+     * the `num_most_failed_branches` metric and the `most_failed` array
+     * from the result, since no meaningful value exists for them; see
      * bench/ablation_sim_options.
      */
     bool collect_most_failed = true;
+
+    /**
+     * Packets the trace reader decodes per refill (sbbt::ReaderOptions).
+     * The default block turns the per-packet virtual read of the seed
+     * pipeline into one bulk read per 64 KiB; 1 restores the seed
+     * packet-at-a-time behavior (useful for A/B measurement, see
+     * bench/micro_bench's trace-pipeline cases).
+     */
+    std::size_t reader_block_packets = 4096;
+
+    /**
+     * Decompress the trace on a background thread (two-slot ring,
+     * compress::PrefetchSource) so inflate/FLZ decode overlaps with
+     * prediction. Results are bit-identical with or without; only
+     * throughput changes. The residual serialization is reported as
+     * `prefetch_stall_seconds` in the result metrics.
+     */
+    bool prefetch = true;
 };
 
 /**

@@ -100,6 +100,31 @@ accuracyOf(std::uint64_t mispredictions, std::uint64_t executions)
                            static_cast<double>(executions);
 }
 
+sbbt::ReaderOptions
+readerOptions(const SimArgs &args)
+{
+    sbbt::ReaderOptions options;
+    options.block_packets = args.reader_block_packets;
+    options.prefetch = args.prefetch;
+    return options;
+}
+
+/**
+ * Appends the per-run throughput observability fields shared by both
+ * simulators to @p metrics.
+ */
+void
+addThroughputMetrics(json_t &metrics, const RunAccounting &acc,
+                     double seconds, const sbbt::SbbtReader &reader)
+{
+    metrics["simulation_time"] = seconds;
+    metrics["branches_per_second"] =
+        seconds > 0.0 ? static_cast<double>(acc.dynamic_branches) / seconds
+                      : 0.0;
+    metrics["decompressed_bytes"] = reader.decompressedBytes();
+    metrics["prefetch_stall_seconds"] = reader.prefetchStallSeconds();
+}
+
 /** Sorted (by primary misprediction count) snapshot of per-branch stats. */
 std::vector<std::pair<std::uint64_t, BranchStat>>
 sortedByMispredictions(const RunAccounting &acc)
@@ -124,7 +149,7 @@ json_t
 simulate(Predictor &predictor, const SimArgs &args)
 {
     constexpr const char *kName = "MBPlib std simulator";
-    sbbt::SbbtReader reader(args.trace_path);
+    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
     if (!reader.ok())
         return errorResult(kName, args, reader.error());
 
@@ -178,43 +203,50 @@ simulate(Predictor &predictor, const SimArgs &args)
     std::uint64_t simulation_instr =
         end_instr > args.warmup_instr ? end_instr - args.warmup_instr : 0;
 
-    // Rank branches; num_most_failed_branches is the minimum number of
-    // branches that account, on their own, for half of the mispredictions.
-    auto rows = sortedByMispredictions(acc);
-    std::uint64_t half = (acc.mispredictions_a + 1) / 2;
-    std::uint64_t running = 0;
-    std::size_t num_most_failed = 0;
-    while (num_most_failed < rows.size() && running < half)
-        running += rows[num_most_failed++].second.mispredictions_a;
-
-    json_t most_failed = json_t::array();
-    for (std::size_t i = 0;
-         i < std::min(num_most_failed, args.most_failed_cap); ++i) {
-        const auto &[ip, stat] = rows[i];
-        most_failed.push_back(json_t::object({
-            {"ip", ip},
-            {"occurrences", stat.occurrences},
-            {"mpki", mpkiOf(stat.mispredictions_a, simulation_instr)},
-            {"accuracy",
-             accuracyOf(stat.mispredictions_a, stat.occurrences)},
-        }));
-    }
-
     json_t result = json_t::object();
     result["metadata"] =
         makeMetadata(kName, args, simulation_instr, exhausted, acc);
     result["metadata"]["predictor"] = predictor.metadata_stats();
     if (std::uint64_t bits = predictor.storageBits(); bits != 0)
         result["metadata"]["predictor"]["storage_bits"] = bits;
-    result["metrics"] = json_t::object({
+    json_t metrics = json_t::object({
         {"mpki", mpkiOf(acc.mispredictions_a, simulation_instr)},
         {"mispredictions", acc.mispredictions_a},
         {"accuracy", accuracyOf(acc.mispredictions_a, acc.dynamic_cond)},
-        {"num_most_failed_branches", std::uint64_t(num_most_failed)},
-        {"simulation_time", seconds},
     });
+
+    // Rank branches; num_most_failed_branches is the minimum number of
+    // branches that account, on their own, for half of the mispredictions.
+    // Without per-branch collection the ranking has no data, so both the
+    // metric and the most_failed section are omitted entirely rather than
+    // reported as a misleading hard zero.
+    json_t most_failed = json_t::array();
+    if (args.collect_most_failed) {
+        auto rows = sortedByMispredictions(acc);
+        std::uint64_t half = (acc.mispredictions_a + 1) / 2;
+        std::uint64_t running = 0;
+        std::size_t num_most_failed = 0;
+        while (num_most_failed < rows.size() && running < half)
+            running += rows[num_most_failed++].second.mispredictions_a;
+        for (std::size_t i = 0;
+             i < std::min(num_most_failed, args.most_failed_cap); ++i) {
+            const auto &[ip, stat] = rows[i];
+            most_failed.push_back(json_t::object({
+                {"ip", ip},
+                {"occurrences", stat.occurrences},
+                {"mpki", mpkiOf(stat.mispredictions_a, simulation_instr)},
+                {"accuracy",
+                 accuracyOf(stat.mispredictions_a, stat.occurrences)},
+            }));
+        }
+        metrics["num_most_failed_branches"] = std::uint64_t(num_most_failed);
+    }
+
+    addThroughputMetrics(metrics, acc, seconds, reader);
+    result["metrics"] = std::move(metrics);
     result["predictor_statistics"] = predictor.execution_stats();
-    result["most_failed"] = std::move(most_failed);
+    if (args.collect_most_failed)
+        result["most_failed"] = std::move(most_failed);
     return result;
 }
 
@@ -322,7 +354,7 @@ json_t
 compare(Predictor &a, Predictor &b, const SimArgs &args)
 {
     constexpr const char *kName = "MBPlib comparison simulator";
-    sbbt::SbbtReader reader(args.trace_path);
+    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
     if (!reader.ok())
         return errorResult(kName, args, reader.error());
 
@@ -422,15 +454,16 @@ compare(Predictor &a, Predictor &b, const SimArgs &args)
         makeMetadata(kName, args, simulation_instr, exhausted, acc);
     result["metadata"]["predictor_0"] = a.metadata_stats();
     result["metadata"]["predictor_1"] = b.metadata_stats();
-    result["metrics"] = json_t::object({
+    json_t metrics = json_t::object({
         {"mpki_0", mpkiOf(acc.mispredictions_a, simulation_instr)},
         {"mpki_1", mpkiOf(acc.mispredictions_b, simulation_instr)},
         {"mispredictions_0", acc.mispredictions_a},
         {"mispredictions_1", acc.mispredictions_b},
         {"accuracy_0", accuracyOf(acc.mispredictions_a, acc.dynamic_cond)},
         {"accuracy_1", accuracyOf(acc.mispredictions_b, acc.dynamic_cond)},
-        {"simulation_time", seconds},
     });
+    addThroughputMetrics(metrics, acc, seconds, reader);
+    result["metrics"] = std::move(metrics);
     result["predictor_statistics_0"] = a.execution_stats();
     result["predictor_statistics_1"] = b.execution_stats();
     result["most_failed"] = std::move(most_failed);

@@ -7,9 +7,10 @@
  *
  * Usage:
  *   mbp_sim <predictor> <trace.sbbt[.gz|.flz]> [warmup_instr] [sim_instr]
- *   mbp_sim compare <pred_a> <pred_b> <trace>
+ *   mbp_sim compare <pred_a> <pred_b> <trace> [warmup_instr] [sim_instr]
  *   mbp_sim list
  */
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,12 +24,52 @@ namespace
 int
 usage(const char *prog)
 {
-    std::fprintf(stderr,
-                 "usage: %s <predictor> <trace> [warmup_instr] [sim_instr]\n"
-                 "       %s compare <pred_a> <pred_b> <trace>\n"
-                 "       %s list\n",
-                 prog, prog, prog);
+    std::fprintf(
+        stderr,
+        "usage: %s <predictor> <trace> [warmup_instr] [sim_instr]\n"
+        "       %s compare <pred_a> <pred_b> <trace> [warmup_instr] "
+        "[sim_instr]\n"
+        "       %s list\n",
+        prog, prog, prog);
     return 2;
+}
+
+/**
+ * Parses a non-negative decimal instruction count. Rejects empty strings,
+ * signs, trailing garbage and out-of-range values so that a typo runs
+ * nothing instead of silently running with a zero limit.
+ */
+bool
+parseCount(const char *text, std::uint64_t &out)
+{
+    if (text == nullptr || *text == '\0' || *text == '-' || *text == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+/** Parses the optional [warmup_instr] [sim_instr] tail into @p args. */
+bool
+parseLimits(int argc, char **argv, int first, mbp::SimArgs &args)
+{
+    for (int i = first; i < argc; ++i) {
+        std::uint64_t value = 0;
+        if (!parseCount(argv[i], value)) {
+            std::fprintf(stderr, "invalid instruction count '%s'\n",
+                         argv[i]);
+            return false;
+        }
+        if (i == first)
+            args.warmup_instr = value;
+        else
+            args.sim_instr = value;
+    }
+    return true;
 }
 
 } // namespace
@@ -42,7 +83,7 @@ main(int argc, char **argv)
         return 0;
     }
     if (argc >= 2 && std::strcmp(argv[1], "compare") == 0) {
-        if (argc != 5)
+        if (argc < 5 || argc > 7)
             return usage(argv[0]);
         auto a = mbp::pred::makeByName(argv[2]);
         auto b = mbp::pred::makeByName(argv[3]);
@@ -53,6 +94,8 @@ main(int argc, char **argv)
         }
         mbp::SimArgs args;
         args.trace_path = argv[4];
+        if (!parseLimits(argc, argv, 5, args))
+            return usage(argv[0]);
         mbp::json_t result = mbp::compare(*a, *b, args);
         std::printf("%s\n", result.dump(2).c_str());
         return result.contains("error") ? 1 : 0;
@@ -67,10 +110,8 @@ main(int argc, char **argv)
     }
     mbp::SimArgs args;
     args.trace_path = argv[2];
-    if (argc > 3)
-        args.warmup_instr = std::strtoull(argv[3], nullptr, 10);
-    if (argc > 4)
-        args.sim_instr = std::strtoull(argv[4], nullptr, 10);
+    if (!parseLimits(argc, argv, 3, args))
+        return usage(argv[0]);
     mbp::json_t result = mbp::simulate(*predictor, args);
     std::printf("%s\n", result.dump(2).c_str());
     return result.contains("error") ? 1 : 0;

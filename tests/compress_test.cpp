@@ -4,6 +4,7 @@
  * framed streams, gzip streams, buffered stream wrappers, codec sniffing.
  */
 #include "mbp/compress/flz.hpp"
+#include "mbp/compress/prefetch.hpp"
 #include "mbp/compress/streams.hpp"
 
 #include <gtest/gtest.h>
@@ -308,6 +309,192 @@ TEST(Gzip, DetectsTruncation)
         got += n;
     EXPECT_LT(got, data.size());
     EXPECT_TRUE(dec->failed());
+}
+
+TEST(Gzip, TruncationAfterPartialDecodeFailsImmediately)
+{
+    // The read call that hits the premature end of input must itself raise
+    // failed(), even though it already produced bytes: a consumer that
+    // checks failed() right after the short read (without issuing another)
+    // must not mistake the truncation for a clean EOF.
+    auto data = makeCompressibleData(200000, 17);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeGzipSink(std::move(mem), 6);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+    encoded.resize(encoded.size() / 2);
+
+    auto dec = compress::makeGzipSource(
+        std::make_unique<compress::MemorySource>(encoded.data(),
+                                                 encoded.size()));
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t got = dec->read(out.data(), out.size());
+    EXPECT_GT(got, 0u) << "half the stream should decode";
+    EXPECT_LT(got, data.size());
+    EXPECT_TRUE(dec->failed())
+        << "partial decode of a truncated stream must not look clean";
+}
+
+TEST(Gzip, TrailerTruncationDetected)
+{
+    // Cutting inside the 8-byte gzip trailer yields the complete payload
+    // but the stream never reaches Z_STREAM_END: still a truncation.
+    auto data = makeCompressibleData(50000, 19);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeGzipSink(std::move(mem), 6);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+    encoded.resize(encoded.size() - 4);
+
+    auto dec = compress::makeGzipSource(
+        std::make_unique<compress::MemorySource>(encoded.data(),
+                                                 encoded.size()));
+    // Slack beyond the payload so the drain loop polls the stream once
+    // more after the last payload byte and actually hits the cut trailer.
+    std::vector<std::uint8_t> out(data.size() + 64);
+    std::size_t got = 0, n;
+    while ((n = dec->read(out.data() + got, out.size() - got)) > 0)
+        got += n;
+    EXPECT_EQ(got, data.size()) << "payload itself decodes fully";
+    EXPECT_TRUE(dec->failed());
+}
+
+TEST(FlzFrame, TruncationAfterPartialDecodeFailsImmediately)
+{
+    // Same contract as gzip: the short read itself reports failed().
+    // FLZ2 blocks are 8 MiB of raw data, so the payload must span more
+    // than one block for a cut to leave a decodable prefix.
+    auto data = makeCompressibleData(20 << 20, 23);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeFlzSink(std::move(mem), -1);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+    encoded.resize(encoded.size() * 2 / 3);
+
+    auto dec = compress::makeFlzSource(
+        std::make_unique<compress::MemorySource>(encoded.data(),
+                                                 encoded.size()));
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t got = dec->read(out.data(), out.size());
+    EXPECT_GT(got, 0u);
+    EXPECT_LT(got, data.size());
+    EXPECT_TRUE(dec->failed());
+}
+
+TEST(FlzFrame, RejectsAbsurdBlockHeaders)
+{
+    // A corrupt block header must fail cleanly instead of driving a
+    // multi-gigabyte allocation.
+    auto craft = [](std::uint32_t raw_size, std::uint32_t comp_size) {
+        std::vector<std::uint8_t> frame = {'F', 'L', 'Z', '2'};
+        for (int shift = 0; shift < 32; shift += 8)
+            frame.push_back(std::uint8_t(raw_size >> shift));
+        for (int shift = 0; shift < 32; shift += 8)
+            frame.push_back(std::uint8_t(comp_size >> shift));
+        frame.resize(frame.size() + 64, 0xaa); // some payload bytes
+        return frame;
+    };
+    for (auto [raw_size, comp_size] :
+         {std::pair<std::uint32_t, std::uint32_t>{0xffffffffu, 100u},
+          {100u, 0xffffff00u},
+          {std::uint32_t(8 * 1024 * 1024 + 1), 0u}}) {
+        auto frame = craft(raw_size, comp_size);
+        auto dec = compress::makeFlzSource(
+            std::make_unique<compress::MemorySource>(frame.data(),
+                                                     frame.size()));
+        std::uint8_t buf[256];
+        EXPECT_EQ(dec->read(buf, sizeof buf), 0u);
+        EXPECT_TRUE(dec->failed())
+            << "raw_size=" << raw_size << " comp_size=" << comp_size;
+    }
+}
+
+TEST(Prefetch, RoundTripAcrossChunkSizes)
+{
+    auto data = makeCompressibleData(300000, 29);
+    for (std::size_t chunk : {std::size_t(1), std::size_t(777),
+                              std::size_t(65536), data.size()}) {
+        compress::PrefetchSource src(
+            std::make_unique<compress::MemorySource>(data.data(),
+                                                     data.size()),
+            8192);
+        std::vector<std::uint8_t> out;
+        std::vector<std::uint8_t> buf(chunk);
+        std::size_t n;
+        while ((n = src.read(buf.data(), buf.size())) > 0)
+            out.insert(out.end(), buf.data(), buf.data() + n);
+        EXPECT_EQ(out, data) << "chunk " << chunk;
+        EXPECT_FALSE(src.failed());
+        EXPECT_EQ(src.bytesProduced(), data.size());
+        EXPECT_GE(src.stallSeconds(), 0.0);
+        // Reads past the end keep returning 0.
+        EXPECT_EQ(src.read(buf.data(), buf.size()), 0u);
+    }
+}
+
+TEST(Prefetch, DecompressesGzipOnWorkerThread)
+{
+    auto data = makeCompressibleData(500000, 31);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeGzipSink(std::move(mem), 6);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+
+    compress::PrefetchSource src(
+        compress::makeGzipSource(std::make_unique<compress::MemorySource>(
+            encoded.data(), encoded.size())));
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t got = 0, n;
+    while ((n = src.read(out.data() + got, out.size() - got)) > 0)
+        got += n;
+    EXPECT_EQ(got, data.size());
+    EXPECT_EQ(out, data);
+    EXPECT_FALSE(src.failed());
+}
+
+TEST(Prefetch, PropagatesInnerCorruption)
+{
+    auto data = makeCompressibleData(400000, 37);
+    auto mem = std::make_unique<compress::MemorySink>();
+    auto *mem_raw = mem.get();
+    auto sink = compress::makeGzipSink(std::move(mem), 6);
+    ASSERT_TRUE(sink->write(data.data(), data.size()));
+    ASSERT_TRUE(sink->finish());
+    auto encoded = mem_raw->buffer();
+    encoded.resize(encoded.size() / 2);
+
+    compress::PrefetchSource src(
+        compress::makeGzipSource(std::make_unique<compress::MemorySource>(
+            encoded.data(), encoded.size())));
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t got = 0, n;
+    while ((n = src.read(out.data() + got, out.size() - got)) > 0)
+        got += n;
+    EXPECT_LT(got, data.size());
+    EXPECT_TRUE(src.failed());
+}
+
+TEST(Prefetch, DestructionWithoutDrainingJoinsCleanly)
+{
+    auto data = makeCompressibleData(1 << 20, 41);
+    for (int reads : {0, 1, 3}) {
+        compress::PrefetchSource src(
+            std::make_unique<compress::MemorySource>(data.data(),
+                                                     data.size()),
+            4096);
+        std::uint8_t buf[512];
+        for (int i = 0; i < reads; ++i)
+            src.read(buf, sizeof buf);
+        // Destructor must stop and join the worker without deadlocking.
+    }
 }
 
 TEST(Codec, FromPath)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <random>
 
 using namespace mbp;
@@ -71,6 +72,29 @@ randomPackets(std::size_t count, unsigned seed)
         }
     }
     return packets;
+}
+
+/** Writes @p packets to @p path, with upfront counts when compressed. */
+std::uint64_t
+writeTraceFile(const std::string &path,
+               const std::vector<PacketData> &packets)
+{
+    std::uint64_t instr = 0;
+    for (const auto &p : packets)
+        instr += p.instr_gap + 1;
+    std::optional<Header> expected;
+    if (compress::codecFromPath(path) != compress::Codec::kRaw) {
+        Header h;
+        h.instruction_count = instr;
+        h.branch_count = packets.size();
+        expected = h;
+    }
+    SbbtWriter writer(path, expected);
+    EXPECT_TRUE(writer.ok()) << writer.error();
+    for (const auto &p : packets)
+        EXPECT_TRUE(writer.append(p.branch, p.instr_gap));
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return instr;
 }
 
 } // namespace
@@ -348,6 +372,100 @@ TEST(SbbtReader, MissingFile)
     PacketData p;
     EXPECT_FALSE(reader.next(p));
 }
+
+TEST(SbbtReader, BlockedReadersMatchSeedPacketPath)
+{
+    // The block-decoded reader (any block size, prefetch on or off) must
+    // deliver exactly the packet sequence of the seed packet-at-a-time
+    // path, including instrNumber() after every packet.
+    std::string path = tempPath("blocked.sbbt.flz");
+    auto packets = randomPackets(30000, 321);
+    writeTraceFile(path, packets);
+
+    auto readAll = [&](const ReaderOptions &options) {
+        SbbtReader reader(path, options);
+        EXPECT_TRUE(reader.ok()) << reader.error();
+        std::vector<PacketData> got;
+        std::vector<std::uint64_t> instr;
+        PacketData p;
+        while (reader.next(p)) {
+            got.push_back(p);
+            instr.push_back(reader.instrNumber());
+        }
+        EXPECT_TRUE(reader.exhausted()) << reader.error();
+        return std::pair(got, instr);
+    };
+
+    ReaderOptions seed;
+    seed.block_packets = 1;
+    seed.prefetch = false;
+    auto [seed_pkts, seed_instr] = readAll(seed);
+    ASSERT_EQ(seed_pkts.size(), packets.size());
+
+    for (auto [block, prefetch] :
+         {std::pair<std::size_t, bool>{3, false}, {4096, false},
+          {4096, true}}) {
+        ReaderOptions options;
+        options.block_packets = block;
+        options.prefetch = prefetch;
+        auto [pkts, instr] = readAll(options);
+        ASSERT_EQ(pkts.size(), seed_pkts.size())
+            << "block " << block << " prefetch " << prefetch;
+        for (std::size_t i = 0; i < pkts.size(); ++i) {
+            ASSERT_EQ(pkts[i].branch, seed_pkts[i].branch) << i;
+            ASSERT_EQ(pkts[i].instr_gap, seed_pkts[i].instr_gap) << i;
+        }
+        EXPECT_EQ(instr, seed_instr);
+    }
+    std::remove(path.c_str());
+}
+
+class SbbtTruncatedFile : public testing::TestWithParam<const char *>
+{};
+
+TEST_P(SbbtTruncatedFile, ReportsErrorAtSeveralCutPoints)
+{
+    // Cutting the file mid-stream — early, midway, and inside the codec's
+    // end-of-stream marker — must surface a reader error on every codec,
+    // with and without the prefetch thread in the pipeline.
+    std::string path = tempPath(std::string("cut_") + GetParam());
+    auto packets = randomPackets(8000, 99);
+    writeTraceFile(path, packets);
+    const std::uintmax_t full_size = std::filesystem::file_size(path);
+    ASSERT_GT(full_size, 200u);
+
+    std::vector<std::uintmax_t> cuts = {full_size / 4, full_size / 2,
+                                        full_size - 5, full_size - 1};
+    if (compress::codecFromPath(path) == compress::Codec::kRaw)
+        cuts.push_back(kHeaderSize + 4000 * kPacketSize); // packet boundary
+    for (std::uintmax_t cut : cuts) {
+        for (bool prefetch : {false, true}) {
+            writeTraceFile(path, packets); // restore, then cut
+            std::filesystem::resize_file(path, cut);
+            ReaderOptions options;
+            options.prefetch = prefetch;
+            // A cut early in a compressed file can already fail header
+            // decode in the constructor — that is a valid loud failure,
+            // so ok() is not asserted here.
+            SbbtReader reader(path, options);
+            PacketData p;
+            std::size_t got = 0;
+            while (reader.next(p))
+                ++got;
+            EXPECT_LE(got, packets.size());
+            EXPECT_FALSE(reader.exhausted())
+                << "cut at " << cut << " of " << full_size
+                << " prefetch " << prefetch;
+            EXPECT_FALSE(reader.error().empty())
+                << "cut at " << cut << " prefetch " << prefetch;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, SbbtTruncatedFile,
+                         testing::Values("raw.sbbt", "gz.sbbt.gz",
+                                         "flz.sbbt.flz"));
 
 TEST(SbbtReader, TruncatedTraceReported)
 {

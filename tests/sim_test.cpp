@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "mbp/sbbt/writer.hpp"
@@ -129,6 +130,12 @@ TEST(Simulate, OutputSchemaMatchesListing1)
     EXPECT_TRUE(metrics.contains("accuracy"));
     EXPECT_TRUE(metrics.contains("num_most_failed_branches"));
     EXPECT_TRUE(metrics.contains("simulation_time"));
+    EXPECT_TRUE(metrics.contains("branches_per_second"));
+    EXPECT_TRUE(metrics.contains("decompressed_bytes"));
+    EXPECT_TRUE(metrics.contains("prefetch_stall_seconds"));
+    // Header + 3 packets went through the decoder.
+    EXPECT_EQ(metrics.find("decompressed_bytes")->asUint(),
+              sbbt::kHeaderSize + 3 * sbbt::kPacketSize);
     EXPECT_EQ(result.find("predictor_statistics")->find("calls")->asUint(),
               2u);
     std::remove(path.c_str());
@@ -261,6 +268,90 @@ TEST(Simulate, MostFailedRankingAndHalfRule)
     EXPECT_EQ(most_failed[0].find("occurrences")->asUint(), 10u);
     EXPECT_DOUBLE_EQ(most_failed[0].find("accuracy")->asDouble(), 0.4);
     std::remove(path.c_str());
+}
+
+TEST(Simulate, BlockedPrefetchMatchesPacketPath)
+{
+    // The block-decoded, prefetching default pipeline must produce results
+    // bit-identical to the seed packet-at-a-time reader — everything but
+    // the wall-clock fields.
+    std::vector<std::pair<Branch, std::uint32_t>> events;
+    for (int i = 0; i < 5000; ++i)
+        events.push_back({cond(0x1000 + 16 * (i % 7), i % 3 == 0),
+                          std::uint32_t(i % 5)});
+    std::uint64_t instr = 0;
+    for (const auto &[b, gap] : events)
+        instr += gap + 1;
+    std::string path = tempPath("pipe.sbbt.gz");
+    {
+        sbbt::Header h;
+        h.instruction_count = instr;
+        h.branch_count = events.size();
+        sbbt::SbbtWriter writer(path, h);
+        ASSERT_TRUE(writer.ok()) << writer.error();
+        for (const auto &[b, gap] : events)
+            ASSERT_TRUE(writer.append(b, gap));
+        ASSERT_TRUE(writer.close()) << writer.error();
+    }
+
+    SimArgs seed_args;
+    seed_args.trace_path = path;
+    seed_args.reader_block_packets = 1;
+    seed_args.prefetch = false;
+    ScriptedPredictor seed_pred({true, false, true});
+    json_t seed = simulate(seed_pred, seed_args);
+
+    SimArgs piped_args; // defaults: blocked decode + prefetch thread
+    piped_args.trace_path = path;
+    ScriptedPredictor piped_pred({true, false, true});
+    json_t piped = simulate(piped_pred, piped_args);
+
+    ASSERT_TRUE(seed.contains("metrics")) << seed.dump(2);
+    ASSERT_TRUE(piped.contains("metrics")) << piped.dump(2);
+    for (const char *field : {"mpki", "mispredictions", "accuracy",
+                              "num_most_failed_branches",
+                              "decompressed_bytes"}) {
+        ASSERT_NE(seed.find("metrics")->find(field), nullptr) << field;
+        ASSERT_NE(piped.find("metrics")->find(field), nullptr) << field;
+        EXPECT_TRUE(*seed.find("metrics")->find(field) ==
+                    *piped.find("metrics")->find(field))
+            << field;
+    }
+    EXPECT_TRUE(*seed.find("most_failed") == *piped.find("most_failed"));
+    EXPECT_TRUE(*seed.find("metadata") == *piped.find("metadata"));
+    std::remove(path.c_str());
+}
+
+TEST(Simulate, TruncatedTraceReportsErrorAllCodecs)
+{
+    std::vector<std::pair<Branch, std::uint32_t>> events;
+    for (int i = 0; i < 4000; ++i)
+        events.push_back({cond(0x1000 + 16 * (i % 5), i % 2 == 0), 2});
+    std::uint64_t instr = 0;
+    for (const auto &[b, gap] : events)
+        instr += gap + 1;
+    for (const char *name : {"cut.sbbt", "cut.sbbt.gz", "cut.sbbt.flz"}) {
+        std::string path = tempPath(name);
+        {
+            sbbt::Header h;
+            h.instruction_count = instr;
+            h.branch_count = events.size();
+            sbbt::SbbtWriter writer(path, h);
+            ASSERT_TRUE(writer.ok()) << writer.error();
+            for (const auto &[b, gap] : events)
+                ASSERT_TRUE(writer.append(b, gap));
+            ASSERT_TRUE(writer.close()) << writer.error();
+        }
+        std::filesystem::resize_file(
+            path, std::filesystem::file_size(path) * 3 / 5);
+        ScriptedPredictor pred({true});
+        SimArgs args;
+        args.trace_path = path;
+        json_t result = simulate(pred, args);
+        EXPECT_TRUE(result.contains("error")) << name;
+        EXPECT_FALSE(result.contains("metrics")) << name;
+        std::remove(path.c_str());
+    }
 }
 
 TEST(Simulate, MissingTraceReportsError)
