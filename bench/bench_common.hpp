@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace bench
@@ -26,6 +27,23 @@ corpusDir()
 {
     const char *env = std::getenv("MBP_CORPUS_DIR");
     return env ? env : "traces_corpus";
+}
+
+/**
+ * @return Worker threads for grid-parallel benches: $MBP_JOBS when set
+ * to a positive number (1 restores the serial seed behavior, useful for
+ * clean per-cell timing), else every hardware thread.
+ */
+inline unsigned
+jobCount()
+{
+    if (const char *env = std::getenv("MBP_JOBS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
 }
 
 /** Slowest / average / fastest rollup of per-trace values. */

@@ -11,6 +11,9 @@
  * running time" observation). The paper pairs GShare with an 8K-entry BTB
  * and a GShare-like indirect predictor, and BATAGE with an ITTAGE; so do
  * we.
+ *
+ * Both grids run cell-parallel on mbp::sweep ($MBP_JOBS workers,
+ * MBP_JOBS=1 restores the serial seed behavior).
  */
 #include <cstdio>
 #include <functional>
@@ -21,7 +24,7 @@
 #include "champsim/core.hpp"
 #include "mbp/predictors/batage.hpp"
 #include "mbp/predictors/gshare.hpp"
-#include "mbp/sim/simulator.hpp"
+#include "mbp/sweep/sweep.hpp"
 #include "mbp/tools/corpus.hpp"
 #include "mbp/tracegen/suite.hpp"
 
@@ -50,50 +53,83 @@ main()
         {"BATAGE", true, [] { return std::make_unique<pred::Batage>(); }},
     };
 
-    std::printf("\nTable III (bottom): champsim-lite vs MBPlib\n");
-    bench::rule();
-    std::printf("%-13s %-9s %12s %12s %9s\n", "Predictor", "Trace",
-                "ChampSim", "MBPlib", "Speedup");
-    bench::rule();
+    const unsigned jobs = bench::jobCount();
+    const std::size_t num_configs = configs.size();
+    const std::size_t num_traces = entries.size();
 
-    std::uint64_t mismatches = 0;
-    for (const auto &config : configs) {
-        std::vector<double> cs_times, mbp_times;
-        std::vector<double> ipcs;
-        for (const auto &entry : entries) {
+    // MBPlib side: both predictor columns as one sweep campaign.
+    sweep::Campaign campaign;
+    for (const auto &config : configs)
+        campaign.predictors.push_back({config.name, config.make});
+    for (const auto &entry : entries)
+        campaign.traces.push_back(entry.sbbt_flz);
+    json_t grid = sweep::run(campaign, jobs);
+
+    // champsim-lite side: each cell owns its Core and trace reader.
+    struct CsCell
+    {
+        bool ok = false;
+        std::string error;
+        double seconds = 0.0;
+        double ipc = 0.0;
+        std::uint64_t mispredictions = 0;
+    };
+    std::vector<CsCell> cs_cells(num_configs * num_traces);
+    sweep::parallelFor(
+        num_configs * num_traces, jobs, [&](std::size_t i) {
+            const Config &config = configs[i / num_traces];
+            const tools::CorpusEntry &entry = entries[i % num_traces];
             auto cs_pred = config.make();
             champsim::CoreConfig core_config;
             core_config.use_ittage = config.use_ittage;
             champsim::Core core(core_config, *cs_pred);
             champsim::CoreStats stats =
                 core.run(entry.champsim, entry.num_instr + 10'000);
-            if (!stats.ok) {
-                std::fprintf(stderr, "champsim %s on %s: %s\n", config.name,
-                             entry.name.c_str(), stats.error.c_str());
+            cs_cells[i] = {stats.ok, stats.error, stats.seconds, stats.ipc,
+                           stats.direction_mispredictions};
+        });
+
+    std::printf("\nTable III (bottom): champsim-lite vs MBPlib (jobs=%u)\n",
+                jobs);
+    bench::rule();
+    std::printf("%-13s %-9s %12s %12s %9s\n", "Predictor", "Trace",
+                "ChampSim", "MBPlib", "Speedup");
+    bench::rule();
+
+    const json_t &cells = *grid.find("cells");
+    std::uint64_t mismatches = 0;
+    for (std::size_t c = 0; c < num_configs; ++c) {
+        std::vector<double> cs_times, mbp_times;
+        std::vector<double> ipcs;
+        for (std::size_t t = 0; t < num_traces; ++t) {
+            const CsCell &cs_cell = cs_cells[c * num_traces + t];
+            if (!cs_cell.ok) {
+                std::fprintf(stderr, "champsim %s on %s: %s\n",
+                             configs[c].name, entries[t].name.c_str(),
+                             cs_cell.error.c_str());
                 return 1;
             }
-            auto mbp_pred = config.make();
-            SimArgs args;
-            args.trace_path = entry.sbbt_flz;
-            json_t result = simulate(*mbp_pred, args);
+            const json_t &result =
+                *cells[c * num_traces + t].find("result");
             if (result.contains("error")) {
-                std::fprintf(stderr, "mbplib %s on %s: %s\n", config.name,
-                             entry.name.c_str(),
+                std::fprintf(stderr, "mbplib %s on %s: %s\n",
+                             configs[c].name, entries[t].name.c_str(),
                              result.find("error")->asString().c_str());
                 return 1;
             }
-            cs_times.push_back(stats.seconds);
+            const json_t &metrics = *result.find("metrics");
+            cs_times.push_back(cs_cell.seconds);
             mbp_times.push_back(
-                result.find("metrics")->find("simulation_time")->asDouble());
-            ipcs.push_back(stats.ipc);
-            if (result.find("metrics")->find("mispredictions")->asUint() !=
-                stats.direction_mispredictions)
+                metrics.find("simulation_time")->asDouble());
+            ipcs.push_back(cs_cell.ipc);
+            if (metrics.find("mispredictions")->asUint() !=
+                cs_cell.mispredictions)
                 ++mismatches;
         }
         bench::Rollup cs = bench::rollup(cs_times);
         bench::Rollup mbp_roll = bench::rollup(mbp_times);
-        std::printf("%-13s %-9s %12s %12s %8.0fx\n", config.name, "Slowest",
-                    bench::formatTime(cs.slowest).c_str(),
+        std::printf("%-13s %-9s %12s %12s %8.0fx\n", configs[c].name,
+                    "Slowest", bench::formatTime(cs.slowest).c_str(),
                     bench::formatTime(mbp_roll.slowest).c_str(),
                     mbp_roll.slowest > 0 ? cs.slowest / mbp_roll.slowest
                                          : 0.0);

@@ -11,13 +11,20 @@
  * (Bimodal — the run is dominated by simulator code, i.e. trace parsing)
  * and shrinks as the predictor gets more expensive (BATAGE), exactly the
  * 18.4x -> 3.25x gradient of the paper.
+ *
+ * Both grids run cell-parallel on mbp::sweep ($MBP_JOBS workers, default
+ * all hardware threads; MBP_JOBS=1 restores the serial behavior). Cell
+ * results are independent of the worker count; per-cell times get a
+ * little noisier under full load, the bench's wall clock several times
+ * shorter.
  */
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "bench_predictors.hpp"
 #include "cbp5/framework.hpp"
-#include "mbp/sim/simulator.hpp"
+#include "mbp/sweep/sweep.hpp"
 #include "mbp/tools/corpus.hpp"
 #include "mbp/tracegen/suite.hpp"
 
@@ -34,53 +41,83 @@ main()
                 suite.size(), dir.c_str());
     auto entries = tools::materialize(dir, suite, formats);
 
-    std::printf("\nTable III (top): MBPlib vs the CBP5-style framework\n");
+    const unsigned jobs = bench::jobCount();
+    auto predictors = bench::tableIIIPredictors();
+    const std::size_t num_preds = predictors.size();
+    const std::size_t num_traces = entries.size();
+    auto bench_start = std::chrono::steady_clock::now();
+
+    // MBPlib side: the whole (predictor x trace) grid as one campaign.
+    sweep::Campaign campaign;
+    for (const auto &pred : predictors)
+        campaign.predictors.push_back({pred.name, pred.make});
+    for (const auto &entry : entries)
+        campaign.traces.push_back(entry.sbbt_flz);
+    json_t grid = sweep::run(campaign, jobs);
+
+    // CBP5 framework side: same grid through the same pool primitive
+    // (cbp5::run owns no global state either).
+    struct CbpCell
+    {
+        bool ok = false;
+        std::string error;
+        double seconds = 0.0;
+        std::uint64_t mispredictions = 0;
+    };
+    std::vector<CbpCell> cbp_cells(num_preds * num_traces);
+    sweep::parallelFor(
+        num_preds * num_traces, jobs, [&](std::size_t i) {
+            auto cbp_pred = predictors[i / num_traces].make();
+            cbp5::MbpAdapter adapter(*cbp_pred);
+            cbp5::RunResult run_result =
+                cbp5::run(adapter, entries[i % num_traces].btt_gz);
+            cbp_cells[i] = {run_result.ok, run_result.error,
+                            run_result.seconds,
+                            run_result.mispredictions};
+        });
+
+    std::printf("\nTable III (top): MBPlib vs the CBP5-style framework "
+                "(jobs=%u)\n", jobs);
     bench::rule();
     std::printf("%-13s %-9s %12s %12s %9s\n", "Predictor", "Trace",
                 "CBP5", "MBPlib", "Speedup");
     bench::rule();
 
+    const json_t &cells = *grid.find("cells");
     std::uint64_t mismatches = 0;
-    for (const auto &pred : bench::tableIIIPredictors()) {
+    for (std::size_t p = 0; p < num_preds; ++p) {
         std::vector<double> cbp5_times, mbp_times;
-        std::vector<double> speedups;
-        for (const auto &entry : entries) {
-            // CBP5 framework side.
-            auto cbp_pred = pred.make();
-            cbp5::MbpAdapter adapter(*cbp_pred);
-            cbp5::RunResult cbp_result = cbp5::run(adapter, entry.btt_gz);
-            if (!cbp_result.ok) {
+        for (std::size_t t = 0; t < num_traces; ++t) {
+            const CbpCell &cbp = cbp_cells[p * num_traces + t];
+            if (!cbp.ok) {
                 std::fprintf(stderr, "cbp5 %s on %s: %s\n",
-                             pred.name.c_str(), entry.name.c_str(),
-                             cbp_result.error.c_str());
+                             predictors[p].name.c_str(),
+                             entries[t].name.c_str(), cbp.error.c_str());
                 return 1;
             }
-            // MBPlib side.
-            auto mbp_pred = pred.make();
-            SimArgs args;
-            args.trace_path = entry.sbbt_flz;
-            json_t result = simulate(*mbp_pred, args);
+            const json_t &result =
+                *cells[p * num_traces + t].find("result");
             if (result.contains("error")) {
                 std::fprintf(stderr, "mbplib %s on %s: %s\n",
-                             pred.name.c_str(), entry.name.c_str(),
+                             predictors[p].name.c_str(),
+                             entries[t].name.c_str(),
                              result.find("error")->asString().c_str());
                 return 1;
             }
-            double mbp_time =
-                result.find("metrics")->find("simulation_time")->asDouble();
-            cbp5_times.push_back(cbp_result.seconds);
-            mbp_times.push_back(mbp_time);
-            speedups.push_back(mbp_time > 0.0 ? cbp_result.seconds / mbp_time
-                                              : 0.0);
+            const json_t &metrics = *result.find("metrics");
+            cbp5_times.push_back(cbp.seconds);
+            mbp_times.push_back(
+                metrics.find("simulation_time")->asDouble());
             // §VII-C: identical results across simulators.
-            if (result.find("metrics")->find("mispredictions")->asUint() !=
-                cbp_result.mispredictions)
+            if (metrics.find("mispredictions")->asUint() !=
+                cbp.mispredictions)
                 ++mismatches;
         }
         bench::Rollup cbp = bench::rollup(cbp5_times);
         bench::Rollup mbp_roll = bench::rollup(mbp_times);
-        std::printf("%-13s %-9s %12s %12s %8.2fx\n", pred.name.c_str(),
-                    "Slowest", bench::formatTime(cbp.slowest).c_str(),
+        std::printf("%-13s %-9s %12s %12s %8.2fx\n",
+                    predictors[p].name.c_str(), "Slowest",
+                    bench::formatTime(cbp.slowest).c_str(),
                     bench::formatTime(mbp_roll.slowest).c_str(),
                     mbp_roll.slowest > 0 ? cbp.slowest / mbp_roll.slowest
                                          : 0.0);
@@ -96,6 +133,14 @@ main()
                                          : 0.0);
         bench::rule();
     }
+    double bench_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      bench_start)
+            .count();
+    std::printf("grid wall time: %s for %zu cells x 2 simulators "
+                "(jobs=%u)\n",
+                bench::formatTime(bench_seconds).c_str(),
+                num_preds * num_traces, jobs);
     if (mismatches == 0) {
         std::printf("section VII-C check: identical MPKI between MBPlib and "
                     "the CBP5 framework on every run\n");

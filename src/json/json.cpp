@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace mbp::json
 {
@@ -97,13 +98,48 @@ Value::asBool() const
     return bool_;
 }
 
+namespace
+{
+
+// 2^63 and 2^64 are exactly representable as doubles; their predecessors
+// are the largest doubles that fit the integer types, so the comparisons
+// below are exact. A bare static_cast from an out-of-range or NaN double
+// is undefined behavior, so both conversions saturate instead (NaN maps
+// to 0, like a value that carries no magnitude).
+constexpr double kTwo63 = 9223372036854775808.0;
+constexpr double kTwo64 = 18446744073709551616.0;
+
+std::int64_t
+saturatingToInt(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    if (v >= kTwo63)
+        return std::numeric_limits<std::int64_t>::max();
+    if (v < -kTwo63) // -2^63 itself is in range
+        return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t
+saturatingToUint(double v)
+{
+    if (std::isnan(v) || v <= 0.0)
+        return 0;
+    if (v >= kTwo64)
+        return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
 std::int64_t
 Value::asInt() const
 {
     switch (type_) {
       case Type::kInt: return int_;
       case Type::kUint: return static_cast<std::int64_t>(uint_);
-      case Type::kDouble: return static_cast<std::int64_t>(double_);
+      case Type::kDouble: return saturatingToInt(double_);
       default: assert(false && "asInt on non-number"); return 0;
     }
 }
@@ -114,7 +150,7 @@ Value::asUint() const
     switch (type_) {
       case Type::kInt: return static_cast<std::uint64_t>(int_);
       case Type::kUint: return uint_;
-      case Type::kDouble: return static_cast<std::uint64_t>(double_);
+      case Type::kDouble: return saturatingToUint(double_);
       default: assert(false && "asUint on non-number"); return 0;
     }
 }

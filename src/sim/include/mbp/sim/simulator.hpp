@@ -31,7 +31,7 @@ namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.6.0";
+inline constexpr const char *kMbpVersion = "v0.7.0";
 
 /** Parameters of a simulation run. */
 struct SimArgs

@@ -110,6 +110,39 @@ readerOptions(const SimArgs &args)
 }
 
 /**
+ * Instruction number (inclusive) at which a run stops: warmup plus the
+ * simulation budget, saturating so sim_instr = "unlimited" never wraps.
+ * Shared by simulate() and compare() so their measurement windows cannot
+ * drift apart.
+ */
+std::uint64_t
+instrLimit(const SimArgs &args)
+{
+    return args.sim_instr >= std::numeric_limits<std::uint64_t>::max() -
+                                 args.warmup_instr
+               ? std::numeric_limits<std::uint64_t>::max()
+               : args.warmup_instr + args.sim_instr;
+}
+
+/**
+ * Measured (post-warmup) instruction count of a finished run. An
+ * exhausted trace is credited with its full header instruction count
+ * (the tail after the last branch has no packet of its own); a
+ * limit-stopped run is clamped to the limit.
+ */
+std::uint64_t
+measuredInstr(const SimArgs &args, const sbbt::SbbtReader &reader,
+              bool exhausted, std::uint64_t last_instr,
+              std::uint64_t limit)
+{
+    std::uint64_t end_instr =
+        exhausted ? std::max(reader.header().instruction_count, last_instr)
+                  : std::min(last_instr, limit);
+    return end_instr > args.warmup_instr ? end_instr - args.warmup_instr
+                                         : 0;
+}
+
+/**
  * Appends the per-run throughput observability fields shared by both
  * simulators to @p metrics.
  */
@@ -154,11 +187,7 @@ simulate(Predictor &predictor, const SimArgs &args)
         return errorResult(kName, args, reader.error());
 
     RunAccounting acc;
-    const std::uint64_t limit =
-        args.sim_instr >= std::numeric_limits<std::uint64_t>::max() -
-                              args.warmup_instr
-            ? std::numeric_limits<std::uint64_t>::max()
-            : args.warmup_instr + args.sim_instr;
+    const std::uint64_t limit = instrLimit(args);
 
     auto start_time = std::chrono::steady_clock::now();
     sbbt::PacketData packet;
@@ -197,11 +226,8 @@ simulate(Predictor &predictor, const SimArgs &args)
         return errorResult(kName, args, reader.error());
 
     const bool exhausted = reader.exhausted();
-    std::uint64_t end_instr =
-        exhausted ? std::max(reader.header().instruction_count, last_instr)
-                  : std::min(last_instr, limit);
     std::uint64_t simulation_instr =
-        end_instr > args.warmup_instr ? end_instr - args.warmup_instr : 0;
+        measuredInstr(args, reader, exhausted, last_instr, limit);
 
     json_t result = json_t::object();
     result["metadata"] =
@@ -359,11 +385,7 @@ compare(Predictor &a, Predictor &b, const SimArgs &args)
         return errorResult(kName, args, reader.error());
 
     RunAccounting acc;
-    const std::uint64_t limit =
-        args.sim_instr >= std::numeric_limits<std::uint64_t>::max() -
-                              args.warmup_instr
-            ? std::numeric_limits<std::uint64_t>::max()
-            : args.warmup_instr + args.sim_instr;
+    const std::uint64_t limit = instrLimit(args);
 
     auto start_time = std::chrono::steady_clock::now();
     sbbt::PacketData packet;
@@ -408,11 +430,8 @@ compare(Predictor &a, Predictor &b, const SimArgs &args)
         return errorResult(kName, args, reader.error());
 
     const bool exhausted = reader.exhausted();
-    std::uint64_t end_instr =
-        exhausted ? std::max(reader.header().instruction_count, last_instr)
-                  : std::min(last_instr, limit);
     std::uint64_t simulation_instr =
-        end_instr > args.warmup_instr ? end_instr - args.warmup_instr : 0;
+        measuredInstr(args, reader, exhausted, last_instr, limit);
 
     // Rank by the absolute difference in mispredictions: the branches whose
     // predictability changed the most between the two designs.

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel sweep campaigns: run a (predictor x trace) grid on a
+ * fixed-size thread pool.
+ *
+ * The paper's evaluation is a grid — every predictor of Table III over
+ * every trace of the suite — and the cells share nothing: each one is a
+ * fresh predictor instance reading its own trace stream. Because MBPlib
+ * is a library whose simulate() owns no global state (paper §VI-B), the
+ * grid parallelizes embarrassingly, the same way ChampSim evaluations
+ * are farmed out across cores. This module packages that pattern:
+ *
+ * @code
+ *   mbp::sweep::Campaign campaign;
+ *   campaign.predictors = {{"gshare", [] { return ...; }}, ...};
+ *   campaign.traces = {"a.sbbt.flz", "b.sbbt.flz"};
+ *   mbp::json_t result = mbp::sweep::run(campaign, 8);
+ * @endcode
+ *
+ * Results are collected in deterministic grid order (predictor-major)
+ * and are bit-identical to serial per-cell simulate() runs, except for
+ * the throughput observability fields (`simulation_time`,
+ * `branches_per_second`, `prefetch_stall_seconds`), which measure the
+ * run itself. A failing cell (unreadable trace, unknown predictor)
+ * becomes an error object in place; it never aborts the campaign.
+ */
+#ifndef MBP_SWEEP_SWEEP_HPP
+#define MBP_SWEEP_SWEEP_HPP
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sim/simulator.hpp"
+
+namespace mbp::sweep
+{
+
+/**
+ * Runs fn(0), ..., fn(n-1) distributed over a fixed pool of @p jobs
+ * threads (dynamic work stealing via an atomic cursor, so long cells do
+ * not serialize behind short ones).
+ *
+ * @param jobs Pool size; 0 means std::thread::hardware_concurrency(),
+ *             and values < 2 (or n < 2) run inline on the caller.
+ * @param fn   Must not throw: an escaping exception in a worker would
+ *             terminate the process. Called exactly once per index,
+ *             possibly concurrently from different threads.
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+/** One predictor column of the campaign grid. */
+struct PredictorSpec
+{
+    /** Display name used in cell documents and the aggregate. */
+    std::string name;
+    /**
+     * Factory producing a *fresh* instance per cell. Must be callable
+     * concurrently. A null factory (or one returning null) marks every
+     * cell of this predictor as failed with an "unknown predictor"
+     * error, mirroring the CLI's roster lookup.
+     */
+    std::function<std::unique_ptr<Predictor>()> make;
+};
+
+/** A (predictor x trace) campaign specification. */
+struct Campaign
+{
+    std::vector<PredictorSpec> predictors;
+    std::vector<std::string> traces;
+    /** Shared by every cell; trace_path is overwritten per cell. */
+    SimArgs base_args;
+    /** Default worker count (0 = hardware concurrency); run() callers
+     *  and the CLI's --jobs override it. */
+    unsigned jobs = 0;
+};
+
+/**
+ * Builds a campaign from the JSON spec consumed by mbp_sweep:
+ *
+ * @code{.json}
+ *   {
+ *     "predictors": ["gshare", "tage-scl"],        // roster names
+ *     "traces": ["traces/a.sbbt.flz", "..."],
+ *     "warmup_instr": 0,                           // optional
+ *     "sim_instr": 10000000,                       // optional
+ *     "track_only_conditional": false,             // optional
+ *     "collect_most_failed": true,                 // optional
+ *     "jobs": 8                                    // optional
+ *   }
+ * @endcode
+ *
+ * Predictor names are resolved against the roster (mbp::pred). Unknown
+ * names fail the parse (rather than every cell at run time) so a typo
+ * is caught before hours of simulation.
+ *
+ * @return Whether the spec was well formed; on failure @p error says why.
+ */
+bool campaignFromJson(const json_t &spec, Campaign &out,
+                      std::string &error);
+
+/**
+ * Executes the campaign grid on @p jobs worker threads.
+ *
+ * @param jobs 0 defers to campaign.jobs (and then to hardware
+ *             concurrency).
+ * @return A document with three sections:
+ *   - "metadata": tool/version, grid dimensions, jobs, shared SimArgs;
+ *   - "cells": one entry per (predictor, trace) pair in predictor-major
+ *     grid order: {"predictor", "trace", "result": <simulate() doc>};
+ *   - "aggregate": campaign wall time, total branches/second across the
+ *     pool, failed-cell count, and per-predictor rollups (arithmetic
+ *     mean MPKI over the traces, total mispredictions) — the Table III
+ *     summary form.
+ */
+json_t run(const Campaign &campaign, unsigned jobs = 0);
+
+/**
+ * Flattens a run() result to CSV: one row per cell with the headline
+ * metrics, empty metric columns and a message in the "error" column for
+ * failed cells.
+ */
+std::string toCsv(const json_t &result);
+
+} // namespace mbp::sweep
+
+#endif // MBP_SWEEP_SWEEP_HPP

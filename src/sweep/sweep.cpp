@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Parallel sweep campaign implementation.
+ */
+#include "mbp/sweep/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+
+#include "mbp/predictors/roster.hpp"
+
+namespace mbp::sweep
+{
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = std::thread::hardware_concurrency();
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+    if (jobs < 2) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+bool
+campaignFromJson(const json_t &spec, Campaign &out, std::string &error)
+{
+    if (!spec.isObject()) {
+        error = "campaign spec must be a JSON object";
+        return false;
+    }
+    const json_t *predictors = spec.find("predictors");
+    const json_t *traces = spec.find("traces");
+    if (predictors == nullptr || !predictors->isArray() ||
+        predictors->size() == 0) {
+        error = "spec needs a non-empty \"predictors\" array";
+        return false;
+    }
+    if (traces == nullptr || !traces->isArray() || traces->size() == 0) {
+        error = "spec needs a non-empty \"traces\" array";
+        return false;
+    }
+    Campaign campaign;
+    for (const json_t &name : predictors->elements()) {
+        if (!name.isString()) {
+            error = "\"predictors\" entries must be strings";
+            return false;
+        }
+        // Resolve now so a typo fails the parse, not N trace runs later.
+        if (pred::makeByName(name.asString()) == nullptr) {
+            error = "unknown predictor '" + name.asString() +
+                    "' (see mbp_sweep list)";
+            return false;
+        }
+        std::string roster_name = name.asString();
+        campaign.predictors.push_back(
+            {roster_name,
+             [roster_name] { return pred::makeByName(roster_name); }});
+    }
+    for (const json_t &path : traces->elements()) {
+        if (!path.isString()) {
+            error = "\"traces\" entries must be strings";
+            return false;
+        }
+        campaign.traces.push_back(path.asString());
+    }
+    auto uintField = [&](const char *key, std::uint64_t &field) {
+        if (const json_t *v = spec.find(key)) {
+            if (!v->isNumber()) {
+                error = std::string("\"") + key + "\" must be a number";
+                return false;
+            }
+            field = v->asUint();
+        }
+        return true;
+    };
+    if (!uintField("warmup_instr", campaign.base_args.warmup_instr) ||
+        !uintField("sim_instr", campaign.base_args.sim_instr))
+        return false;
+    if (const json_t *v = spec.find("track_only_conditional")) {
+        if (!v->isBool()) {
+            error = "\"track_only_conditional\" must be a bool";
+            return false;
+        }
+        campaign.base_args.track_only_conditional = v->asBool();
+    }
+    if (const json_t *v = spec.find("collect_most_failed")) {
+        if (!v->isBool()) {
+            error = "\"collect_most_failed\" must be a bool";
+            return false;
+        }
+        campaign.base_args.collect_most_failed = v->asBool();
+    }
+    if (const json_t *v = spec.find("jobs")) {
+        if (!v->isNumber()) {
+            error = "\"jobs\" must be a number";
+            return false;
+        }
+        campaign.jobs = static_cast<unsigned>(v->asUint());
+    }
+    out = std::move(campaign);
+    return true;
+}
+
+namespace
+{
+
+json_t
+errorCell(const std::string &message)
+{
+    return json_t::object({{"error", message}});
+}
+
+/** Per-predictor rollup rows of the aggregate section. */
+struct PredictorRollup
+{
+    double mpki_sum = 0.0;
+    std::uint64_t mispredictions = 0;
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;
+};
+
+} // namespace
+
+json_t
+run(const Campaign &campaign, unsigned jobs)
+{
+    const std::size_t num_predictors = campaign.predictors.size();
+    const std::size_t num_traces = campaign.traces.size();
+    const std::size_t num_cells = num_predictors * num_traces;
+    unsigned used_jobs = jobs != 0 ? jobs : campaign.jobs;
+    if (used_jobs == 0)
+        used_jobs = std::thread::hardware_concurrency();
+    if (used_jobs == 0)
+        used_jobs = 1;
+    if (num_cells > 0 && used_jobs > num_cells)
+        used_jobs = static_cast<unsigned>(num_cells);
+
+    std::vector<json_t> cell_results(num_cells);
+    auto start_time = std::chrono::steady_clock::now();
+    parallelFor(num_cells, used_jobs, [&](std::size_t i) {
+        const PredictorSpec &spec = campaign.predictors[i / num_traces];
+        const std::string &trace = campaign.traces[i % num_traces];
+        SimArgs args = campaign.base_args;
+        args.trace_path = trace;
+        json_t result;
+        std::unique_ptr<Predictor> instance =
+            spec.make ? spec.make() : nullptr;
+        if (instance == nullptr) {
+            result = errorCell("unknown predictor '" + spec.name + "'");
+        } else {
+            try {
+                result = simulate(*instance, args);
+            } catch (const std::exception &e) {
+                result = errorCell(std::string("exception: ") + e.what());
+            }
+        }
+        json_t cell = json_t::object({
+            {"predictor", spec.name},
+            {"trace", trace},
+        });
+        cell["result"] = std::move(result);
+        cell_results[i] = std::move(cell);
+    });
+    auto end_time = std::chrono::steady_clock::now();
+    double wall =
+        std::chrono::duration<double>(end_time - start_time).count();
+
+    // Aggregate in deterministic grid order.
+    std::vector<PredictorRollup> rollups(num_predictors);
+    std::size_t failed_cells = 0;
+    double total_branches = 0.0;
+    for (std::size_t i = 0; i < num_cells; ++i) {
+        PredictorRollup &rollup = rollups[i / num_traces];
+        const json_t &result = *cell_results[i].find("result");
+        if (result.contains("error")) {
+            ++failed_cells;
+            ++rollup.failed;
+            continue;
+        }
+        const json_t &metrics = *result.find("metrics");
+        rollup.mpki_sum += metrics.find("mpki")->asDouble();
+        rollup.mispredictions += metrics.find("mispredictions")->asUint();
+        ++rollup.succeeded;
+        // simulate() reports dynamic branches only as a rate; recover the
+        // count so the campaign can report pool-wide throughput.
+        total_branches +=
+            metrics.find("branches_per_second")->asDouble() *
+            metrics.find("simulation_time")->asDouble();
+    }
+
+    json_t out = json_t::object();
+    out["metadata"] = json_t::object({
+        {"tool", "MBPlib sweep"},
+        {"version", kMbpVersion},
+        {"num_predictors", std::uint64_t(num_predictors)},
+        {"num_traces", std::uint64_t(num_traces)},
+        {"num_cells", std::uint64_t(num_cells)},
+        {"jobs", std::uint64_t(used_jobs)},
+        {"warmup_instr", campaign.base_args.warmup_instr},
+        {"sim_instr", campaign.base_args.sim_instr},
+    });
+    json_t cells = json_t::array();
+    for (json_t &cell : cell_results)
+        cells.push_back(std::move(cell));
+    out["cells"] = std::move(cells);
+    json_t per_predictor = json_t::array();
+    for (std::size_t p = 0; p < num_predictors; ++p) {
+        const PredictorRollup &rollup = rollups[p];
+        per_predictor.push_back(json_t::object({
+            {"predictor", campaign.predictors[p].name},
+            {"amean_mpki", rollup.succeeded
+                               ? rollup.mpki_sum / double(rollup.succeeded)
+                               : 0.0},
+            {"total_mispredictions", rollup.mispredictions},
+            {"failed_cells", std::uint64_t(rollup.failed)},
+        }));
+    }
+    out["aggregate"] = json_t::object({
+        {"wall_time_seconds", wall},
+        {"branches_per_second",
+         wall > 0.0 ? total_branches / wall : 0.0},
+        {"failed_cells", std::uint64_t(failed_cells)},
+        {"per_predictor", std::move(per_predictor)},
+    });
+    return out;
+}
+
+namespace
+{
+
+/** RFC 4180 quoting: wrap when the field needs it, double inner quotes. */
+void
+appendCsvField(std::string &out, std::string_view field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+        out += field;
+        return;
+    }
+    out.push_back('"');
+    for (char c : field) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+}
+
+void
+appendCsvDouble(std::string &out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+toCsv(const json_t &result)
+{
+    std::string out = "predictor,trace,mpki,accuracy,mispredictions,"
+                      "simulation_instr,simulation_time,error\n";
+    const json_t *cells = result.find("cells");
+    if (cells == nullptr)
+        return out;
+    for (const json_t &cell : cells->elements()) {
+        appendCsvField(out, cell.find("predictor")->asString());
+        out.push_back(',');
+        appendCsvField(out, cell.find("trace")->asString());
+        out.push_back(',');
+        const json_t &doc = *cell.find("result");
+        if (doc.contains("error")) {
+            out += ",,,,,";
+            appendCsvField(out, doc.find("error")->asString());
+            out.push_back('\n');
+            continue;
+        }
+        const json_t &metrics = *doc.find("metrics");
+        appendCsvDouble(out, metrics.find("mpki")->asDouble());
+        out.push_back(',');
+        appendCsvDouble(out, metrics.find("accuracy")->asDouble());
+        out.push_back(',');
+        out += std::to_string(metrics.find("mispredictions")->asUint());
+        out.push_back(',');
+        out += std::to_string(
+            doc.find("metadata")->find("simulation_instr")->asUint());
+        out.push_back(',');
+        appendCsvDouble(out, metrics.find("simulation_time")->asDouble());
+        out += ",\n";
+    }
+    return out;
+}
+
+} // namespace mbp::sweep

@@ -1,12 +1,25 @@
 /**
  * @file
  * Corpus materialization implementation.
+ *
+ * Concurrency: benches, examples and sweep workers all materialize the
+ * shared corpus directory lazily on first use, possibly from several
+ * threads or processes at once. Each workload is therefore generated
+ * under an exclusive flock() on a per-workload lock file, written to
+ * temporary paths, and moved into place with atomic rename() — so
+ * readers only ever observe absent or complete trace files, never
+ * half-written ones, and concurrent writers serialize instead of
+ * interleaving writes into the same file.
  */
 #include "mbp/tools/corpus.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -34,6 +47,50 @@ ensureDir(const std::string &dir)
     ::mkdir(dir.c_str(), 0755); // EEXIST is fine
 }
 
+/**
+ * Exclusive advisory lock on @p path (created if absent), released on
+ * destruction. flock() locks the open file description, so it excludes
+ * both other processes and other threads of this process (each holder
+ * opens its own descriptor), and a crashed holder releases implicitly.
+ */
+class ScopedFileLock
+{
+  public:
+    explicit ScopedFileLock(const std::string &path)
+    {
+        fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            return;
+        while (::flock(fd_, LOCK_EX) != 0) {
+            if (errno != EINTR) {
+                ::close(fd_);
+                fd_ = -1;
+                return;
+            }
+        }
+    }
+
+    ~ScopedFileLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    ScopedFileLock(const ScopedFileLock &) = delete;
+    ScopedFileLock &operator=(const ScopedFileLock &) = delete;
+
+    bool
+    locked() const
+    {
+        return fd_ >= 0;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
 /** Counts instructions/branches (needed up front for compressed SBBT). */
 sbbt::Header
 countHeader(const tracegen::WorkloadSpec &spec)
@@ -46,6 +103,137 @@ countHeader(const tracegen::WorkloadSpec &spec)
     header.instruction_count = gen.instructionsEmitted();
     header.branch_count = gen.branchesEmitted();
     return header;
+}
+
+/** Which of the entry's renderings still need generating. */
+struct Needed
+{
+    bool sbbt_flz = false;
+    bool sbbt_raw = false;
+    bool btt_gz = false;
+    bool btt_flz = false;
+    bool champsim = false;
+
+    bool
+    any() const
+    {
+        return sbbt_flz || sbbt_raw || btt_gz || btt_flz || champsim;
+    }
+};
+
+Needed
+missingFormats(const CorpusEntry &entry, const CorpusFormats &formats)
+{
+    auto want = [](bool enabled, const std::string &path) {
+        return enabled && !exists(path);
+    };
+    Needed need;
+    need.sbbt_flz = want(formats.sbbt_flz, entry.sbbt_flz);
+    need.sbbt_raw = want(formats.sbbt_raw, entry.sbbt_raw);
+    need.btt_gz = want(formats.btt_gz, entry.btt_gz);
+    need.btt_flz = want(formats.btt_flz, entry.btt_flz);
+    need.champsim = want(formats.champsim, entry.champsim);
+    return need;
+}
+
+/**
+ * Hidden in-progress name for @p final_path, in the same directory (so
+ * the final rename() is atomic). The temp name keeps the *suffix* of the
+ * final name — ".sbbt.flz" etc. — because the stream codecs are selected
+ * by extension; a trailing ".tmp" would silently write the wrong format.
+ */
+std::string
+tmpPath(const std::string &final_path)
+{
+    std::size_t slash = final_path.rfind('/');
+    std::size_t base = slash == std::string::npos ? 0 : slash + 1;
+    std::string path = final_path;
+    path.insert(base, ".tmp-");
+    return path;
+}
+
+/**
+ * Generates the missing renderings of @p spec. Must be called with the
+ * workload's lock held; writes to hidden temp names (see tmpPath) and
+ * renames each file into place only after its writer closed cleanly.
+ *
+ * @return Whether every requested rendering materialized.
+ */
+bool
+generateLocked(const tracegen::WorkloadSpec &spec, const CorpusEntry &entry,
+               const Needed &need)
+{
+    // The compressed SBBT writer needs final counts up front.
+    std::optional<sbbt::Header> header;
+    if (need.sbbt_flz)
+        header = countHeader(spec);
+
+    std::unique_ptr<sbbt::SbbtWriter> sbbt_flz_w, sbbt_raw_w;
+    std::unique_ptr<cbp5::BttWriter> btt_gz_w, btt_flz_w;
+    std::unique_ptr<champsim::TraceWriter> cs_w;
+    std::unique_ptr<champsim::SyntheticTraceBuilder> cs_b;
+    if (need.sbbt_flz) {
+        // Distribution form: maximum effort, like the paper's zstd -22.
+        sbbt_flz_w = std::make_unique<sbbt::SbbtWriter>(
+            tmpPath(entry.sbbt_flz), header, 16);
+    }
+    if (need.sbbt_raw)
+        sbbt_raw_w =
+            std::make_unique<sbbt::SbbtWriter>(tmpPath(entry.sbbt_raw));
+    if (need.btt_gz)
+        btt_gz_w =
+            std::make_unique<cbp5::BttWriter>(tmpPath(entry.btt_gz));
+    if (need.btt_flz)
+        btt_flz_w =
+            std::make_unique<cbp5::BttWriter>(tmpPath(entry.btt_flz));
+    if (need.champsim) {
+        cs_w = std::make_unique<champsim::TraceWriter>(
+            tmpPath(entry.champsim));
+        champsim::SynthConfig synth;
+        synth.seed = spec.seed;
+        cs_b = std::make_unique<champsim::SyntheticTraceBuilder>(*cs_w,
+                                                                 synth);
+    }
+
+    tracegen::TraceGenerator gen(spec);
+    tracegen::TraceEvent ev;
+    while (gen.next(ev)) {
+        if (sbbt_flz_w)
+            sbbt_flz_w->append(ev.branch, ev.instr_gap);
+        if (sbbt_raw_w)
+            sbbt_raw_w->append(ev.branch, ev.instr_gap);
+        if (btt_gz_w)
+            btt_gz_w->append(ev.branch, ev.instr_gap);
+        if (btt_flz_w)
+            btt_flz_w->append(ev.branch, ev.instr_gap);
+        if (cs_b)
+            cs_b->append(ev.branch, ev.instr_gap);
+    }
+
+    bool ok = true;
+    auto finalize = [&](bool closed_ok, const std::string &final_path,
+                        const std::string &detail) {
+        const std::string tmp_path = tmpPath(final_path);
+        if (closed_ok &&
+            ::rename(tmp_path.c_str(), final_path.c_str()) == 0)
+            return;
+        if (!detail.empty())
+            std::fprintf(stderr, "corpus: %s: %s\n", final_path.c_str(),
+                         detail.c_str());
+        ::remove(tmp_path.c_str());
+        ok = false;
+    };
+    if (sbbt_flz_w)
+        finalize(sbbt_flz_w->close(), entry.sbbt_flz, sbbt_flz_w->error());
+    if (sbbt_raw_w)
+        finalize(sbbt_raw_w->close(), entry.sbbt_raw, sbbt_raw_w->error());
+    if (btt_gz_w)
+        finalize(btt_gz_w->close(), entry.btt_gz, "");
+    if (btt_flz_w)
+        finalize(btt_flz_w->close(), entry.btt_flz, "");
+    if (cs_w)
+        finalize(cs_w->close(), entry.champsim, "");
+    return ok;
 }
 
 } // namespace
@@ -78,76 +266,20 @@ materialize(const std::string &dir,
         entry.btt_flz = base + ".btt.flz";
         entry.champsim = base + ".cst.gz";
 
-        auto want = [&](bool enabled, const std::string &path) {
-            return enabled && !exists(path);
-        };
-        bool need_sbbt_flz = want(formats.sbbt_flz, entry.sbbt_flz);
-        bool need_sbbt_raw = want(formats.sbbt_raw, entry.sbbt_raw);
-        bool need_btt_gz = want(formats.btt_gz, entry.btt_gz);
-        bool need_btt_flz = want(formats.btt_flz, entry.btt_flz);
-        bool need_champsim = want(formats.champsim, entry.champsim);
-        if (!(need_sbbt_flz || need_sbbt_raw || need_btt_gz ||
-              need_btt_flz || need_champsim)) {
+        // Fast path without the lock: rename() is atomic, so a complete
+        // file observed here is safe to use as-is.
+        if (!missingFormats(entry, formats).any()) {
             entries.push_back(std::move(entry));
             continue;
         }
 
-        std::optional<sbbt::Header> header;
-        if (need_sbbt_flz)
-            header = countHeader(spec);
-
-        std::unique_ptr<sbbt::SbbtWriter> sbbt_flz_w, sbbt_raw_w;
-        std::unique_ptr<cbp5::BttWriter> btt_gz_w, btt_flz_w;
-        std::unique_ptr<champsim::TraceWriter> cs_w;
-        std::unique_ptr<champsim::SyntheticTraceBuilder> cs_b;
-        if (need_sbbt_flz) {
-            // Distribution form: maximum effort, like the paper's zstd -22.
-            sbbt_flz_w = std::make_unique<sbbt::SbbtWriter>(entry.sbbt_flz,
-                                                            header, 16);
-        }
-        if (need_sbbt_raw)
-            sbbt_raw_w = std::make_unique<sbbt::SbbtWriter>(entry.sbbt_raw);
-        if (need_btt_gz)
-            btt_gz_w = std::make_unique<cbp5::BttWriter>(entry.btt_gz);
-        if (need_btt_flz)
-            btt_flz_w = std::make_unique<cbp5::BttWriter>(entry.btt_flz);
-        if (need_champsim) {
-            cs_w = std::make_unique<champsim::TraceWriter>(entry.champsim);
-            champsim::SynthConfig synth;
-            synth.seed = spec.seed;
-            cs_b = std::make_unique<champsim::SyntheticTraceBuilder>(*cs_w,
-                                                                     synth);
-        }
-
-        tracegen::TraceGenerator gen(spec);
-        tracegen::TraceEvent ev;
-        while (gen.next(ev)) {
-            if (sbbt_flz_w)
-                sbbt_flz_w->append(ev.branch, ev.instr_gap);
-            if (sbbt_raw_w)
-                sbbt_raw_w->append(ev.branch, ev.instr_gap);
-            if (btt_gz_w)
-                btt_gz_w->append(ev.branch, ev.instr_gap);
-            if (btt_flz_w)
-                btt_flz_w->append(ev.branch, ev.instr_gap);
-            if (cs_b)
-                cs_b->append(ev.branch, ev.instr_gap);
-        }
-        bool ok = true;
-        if (sbbt_flz_w && !sbbt_flz_w->close()) {
-            std::fprintf(stderr, "corpus: %s: %s\n", entry.sbbt_flz.c_str(),
-                         sbbt_flz_w->error().c_str());
-            ok = false;
-        }
-        if (sbbt_raw_w && !sbbt_raw_w->close())
-            ok = false;
-        if (btt_gz_w && !btt_gz_w->close())
-            ok = false;
-        if (btt_flz_w && !btt_flz_w->close())
-            ok = false;
-        if (cs_w && !cs_w->close())
-            ok = false;
-        if (!ok)
+        ScopedFileLock lock(dir + "/." + spec.name + ".lock");
+        if (!lock.locked())
+            std::fprintf(stderr, "corpus: cannot lock %s (continuing "
+                         "unguarded)\n", spec.name.c_str());
+        // Another worker may have generated the files while we waited.
+        Needed need = missingFormats(entry, formats);
+        if (need.any() && !generateLocked(spec, entry, need))
             std::fprintf(stderr, "corpus: failed to materialize %s\n",
                          spec.name.c_str());
         entries.push_back(std::move(entry));

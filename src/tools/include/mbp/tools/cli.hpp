@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Command-line parsing helpers shared by the MBPlib CLI tools
+ * (mbp_sim, mbp_sweep). Header-only so the tools stay single-file and
+ * the tests can exercise the exact parsers the binaries use.
+ */
+#ifndef MBP_TOOLS_CLI_HPP
+#define MBP_TOOLS_CLI_HPP
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mbp::tools
+{
+
+/**
+ * Parses a non-negative decimal instruction count. Rejects empty strings,
+ * signs, leading/trailing whitespace and garbage, and out-of-range values
+ * so that a typo runs nothing instead of silently running with a zero
+ * limit. (strtoull alone skips leading whitespace and accepts a sign, so
+ * the first character is required to be a digit.)
+ */
+inline bool
+parseCount(const char *text, std::uint64_t &out)
+{
+    if (text == nullptr ||
+        !std::isdigit(static_cast<unsigned char>(*text)))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+/** Splits a comma-separated list; empty items are dropped. */
+inline std::vector<std::string>
+splitCommaList(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > pos)
+            items.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return items;
+}
+
+} // namespace mbp::tools
+
+#endif // MBP_TOOLS_CLI_HPP

@@ -43,6 +43,12 @@ struct CorpusEntry
  * formats, generating the missing files (one generator pass per format, so
  * each file gets an identical stream).
  *
+ * Safe to call concurrently from multiple threads or processes sharing
+ * @p dir: each workload is generated under an exclusive lock file
+ * (`<dir>/.<name>.lock`, flock) and published via write-to-temp plus
+ * atomic rename, so concurrent callers either generate disjoint files or
+ * wait and reuse, and no caller ever reads a half-written trace.
+ *
  * @return One entry per workload, in suite order.
  */
 std::vector<CorpusEntry> materialize(const std::string &dir,

@@ -10,13 +10,12 @@
  *   mbp_sim compare <pred_a> <pred_b> <trace> [warmup_instr] [sim_instr]
  *   mbp_sim list
  */
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sim/simulator.hpp"
+#include "mbp/tools/cli.hpp"
 
 namespace
 {
@@ -34,32 +33,13 @@ usage(const char *prog)
     return 2;
 }
 
-/**
- * Parses a non-negative decimal instruction count. Rejects empty strings,
- * signs, trailing garbage and out-of-range values so that a typo runs
- * nothing instead of silently running with a zero limit.
- */
-bool
-parseCount(const char *text, std::uint64_t &out)
-{
-    if (text == nullptr || *text == '\0' || *text == '-' || *text == '+')
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0')
-        return false;
-    out = value;
-    return true;
-}
-
 /** Parses the optional [warmup_instr] [sim_instr] tail into @p args. */
 bool
 parseLimits(int argc, char **argv, int first, mbp::SimArgs &args)
 {
     for (int i = first; i < argc; ++i) {
         std::uint64_t value = 0;
-        if (!parseCount(argv[i], value)) {
+        if (!mbp::tools::parseCount(argv[i], value)) {
             std::fprintf(stderr, "invalid instruction count '%s'\n",
                          argv[i]);
             return false;

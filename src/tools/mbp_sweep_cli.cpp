@@ -1,0 +1,199 @@
+/**
+ * @file
+ * mbp_sweep: run a (predictor x trace) campaign grid on all cores and
+ * print the campaign JSON (or CSV). The parallel companion to mbp_sim:
+ * per-cell results are bit-identical to serial mbp_sim runs of the same
+ * cells (modulo the timing observability fields).
+ *
+ * Usage:
+ *   mbp_sweep --predictors <a,b,...> --traces <t1,t2,...>
+ *             [--warmup N] [--sim-instr N] [--jobs N] [--csv] [--out FILE]
+ *   mbp_sweep --spec campaign.json [--jobs N] [--csv] [--out FILE]
+ *   mbp_sweep list
+ *
+ * The campaign JSON spec (see README "Parallel sweeps"):
+ *   {"predictors": ["gshare", ...], "traces": ["a.sbbt.flz", ...],
+ *    "warmup_instr": 0, "sim_instr": 10000000, "jobs": 8}
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sweep/sweep.hpp"
+#include "mbp/tools/cli.hpp"
+
+namespace
+{
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --predictors <a,b,...> --traces <t1,t2,...>\n"
+        "          [--warmup N] [--sim-instr N] [--jobs N] [--csv]"
+        " [--out FILE]\n"
+        "       %s --spec campaign.json [--jobs N] [--csv] [--out FILE]\n"
+        "       %s list\n",
+        prog, prog, prog);
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mbp;
+
+    if (argc >= 2 && std::strcmp(argv[1], "list") == 0) {
+        for (const std::string &name : pred::rosterNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    std::string spec_path, predictors_arg, traces_arg, out_path;
+    std::uint64_t warmup = 0, sim_instr = 0;
+    bool have_warmup = false, have_sim_instr = false;
+    std::uint64_t jobs = 0;
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--spec") == 0) {
+            const char *v = value("--spec");
+            if (!v)
+                return usage(argv[0]);
+            spec_path = v;
+        } else if (std::strcmp(argv[i], "--predictors") == 0) {
+            const char *v = value("--predictors");
+            if (!v)
+                return usage(argv[0]);
+            predictors_arg = v;
+        } else if (std::strcmp(argv[i], "--traces") == 0) {
+            const char *v = value("--traces");
+            if (!v)
+                return usage(argv[0]);
+            traces_arg = v;
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            const char *v = value("--warmup");
+            if (!v || !tools::parseCount(v, warmup)) {
+                std::fprintf(stderr, "invalid --warmup value\n");
+                return usage(argv[0]);
+            }
+            have_warmup = true;
+        } else if (std::strcmp(argv[i], "--sim-instr") == 0) {
+            const char *v = value("--sim-instr");
+            if (!v || !tools::parseCount(v, sim_instr)) {
+                std::fprintf(stderr, "invalid --sim-instr value\n");
+                return usage(argv[0]);
+            }
+            have_sim_instr = true;
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            const char *v = value("--jobs");
+            if (!v || !tools::parseCount(v, jobs) || jobs == 0 ||
+                jobs > 4096) {
+                std::fprintf(stderr, "invalid --jobs value\n");
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            csv = true;
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            const char *v = value("--out");
+            if (!v)
+                return usage(argv[0]);
+            out_path = v;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            return usage(argv[0]);
+        }
+    }
+
+    sweep::Campaign campaign;
+    if (!spec_path.empty()) {
+        if (!predictors_arg.empty() || !traces_arg.empty()) {
+            std::fprintf(stderr,
+                         "--spec and --predictors/--traces are exclusive\n");
+            return usage(argv[0]);
+        }
+        std::string text;
+        if (!readFile(spec_path, text)) {
+            std::fprintf(stderr, "cannot read %s\n", spec_path.c_str());
+            return 2;
+        }
+        std::string parse_error;
+        auto spec = json_t::parse(text, &parse_error);
+        if (!spec) {
+            std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                         parse_error.c_str());
+            return 2;
+        }
+        std::string spec_error;
+        if (!sweep::campaignFromJson(*spec, campaign, spec_error)) {
+            std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                         spec_error.c_str());
+            return 2;
+        }
+    } else {
+        if (predictors_arg.empty() || traces_arg.empty())
+            return usage(argv[0]);
+        for (const std::string &name :
+             tools::splitCommaList(predictors_arg)) {
+            if (pred::makeByName(name) == nullptr) {
+                std::fprintf(stderr,
+                             "unknown predictor '%s' (try '%s list')\n",
+                             name.c_str(), argv[0]);
+                return 2;
+            }
+            campaign.predictors.push_back(
+                {name, [name] { return pred::makeByName(name); }});
+        }
+        campaign.traces = tools::splitCommaList(traces_arg);
+        if (campaign.predictors.empty() || campaign.traces.empty())
+            return usage(argv[0]);
+    }
+    if (have_warmup)
+        campaign.base_args.warmup_instr = warmup;
+    if (have_sim_instr)
+        campaign.base_args.sim_instr = sim_instr;
+
+    json_t result = sweep::run(campaign, static_cast<unsigned>(jobs));
+    std::string text =
+        csv ? sweep::toCsv(result) : result.dump(2) + "\n";
+    if (!out_path.empty()) {
+        std::FILE *out = std::fopen(out_path.c_str(), "wb");
+        if (out == nullptr ||
+            std::fwrite(text.data(), 1, text.size(), out) != text.size()) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            if (out)
+                std::fclose(out);
+            return 1;
+        }
+        std::fclose(out);
+    } else {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+    }
+    std::uint64_t failed =
+        result.find("aggregate")->find("failed_cells")->asUint();
+    return failed == 0 ? 0 : 1;
+}

@@ -36,6 +36,47 @@ TEST(JsonValue, IntegerFlavorsSurvive)
     EXPECT_EQ(u.asUint(), 18446744073709551615ull);
 }
 
+TEST(JsonValue, DoubleToIntConversionSaturates)
+{
+    // The bug this pins down: asInt()/asUint() on a kDouble used a plain
+    // static_cast, which is UB when the (truncated) value does not fit
+    // the destination type — exactly what happens when user code reads
+    // e.g. branches_per_second as a count.
+    EXPECT_EQ(Value(2.7).asInt(), 2);
+    EXPECT_EQ(Value(-2.7).asInt(), -2);
+    EXPECT_EQ(Value(2.7).asUint(), 2u);
+
+    EXPECT_EQ(Value(1e300).asInt(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(Value(-1e300).asInt(),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(Value(1e300).asUint(),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(Value(-1e300).asUint(), 0u);
+    EXPECT_EQ(Value(-0.5).asUint(), 0u);
+
+    // Boundary: 2^63 is exactly representable as a double and is one
+    // past INT64_MAX; 2^64 is one past UINT64_MAX.
+    EXPECT_EQ(Value(9223372036854775808.0).asInt(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(Value(-9223372036854775808.0).asInt(),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(Value(18446744073709551616.0).asUint(),
+              std::numeric_limits<std::uint64_t>::max());
+
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(Value(nan).asInt(), 0);
+    EXPECT_EQ(Value(nan).asUint(), 0u);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(Value(inf).asInt(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(Value(-inf).asInt(),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(Value(inf).asUint(),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(Value(-inf).asUint(), 0u);
+}
+
 TEST(JsonValue, DoubleShortestRoundTrip)
 {
     Value v(3.312043080187229);

@@ -180,6 +180,73 @@ TEST(SimulateSuiteParallel, OneThreadFallsBackToSequential)
     std::remove(traces[0].c_str());
 }
 
+TEST(Compare, MatchesIndependentSimulateRunsWithWarmup)
+{
+    // Regression guard for the warmup/limit accounting that simulate()
+    // and compare() must share: with a nonzero warmup, compare()'s
+    // per-predictor numbers must equal two independent simulate() runs
+    // over the same trace. Before the accounting was factored into
+    // shared helpers it was duplicated in both loops, and any future
+    // edit to one copy but not the other shows up here.
+    std::string path = writeTrace("compare_warmup.sbbt", 4242, 400'000);
+    SimArgs args;
+    args.trace_path = path;
+    args.warmup_instr = 120'000;
+    args.sim_instr = 200'000;
+
+    pred::Bimodal<14> cmp_a;
+    pred::Gshare<12, 14> cmp_b;
+    json_t both = compare(cmp_a, cmp_b, args);
+    ASSERT_FALSE(both.contains("error"));
+
+    pred::Bimodal<14> solo_a;
+    pred::Gshare<12, 14> solo_b;
+    json_t only_a = simulate(solo_a, args);
+    json_t only_b = simulate(solo_b, args);
+
+    const json_t &cm = *both.find("metrics");
+    EXPECT_EQ(cm.find("mispredictions_0")->asUint(),
+              only_a.find("metrics")->find("mispredictions")->asUint());
+    EXPECT_EQ(cm.find("mispredictions_1")->asUint(),
+              only_b.find("metrics")->find("mispredictions")->asUint());
+    EXPECT_DOUBLE_EQ(cm.find("mpki_0")->asDouble(),
+                     only_a.find("metrics")->find("mpki")->asDouble());
+    EXPECT_DOUBLE_EQ(cm.find("mpki_1")->asDouble(),
+                     only_b.find("metrics")->find("mpki")->asDouble());
+    EXPECT_DOUBLE_EQ(cm.find("accuracy_0")->asDouble(),
+                     only_a.find("metrics")->find("accuracy")->asDouble());
+
+    // All three runs report the same measured-instruction window.
+    std::uint64_t window =
+        both.find("metadata")->find("simulation_instr")->asUint();
+    EXPECT_EQ(window,
+              only_a.find("metadata")->find("simulation_instr")->asUint());
+    EXPECT_EQ(window,
+              only_b.find("metadata")->find("simulation_instr")->asUint());
+    EXPECT_EQ(window, args.sim_instr);
+    std::remove(path.c_str());
+}
+
+TEST(Compare, WarmupWindowPastEndOfTraceClampsToZero)
+{
+    // Degenerate accounting case both simulators must agree on: warmup
+    // longer than the whole trace means nothing is measured.
+    std::string path = writeTrace("compare_overlong.sbbt", 4343, 100'000);
+    SimArgs args;
+    args.trace_path = path;
+    args.warmup_instr = 10'000'000;
+
+    pred::Bimodal<12> a, b, solo;
+    json_t both = compare(a, b, args);
+    json_t alone = simulate(solo, args);
+    EXPECT_EQ(both.find("metadata")->find("simulation_instr")->asUint(), 0u);
+    EXPECT_EQ(alone.find("metadata")->find("simulation_instr")->asUint(),
+              0u);
+    EXPECT_EQ(both.find("metrics")->find("mispredictions_0")->asUint(), 0u);
+    EXPECT_EQ(alone.find("metrics")->find("mispredictions")->asUint(), 0u);
+    std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------
 // Golden determinism guard
 // ---------------------------------------------------------------------

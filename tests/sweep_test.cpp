@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the parallel sweep subsystem: the thread-pool primitive, the
+ * campaign runner (grid order, serial equivalence, failure isolation,
+ * aggregates), the JSON spec parser and the CSV flattener. The whole
+ * file is also the concurrency workout for the MBP_SANITIZE=thread
+ * configuration: every campaign here runs multi-threaded.
+ */
+#include "mbp/sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "mbp/predictors/bimodal.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sbbt/writer.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+using namespace mbp;
+
+namespace
+{
+
+std::string
+writeTrace(const std::string &name, std::uint64_t seed,
+           std::uint64_t num_instr)
+{
+    std::string path = testing::TempDir() + "/" + name;
+    tracegen::WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_instr = num_instr;
+    sbbt::SbbtWriter writer(path);
+    tracegen::TraceGenerator gen(spec);
+    tracegen::TraceEvent ev;
+    while (gen.next(ev))
+        EXPECT_TRUE(writer.append(ev.branch, ev.instr_gap));
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return path;
+}
+
+sweep::PredictorSpec
+rosterSpec(const std::string &name)
+{
+    return {name, [name] { return pred::makeByName(name); }};
+}
+
+} // namespace
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    sweep::parallelFor(kN, 8, [&](std::size_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, DegenerateSizes)
+{
+    int calls = 0;
+    sweep::parallelFor(0, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    sweep::parallelFor(1, 4, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+    // jobs == 0 resolves to hardware concurrency and still works.
+    std::atomic<int> parallel_calls{0};
+    sweep::parallelFor(16, 0, [&](std::size_t) {
+        parallel_calls.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(parallel_calls.load(), 16);
+}
+
+TEST(ParallelFor, ActuallyUsesMultipleThreads)
+{
+    std::set<std::thread::id> ids;
+    std::mutex mutex;
+    sweep::parallelFor(64, 4, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> guard(mutex);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_GT(ids.size(), 1u);
+}
+
+class SweepTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        traces_ = {
+            writeTrace("sweep_a.sbbt", 301, 150'000),
+            writeTrace("sweep_b.sbbt", 302, 200'000),
+            writeTrace("sweep_c.sbbt", 303, 120'000),
+        };
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &t : traces_)
+            std::remove(t.c_str());
+    }
+
+    std::vector<std::string> traces_;
+};
+
+TEST_F(SweepTest, GridOrderIsDeterministicPredictorMajor)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare")};
+    campaign.traces = traces_;
+    json_t result = sweep::run(campaign, 4);
+
+    const json_t &md = *result.find("metadata");
+    EXPECT_EQ(md.find("num_predictors")->asUint(), 2u);
+    EXPECT_EQ(md.find("num_traces")->asUint(), 3u);
+    EXPECT_EQ(md.find("num_cells")->asUint(), 6u);
+    EXPECT_EQ(md.find("jobs")->asUint(), 4u);
+
+    const json_t &cells = *result.find("cells");
+    ASSERT_EQ(cells.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(cells[i].find("predictor")->asString(),
+                  i < 3 ? "bimodal" : "gshare")
+            << i;
+        EXPECT_EQ(cells[i].find("trace")->asString(), traces_[i % 3]) << i;
+    }
+}
+
+TEST_F(SweepTest, CellsMatchSerialSimulateRuns)
+{
+    // The acceptance property: a parallel sweep's per-cell results are
+    // bit-identical to serial simulate() runs of the same cells (modulo
+    // the timing observability fields, which measure the run itself).
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare")};
+    campaign.traces = traces_;
+    campaign.base_args.warmup_instr = 30'000;
+    json_t result = sweep::run(campaign, 4);
+
+    const json_t &cells = *result.find("cells");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const json_t &cell = cells[i];
+        auto serial_pred =
+            pred::makeByName(cell.find("predictor")->asString());
+        ASSERT_NE(serial_pred, nullptr);
+        SimArgs args = campaign.base_args;
+        args.trace_path = cell.find("trace")->asString();
+        json_t serial = simulate(*serial_pred, args);
+
+        const json_t &par_metrics = *cell.find("result")->find("metrics");
+        const json_t &ser_metrics = *serial.find("metrics");
+        for (const char *key :
+             {"mpki", "mispredictions", "accuracy"})
+            EXPECT_EQ(*par_metrics.find(key), *ser_metrics.find(key))
+                << "cell " << i << " metric " << key;
+        EXPECT_EQ(*cell.find("result")->find("metadata")
+                       ->find("simulation_instr"),
+                  *serial.find("metadata")->find("simulation_instr"))
+            << i;
+        EXPECT_EQ(*cell.find("result")->find("most_failed"),
+                  *serial.find("most_failed"))
+            << i;
+    }
+}
+
+TEST_F(SweepTest, AggregateRollsUpPerPredictor)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare")};
+    campaign.traces = traces_;
+    json_t result = sweep::run(campaign, 3);
+
+    const json_t &aggregate = *result.find("aggregate");
+    EXPECT_EQ(aggregate.find("failed_cells")->asUint(), 0u);
+    EXPECT_GT(aggregate.find("wall_time_seconds")->asDouble(), 0.0);
+    EXPECT_GT(aggregate.find("branches_per_second")->asDouble(), 0.0);
+
+    const json_t &per_predictor = *aggregate.find("per_predictor");
+    ASSERT_EQ(per_predictor.size(), 2u);
+    const json_t &cells = *result.find("cells");
+    for (std::size_t p = 0; p < 2; ++p) {
+        double mpki_sum = 0.0;
+        std::uint64_t mispredictions = 0;
+        for (std::size_t t = 0; t < 3; ++t) {
+            const json_t &metrics =
+                *cells[p * 3 + t].find("result")->find("metrics");
+            mpki_sum += metrics.find("mpki")->asDouble();
+            mispredictions += metrics.find("mispredictions")->asUint();
+        }
+        const json_t &row = per_predictor[p];
+        EXPECT_DOUBLE_EQ(row.find("amean_mpki")->asDouble(),
+                         mpki_sum / 3.0);
+        EXPECT_EQ(row.find("total_mispredictions")->asUint(),
+                  mispredictions);
+        EXPECT_EQ(row.find("failed_cells")->asUint(), 0u);
+    }
+}
+
+TEST_F(SweepTest, FailedCellsDoNotAbortTheCampaign)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"),
+                           {"bogus", nullptr}}; // null factory
+    campaign.traces = {traces_[0], "/nonexistent/missing.sbbt"};
+    json_t result = sweep::run(campaign, 4);
+
+    const json_t &cells = *result.find("cells");
+    ASSERT_EQ(cells.size(), 4u);
+    // bimodal x traces_[0] is the only good cell.
+    EXPECT_FALSE(cells[0].find("result")->contains("error"));
+    EXPECT_TRUE(cells[1].find("result")->contains("error"));
+    EXPECT_TRUE(cells[2].find("result")->contains("error"));
+    EXPECT_TRUE(cells[3].find("result")->contains("error"));
+    EXPECT_EQ(result.find("aggregate")->find("failed_cells")->asUint(),
+              3u);
+    const json_t &per_predictor =
+        *result.find("aggregate")->find("per_predictor");
+    EXPECT_EQ(per_predictor[0].find("failed_cells")->asUint(), 1u);
+    EXPECT_EQ(per_predictor[1].find("failed_cells")->asUint(), 2u);
+}
+
+TEST_F(SweepTest, ManyWorkersOnSmallGridIsSafe)
+{
+    // More workers than cells plus repeated runs: the TSan workout.
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare"),
+                           rosterSpec("two-level")};
+    campaign.traces = traces_;
+    json_t first = sweep::run(campaign, 16);
+    json_t second = sweep::run(campaign, 2);
+    const json_t &cells_a = *first.find("cells");
+    const json_t &cells_b = *second.find("cells");
+    ASSERT_EQ(cells_a.size(), cells_b.size());
+    for (std::size_t i = 0; i < cells_a.size(); ++i) {
+        EXPECT_EQ(*cells_a[i].find("result")->find("metrics")
+                       ->find("mispredictions"),
+                  *cells_b[i].find("result")->find("metrics")
+                       ->find("mispredictions"))
+            << i;
+    }
+}
+
+TEST(CampaignFromJson, ParsesFullSpec)
+{
+    auto spec = json_t::parse(R"({
+        "predictors": ["gshare", "bimodal"],
+        "traces": ["a.sbbt", "b.sbbt"],
+        "warmup_instr": 1000,
+        "sim_instr": 50000,
+        "track_only_conditional": true,
+        "collect_most_failed": false,
+        "jobs": 7
+    })");
+    ASSERT_TRUE(spec.has_value());
+    sweep::Campaign campaign;
+    std::string error;
+    ASSERT_TRUE(sweep::campaignFromJson(*spec, campaign, error)) << error;
+    ASSERT_EQ(campaign.predictors.size(), 2u);
+    EXPECT_EQ(campaign.predictors[0].name, "gshare");
+    ASSERT_NE(campaign.predictors[0].make, nullptr);
+    EXPECT_NE(campaign.predictors[0].make(), nullptr);
+    EXPECT_EQ(campaign.traces,
+              (std::vector<std::string>{"a.sbbt", "b.sbbt"}));
+    EXPECT_EQ(campaign.base_args.warmup_instr, 1000u);
+    EXPECT_EQ(campaign.base_args.sim_instr, 50000u);
+    EXPECT_TRUE(campaign.base_args.track_only_conditional);
+    EXPECT_FALSE(campaign.base_args.collect_most_failed);
+    EXPECT_EQ(campaign.jobs, 7u);
+}
+
+TEST(CampaignFromJson, RejectsBadSpecs)
+{
+    sweep::Campaign campaign;
+    std::string error;
+
+    EXPECT_FALSE(
+        sweep::campaignFromJson(json_t("text"), campaign, error));
+
+    auto no_traces =
+        json_t::parse(R"({"predictors": ["gshare"], "traces": []})");
+    ASSERT_TRUE(no_traces.has_value());
+    EXPECT_FALSE(sweep::campaignFromJson(*no_traces, campaign, error));
+    EXPECT_NE(error.find("traces"), std::string::npos);
+
+    error.clear();
+    auto unknown = json_t::parse(
+        R"({"predictors": ["not-a-predictor"], "traces": ["a.sbbt"]})");
+    ASSERT_TRUE(unknown.has_value());
+    EXPECT_FALSE(sweep::campaignFromJson(*unknown, campaign, error));
+    EXPECT_NE(error.find("not-a-predictor"), std::string::npos);
+
+    error.clear();
+    auto bad_jobs = json_t::parse(
+        R"({"predictors": ["gshare"], "traces": ["a"], "jobs": "many"})");
+    ASSERT_TRUE(bad_jobs.has_value());
+    EXPECT_FALSE(sweep::campaignFromJson(*bad_jobs, campaign, error));
+}
+
+TEST_F(SweepTest, CsvHasOneRowPerCell)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), {"bogus", nullptr}};
+    campaign.traces = {traces_[0]};
+    json_t result = sweep::run(campaign, 2);
+    std::string csv = sweep::toCsv(result);
+
+    // Header plus one line per cell, terminated by a newline.
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 3u);
+    EXPECT_EQ(csv.rfind("predictor,trace,mpki,accuracy,mispredictions,"
+                        "simulation_instr,simulation_time,error\n",
+                        0),
+              0u);
+    EXPECT_NE(csv.find("bimodal,"), std::string::npos);
+    EXPECT_NE(csv.find("unknown predictor 'bogus'"), std::string::npos);
+}

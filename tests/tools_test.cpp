@@ -1,7 +1,9 @@
 /**
  * @file
- * Tests for the suite presets and the corpus materializer.
+ * Tests for the suite presets, the corpus materializer (including its
+ * concurrency guarantees) and the shared CLI parsing helpers.
  */
+#include "mbp/tools/cli.hpp"
 #include "mbp/tools/corpus.hpp"
 #include "mbp/tracegen/suite.hpp"
 
@@ -9,6 +11,8 @@
 
 #include <cstdio>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "cbp5/trace.hpp"
 #include "champsim/trace.hpp"
@@ -135,4 +139,179 @@ TEST_F(CorpusTest, SecondCallIsCached)
 TEST_F(CorpusTest, FileSizeOfMissingFileIsZero)
 {
     EXPECT_EQ(tools::fileSize("/nonexistent/nope"), 0u);
+}
+
+TEST_F(CorpusTest, NoLeftoverTempOrLockVisibleTraces)
+{
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    auto entries = tools::materialize(dir_, tinySuite(), formats);
+    EXPECT_EQ(tools::fileSize(dir_ + "/.tmp-tiny.sbbt.flz"), 0u);
+    // The lock file may remain, but must be invisible to glob-style
+    // consumers (hidden dotfile) and empty.
+    EXPECT_EQ(tools::fileSize(dir_ + "/.tiny.lock"), 0u);
+    std::remove((dir_ + "/.tiny.lock").c_str());
+}
+
+class CorpusRaceTest : public testing::Test
+{
+  protected:
+    std::string dir_ = testing::TempDir() + "/corpus_race_test";
+
+    std::vector<tracegen::WorkloadSpec>
+    raceSuite()
+    {
+        std::vector<tracegen::WorkloadSpec> suite;
+        for (int i = 0; i < 3; ++i) {
+            tracegen::WorkloadSpec spec;
+            spec.name = "race-" + std::to_string(i);
+            spec.seed = 900 + std::uint64_t(i);
+            spec.num_instr = 150'000;
+            suite.push_back(spec);
+        }
+        return suite;
+    }
+
+    void
+    TearDown() override
+    {
+        for (int i = 0; i < 3; ++i) {
+            std::string name = "race-" + std::to_string(i);
+            for (const char *suffix : {".sbbt.flz", ".sbbt", ".btt.gz",
+                                       ".btt.flz", ".cst.gz"}) {
+                std::remove((dir_ + "/" + name + suffix).c_str());
+                std::remove((dir_ + "/.tmp-" + name + suffix).c_str());
+            }
+            std::remove((dir_ + "/." + name + ".lock").c_str());
+        }
+        ::rmdir(dir_.c_str());
+    }
+};
+
+TEST_F(CorpusRaceTest, ConcurrentMaterializationYieldsValidTraces)
+{
+    // The bug this pins down: first-run materialization used to have no
+    // synchronization, so two concurrent materialize() calls (two bench
+    // binaries, two sweep workers) interleaved writes into the same
+    // half-written trace file. With flock + write-to-temp + atomic
+    // rename, hammering the same fresh directory from many threads must
+    // produce complete, parseable traces with identical content.
+    constexpr int kThreads = 8;
+    auto suite = raceSuite();
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    formats.sbbt_raw = true;
+
+    std::vector<std::vector<tools::CorpusEntry>> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            results[std::size_t(t)] =
+                tools::materialize(dir_, suite, formats);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Every thread saw the same entry paths...
+    for (int t = 1; t < kThreads; ++t) {
+        ASSERT_EQ(results[std::size_t(t)].size(), suite.size());
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            EXPECT_EQ(results[std::size_t(t)][i].sbbt_flz,
+                      results[0][i].sbbt_flz);
+    }
+    // ...and the files on disk are complete, valid traces (a torn write
+    // would fail header validation, a truncated one the stream decode).
+    for (const auto &entry : results[0]) {
+        for (const std::string &path :
+             {entry.sbbt_flz, entry.sbbt_raw}) {
+            sbbt::SbbtReader reader(path);
+            ASSERT_TRUE(reader.ok()) << path << ": " << reader.error();
+            sbbt::PacketData packet;
+            std::uint64_t branches = 0;
+            while (reader.next(packet))
+                ++branches;
+            EXPECT_TRUE(reader.error().empty())
+                << path << ": " << reader.error();
+            EXPECT_EQ(branches, reader.header().branch_count) << path;
+        }
+        EXPECT_EQ(tools::fileSize(dir_ + "/.tmp-" + entry.name +
+                                  ".sbbt.flz"),
+                  0u);
+        EXPECT_EQ(tools::fileSize(dir_ + "/.tmp-" + entry.name + ".sbbt"),
+                  0u);
+    }
+}
+
+TEST_F(CorpusRaceTest, ConcurrentDistinctFormatRequestsCompose)
+{
+    // Different callers asking for different renderings of the same
+    // workload at the same time must each get their format, without
+    // clobbering the other's.
+    auto suite = raceSuite();
+    tools::CorpusFormats flz_only, raw_only;
+    flz_only.sbbt_flz = true;
+    raw_only.sbbt_flz = false;
+    raw_only.sbbt_raw = true;
+    std::thread flz_thread(
+        [&] { tools::materialize(dir_, suite, flz_only); });
+    std::thread raw_thread(
+        [&] { tools::materialize(dir_, suite, raw_only); });
+    flz_thread.join();
+    raw_thread.join();
+    for (int i = 0; i < 3; ++i) {
+        std::string base = dir_ + "/race-" + std::to_string(i);
+        for (const char *suffix : {".sbbt.flz", ".sbbt"}) {
+            sbbt::SbbtReader reader(base + suffix);
+            EXPECT_TRUE(reader.ok()) << base << suffix;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI parsing helpers (mbp/tools/cli.hpp)
+// ---------------------------------------------------------------------
+
+TEST(ParseCount, AcceptsPlainDecimal)
+{
+    std::uint64_t value = 99;
+    EXPECT_TRUE(tools::parseCount("0", value));
+    EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(tools::parseCount("5", value));
+    EXPECT_EQ(value, 5u);
+    EXPECT_TRUE(tools::parseCount("18446744073709551615", value));
+    EXPECT_EQ(value, 18446744073709551615ull);
+}
+
+TEST(ParseCount, RejectsWhitespaceSignsAndGarbage)
+{
+    std::uint64_t value = 99;
+    // The bug this pins down: only the first character was checked
+    // before strtoull, and strtoull itself skips leading whitespace —
+    // so " 5" (and "\t5") slipped through the "rejects garbage"
+    // contract.
+    EXPECT_FALSE(tools::parseCount(" 5", value));
+    EXPECT_FALSE(tools::parseCount("\t5", value));
+    EXPECT_FALSE(tools::parseCount("\n5", value));
+    EXPECT_FALSE(tools::parseCount("5 ", value));
+    EXPECT_FALSE(tools::parseCount("-1", value));
+    EXPECT_FALSE(tools::parseCount("+2", value));
+    EXPECT_FALSE(tools::parseCount("", value));
+    EXPECT_FALSE(tools::parseCount(nullptr, value));
+    EXPECT_FALSE(tools::parseCount("12x", value));
+    EXPECT_FALSE(tools::parseCount("0x10", value));
+    EXPECT_FALSE(tools::parseCount("18446744073709551616", value)); // 2^64
+    EXPECT_EQ(value, 99u) << "failed parses must not write the output";
+}
+
+TEST(SplitCommaList, SplitsAndDropsEmpties)
+{
+    EXPECT_EQ(tools::splitCommaList("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(tools::splitCommaList("one"),
+              (std::vector<std::string>{"one"}));
+    EXPECT_EQ(tools::splitCommaList(""), std::vector<std::string>{});
+    EXPECT_EQ(tools::splitCommaList(",a,,b,"),
+              (std::vector<std::string>{"a", "b"}));
 }
