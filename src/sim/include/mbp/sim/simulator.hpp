@@ -31,7 +31,7 @@ namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.7.0";
+inline constexpr const char *kMbpVersion = "v0.8.0";
 
 /** Parameters of a simulation run. */
 struct SimArgs
@@ -84,6 +84,20 @@ struct SimArgs
      * `prefetch_stall_seconds` in the result metrics.
      */
     bool prefetch = true;
+
+    /**
+     * Branch-level observation hook: invoked for every conditional branch
+     * with the prediction just made (before train/track), the 1-based
+     * instruction number of the branch, and whether the branch falls in
+     * the measured (post-warmup) window. Lets external checkers run in
+     * lockstep with the simulation — the conformance tests capture the
+     * exact prediction stream through it, and mbp::testkit's metamorphic
+     * oracles rebuild per-window misprediction counts from it. Leave
+     * empty (the default) for zero overhead beyond one branch per event.
+     */
+    std::function<void(const Branch &branch, bool predicted,
+                       std::uint64_t instr_number, bool measured)>
+        prediction_hook;
 };
 
 /**

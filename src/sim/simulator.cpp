@@ -202,6 +202,8 @@ simulate(Predictor &predictor, const SimArgs &args)
         ++acc.dynamic_branches;
         if (b.isConditional()) {
             bool guess = predictor.predict(b.ip());
+            if (args.prediction_hook)
+                args.prediction_hook(b, guess, last_instr, measured);
             if (measured) {
                 ++acc.dynamic_cond;
                 if (guess != b.isTaken())

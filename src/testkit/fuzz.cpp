@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Fuzzing campaign driver.
+ */
+#include "mbp/testkit/fuzz.hpp"
+
+#include <filesystem>
+#include <memory>
+
+#include "mbp/predictors/bimodal.hpp"
+#include "mbp/predictors/gshare.hpp"
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/testkit/reference.hpp"
+#include "mbp/testkit/shrink.hpp"
+#include "mbp/tracegen/adversarial.hpp"
+#include "mbp/utils/hash.hpp"
+#include "mbp/utils/lfsr.hpp"
+
+namespace mbp::testkit
+{
+
+namespace
+{
+
+/** Elementary stream shapes the fuzzer composes (must stay dense: the
+ *  stream chooser draws `% kNumSimpleShapes`). */
+constexpr std::uint64_t kNumSimpleShapes = 6;
+
+Events
+makeSimpleStream(std::uint64_t shape, Lfsr &rng, std::size_t num_branches,
+                 std::size_t max_branches)
+{
+    switch (shape % kNumSimpleShapes) {
+    case 0: {
+        constexpr int kTableBits[] = {12, 16, 17};
+        return tracegen::aliasingStorm(rng.next(), num_branches,
+                                       kTableBits[rng.next() % 3]);
+    }
+    case 1: {
+        // 15/16 match the roster gshare and TageLite histories; 63 probes
+        // the machine-word wrap of bitset::to_ullong-style histories.
+        constexpr int kHistoryBits[] = {15, 16, 63};
+        return tracegen::historyWrap(rng.next(), num_branches,
+                                     kHistoryBits[rng.next() % 3]);
+    }
+    case 2: {
+        constexpr int kDepths[] = {4, 16, 64};
+        return tracegen::rasOverflow(rng.next(), num_branches,
+                                     kDepths[rng.next() % 3]);
+    }
+    case 3:
+        return tracegen::degenerateRun(num_branches, (rng.next() & 1) != 0);
+    case 4: {
+        constexpr std::size_t kPhases[] = {64, 256, 1024};
+        return tracegen::phaseFlips(rng.next(), num_branches,
+                                    kPhases[rng.next() % 3]);
+    }
+    default: {
+        // A realistic structured program as contrast to the hostile
+        // shapes. num_instr bounds instructions, not branches; cap after.
+        tracegen::WorkloadSpec spec;
+        spec.seed = rng.next();
+        spec.num_instr = num_branches * 6;
+        spec.num_functions = 4 + int(rng.next() % 8);
+        spec.noise_fraction = 0.05 + 0.001 * double(rng.next() % 200);
+        Events events = tracegen::generateAll(spec);
+        if (events.size() > max_branches)
+            events.resize(max_branches);
+        return events;
+    }
+    }
+}
+
+} // namespace
+
+std::vector<DiffTarget>
+defaultDiffTargets()
+{
+    return {
+        {"bimodal-vs-ref",
+         [] { return std::make_unique<pred::Bimodal<16>>(); },
+         [] { return std::make_unique<RefBimodal>(16, 2); }},
+        {"gshare-vs-ref",
+         [] { return std::make_unique<pred::Gshare<15, 17>>(); },
+         [] { return std::make_unique<RefGshare>(15, 17); }},
+        {"tage-lite-vs-ref", [] { return std::make_unique<TageLite>(); },
+         [] { return std::make_unique<RefTageLite>(); }},
+    };
+}
+
+DiffTarget
+brokenGshareTarget()
+{
+    return {"broken-gshare-vs-ref",
+            [] { return std::make_unique<BrokenGshare>(); },
+            [] { return std::make_unique<RefGshare>(15, 17); }};
+}
+
+Events
+makeStream(std::uint64_t seed, std::size_t index, std::size_t max_branches)
+{
+    Lfsr rng(mix64(seed) ^ mix64(0x9e3779b97f4a7c15ull * (index + 1)));
+    if (max_branches < 64)
+        max_branches = 64;
+    const std::size_t num_branches =
+        64 + rng.next() % (max_branches - 63);
+    const std::uint64_t shape = rng.next() % (kNumSimpleShapes + 2);
+    if (shape < kNumSimpleShapes)
+        return makeSimpleStream(shape, rng, num_branches, max_branches);
+    if (shape == kNumSimpleShapes) {
+        Events a = makeSimpleStream(rng.next(), rng, num_branches / 2,
+                                    max_branches);
+        Events b = makeSimpleStream(rng.next(), rng,
+                                    num_branches - num_branches / 2,
+                                    max_branches);
+        return tracegen::concat(std::move(a), b);
+    }
+    Events a =
+        makeSimpleStream(rng.next(), rng, num_branches / 2, max_branches);
+    Events b = makeSimpleStream(rng.next(), rng,
+                                num_branches - num_branches / 2,
+                                max_branches);
+    return tracegen::interleave(a, b, rng.next());
+}
+
+json_t
+runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
+{
+    json_t report = json_t::object();
+    json_t meta = json_t::object({
+        {"tool", "MBPlib mbp_fuzz"},
+        {"version", kMbpVersion},
+        {"seed", options.seed},
+        {"num_streams", std::uint64_t(options.num_streams)},
+        {"max_branches", std::uint64_t(options.max_branches)},
+        {"differential", options.differential},
+        {"metamorphic", options.metamorphic},
+    });
+    json_t target_names = json_t::array();
+    for (const DiffTarget &t : targets)
+        target_names.push_back(t.name);
+    meta["targets"] = std::move(target_names);
+    report["metadata"] = std::move(meta);
+
+    const std::string scratch_dir = options.artifact_dir + "/scratch";
+    std::filesystem::create_directories(scratch_dir);
+
+    json_t failures = json_t::array();
+    std::uint64_t differential_checks = 0, metamorphic_checks = 0;
+
+    // Resolve metamorphic predictors up front so a typo is one clear
+    // config failure instead of one per stream.
+    std::vector<std::string> metamorphic_names;
+    if (options.metamorphic) {
+        for (const std::string &name : options.metamorphic_predictors) {
+            if (pred::makeByName(name) == nullptr)
+                failures.push_back(json_t::object(
+                    {{"type", "config"},
+                     {"detail", "unknown metamorphic predictor \"" + name +
+                                    "\" (see mbp::pred::rosterNames)"}}));
+            else
+                metamorphic_names.push_back(name);
+        }
+    }
+
+    for (std::size_t i = 0; i < options.num_streams; ++i) {
+        const Events events =
+            makeStream(options.seed, i, options.max_branches);
+
+        if (options.differential) {
+            for (const DiffTarget &target : targets) {
+                ++differential_checks;
+                auto subject = target.subject();
+                auto reference = target.reference();
+                Mismatch mismatch =
+                    runLockstep(*subject, *reference, events);
+                if (!mismatch.found)
+                    continue;
+                auto stillFails = [&](const Events &candidate) {
+                    auto s = target.subject();
+                    auto r = target.reference();
+                    return runLockstep(*s, *r, candidate).found;
+                };
+                Events minimal = shrinkStream(events, stillFails);
+                auto s = target.subject();
+                auto r = target.reference();
+                Mismatch shrunk = runLockstep(*s, *r, minimal);
+                const std::string name = target.name + "-seed" +
+                                         std::to_string(options.seed) +
+                                         "-stream" + std::to_string(i);
+                ReproArtifact artifact =
+                    writeRepro(options.artifact_dir, name, minimal,
+                               target.name + ": " + shrunk.describe());
+                failures.push_back(json_t::object({
+                    {"type", "differential"},
+                    {"target", target.name},
+                    {"stream", std::uint64_t(i)},
+                    {"detail", shrunk.describe()},
+                    {"original_branches", std::uint64_t(events.size())},
+                    {"shrunk_branches", std::uint64_t(minimal.size())},
+                    {"sbbt", artifact.sbbt_path},
+                    {"stanza", artifact.stanza_path},
+                }));
+            }
+        }
+
+        if (options.metamorphic) {
+            const std::string scratch =
+                scratch_dir + "/stream" + std::to_string(i);
+            ++metamorphic_checks;
+            std::string err = checkRoundTrip(events, scratch);
+            if (!err.empty())
+                failures.push_back(json_t::object(
+                    {{"type", "metamorphic"},
+                     {"invariant", "round-trip"},
+                     {"stream", std::uint64_t(i)},
+                     {"detail", err}}));
+            for (const std::string &name : metamorphic_names) {
+                PredictorFactory factory = [&name] {
+                    return pred::makeByName(name);
+                };
+                ++metamorphic_checks;
+                err = checkWarmupSplit(factory, events, scratch + ".sbbt");
+                if (!err.empty())
+                    failures.push_back(json_t::object(
+                        {{"type", "metamorphic"},
+                         {"invariant", "warmup-split"},
+                         {"predictor", name},
+                         {"stream", std::uint64_t(i)},
+                         {"detail", err}}));
+                ++metamorphic_checks;
+                err = checkDeterminism(factory, events, scratch + ".sbbt");
+                if (!err.empty())
+                    failures.push_back(json_t::object(
+                        {{"type", "metamorphic"},
+                         {"invariant", "determinism"},
+                         {"predictor", name},
+                         {"stream", std::uint64_t(i)},
+                         {"detail", err}}));
+            }
+        }
+    }
+
+    report["counts"] = json_t::object({
+        {"streams", std::uint64_t(options.num_streams)},
+        {"differential_checks", differential_checks},
+        {"metamorphic_checks", metamorphic_checks},
+        {"failures", std::uint64_t(failures.size())},
+    });
+    report["ok"] = failures.size() == 0;
+    report["failures"] = std::move(failures);
+    return report;
+}
+
+} // namespace mbp::testkit

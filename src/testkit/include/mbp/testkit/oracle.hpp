@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Differential and metamorphic oracles.
+ *
+ * Two complementary ways to decide "is this predictor/simulator right?"
+ * without a ground-truth MPKI:
+ *
+ *  - runLockstep(): drive a subject and an independently written reference
+ *    (reference.hpp) over the same event stream, mirroring simulate()'s
+ *    calling convention, and stop at the first diverging prediction.
+ *
+ *  - check*(): metamorphic invariants of simulate() itself — properties
+ *    that must hold between *related runs* regardless of what the
+ *    predictor predicts: warm-up splitting must not change behavior, a
+ *    stream must survive a round-trip through every trace format, and the
+ *    same inputs must give bit-identical metrics.
+ *
+ * Every check returns "" on success or a human-readable violation
+ * description, so callers (gtest, the fuzzer) can aggregate freely.
+ */
+#ifndef MBP_TESTKIT_ORACLE_HPP
+#define MBP_TESTKIT_ORACLE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/sim/predictor.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+namespace mbp::testkit
+{
+
+/** A branch-event stream (the tracegen vocabulary). */
+using Events = std::vector<tracegen::TraceEvent>;
+
+/** Builds a fresh predictor per run (checks need independent instances). */
+using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
+
+/** First point where subject and reference disagreed. */
+struct Mismatch
+{
+    bool found = false;
+    /** Index into the event stream of the diverging conditional branch. */
+    std::size_t event_index = 0;
+    std::uint64_t ip = 0;
+    bool subject_predicted = false;
+    bool reference_predicted = false;
+
+    /** One-line "subject predicted X, reference Y at ..." description. */
+    std::string describe() const;
+};
+
+/**
+ * Runs @p subject and @p reference over @p events in lockstep, mirroring
+ * the simulator's calling convention (predict and train on conditional
+ * branches, then track), and returns the first diverging prediction.
+ */
+Mismatch runLockstep(Predictor &subject, Predictor &reference,
+                     const Events &events,
+                     bool track_only_conditional = false);
+
+/**
+ * Writes @p events as an SBBT trace at @p path (header counts filled in
+ * from the stream). @return "" on success, else an error description.
+ */
+std::string writeSbbtFile(const Events &events, const std::string &path);
+
+/**
+ * Warm-up split invariance: simulate(warmup = k) must behave as the
+ * measured tail of the full run — the per-branch prediction stream is
+ * unchanged, and full mispredictions == split mispredictions + the
+ * mispredictions the split run attributes to warm-up. k is half the
+ * stream's instructions. @p scratch_path is overwritten with the trace.
+ */
+std::string checkWarmupSplit(const PredictorFactory &factory,
+                             const Events &events,
+                             const std::string &scratch_path);
+
+/**
+ * Format round-trip: the stream must decode back bit-identically (ip,
+ * target, opcode, outcome, gap) from each trace format in the suite —
+ * SBBT, BTT (cbp5) and champsim-lite. Files are written next to
+ * @p scratch_prefix. The BTT leg is skipped for streams where one ip
+ * carries two different opcodes: the BTT node table keys opcodes by
+ * address, so such streams (impossible for a real program, but
+ * constructible by interleaving synthetic streams) are outside that
+ * format's domain by design.
+ */
+std::string checkRoundTrip(const Events &events,
+                           const std::string &scratch_prefix);
+
+/**
+ * Determinism: two simulate() runs over the same trace with fresh
+ * predictors from @p factory must report bit-identical results (timing
+ * fields excluded).
+ */
+std::string checkDeterminism(const PredictorFactory &factory,
+                             const Events &events,
+                             const std::string &scratch_path);
+
+} // namespace mbp::testkit
+
+#endif // MBP_TESTKIT_ORACLE_HPP

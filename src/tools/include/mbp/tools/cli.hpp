@@ -10,6 +10,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -36,6 +37,24 @@ parseCount(const char *text, std::uint64_t &out)
     if (errno != 0 || *end != '\0')
         return false;
     out = value;
+    return true;
+}
+
+/**
+ * @return Whether @p path exists and can be opened for reading.
+ *
+ * The tools check their input traces with this before running, so a
+ * mistyped path is a usage error (exit 2, message naming the path)
+ * rather than a mid-run simulation failure (exit 1). A file that opens
+ * but turns out corrupt is still the latter.
+ */
+inline bool
+fileReadable(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return false;
+    std::fclose(file);
     return true;
 }
 

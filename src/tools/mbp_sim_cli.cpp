@@ -74,6 +74,10 @@ main(int argc, char **argv)
         }
         mbp::SimArgs args;
         args.trace_path = argv[4];
+        if (!mbp::tools::fileReadable(args.trace_path)) {
+            std::fprintf(stderr, "cannot read trace '%s'\n", argv[4]);
+            return 2;
+        }
         if (!parseLimits(argc, argv, 5, args))
             return usage(argv[0]);
         mbp::json_t result = mbp::compare(*a, *b, args);
@@ -90,6 +94,10 @@ main(int argc, char **argv)
     }
     mbp::SimArgs args;
     args.trace_path = argv[2];
+    if (!mbp::tools::fileReadable(args.trace_path)) {
+        std::fprintf(stderr, "cannot read trace '%s'\n", argv[2]);
+        return 2;
+    }
     if (!parseLimits(argc, argv, 3, args))
         return usage(argv[0]);
     mbp::json_t result = mbp::simulate(*predictor, args);

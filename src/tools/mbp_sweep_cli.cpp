@@ -172,6 +172,14 @@ main(int argc, char **argv)
         if (campaign.predictors.empty() || campaign.traces.empty())
             return usage(argv[0]);
     }
+    for (const std::string &trace : campaign.traces) {
+        if (!tools::fileReadable(trace)) {
+            std::fprintf(stderr, "cannot read trace '%s' (%s)\n",
+                         trace.c_str(),
+                         spec_path.empty() ? "--traces" : "--spec");
+            return 2;
+        }
+    }
     if (have_warmup)
         campaign.base_args.warmup_instr = warmup;
     if (have_sim_instr)

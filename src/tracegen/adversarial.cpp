@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Adversarial stream builders.
+ */
+#include "mbp/tracegen/adversarial.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mbp/sbbt/format.hpp"
+#include "mbp/utils/lfsr.hpp"
+
+namespace mbp::tracegen
+{
+
+namespace
+{
+
+constexpr std::uint64_t kCodeBase = 0x500000;
+
+} // namespace
+
+StreamBuilder &
+StreamBuilder::push(const Branch &branch)
+{
+    assert(sbbt::branchIsValid(branch));
+    TraceEvent ev;
+    ev.branch = branch;
+    ev.instr_gap = std::min<std::uint32_t>(default_gap_ + extra_gap_,
+                                           sbbt::kMaxInstrGap);
+    extra_gap_ = 0;
+    events_.push_back(ev);
+    return *this;
+}
+
+std::vector<TraceEvent>
+aliasingStorm(std::uint64_t seed, std::size_t num_branches, int table_bits)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    // Eight sites sharing one index under `XorFold(ip >> 2, table_bits)`:
+    // XOR-ing the same value into two consecutive fold chunks cancels in
+    // the fold, so distinct IPs of the form base ^ ((d | d << T) << 2)
+    // all land on base's table entry.
+    constexpr int kSites = 8;
+    // Per-site bias in mille; deliberately disagreeing across sites so the
+    // shared counter is pulled in both directions.
+    int bias[kSites];
+    for (int s = 0; s < kSites; ++s)
+        bias[s] = (s & 1) ? 100 + int(rng.next() % 200)
+                          : 700 + int(rng.next() % 200);
+    for (std::size_t i = 0; i < num_branches; ++i) {
+        std::uint64_t d = rng.next() % kSites;
+        std::uint64_t ip =
+            kCodeBase ^ ((d | (d << table_bits)) << 2);
+        bool taken = int(rng.next() % 1000) < bias[int(d)];
+        sb.cond(ip, taken);
+    }
+    return sb.take();
+}
+
+std::vector<TraceEvent>
+historyWrap(std::uint64_t seed, std::size_t num_branches, int history_bits)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    // The victim repeats a random pattern whose period exceeds the history
+    // length by one: predictable with >= history_bits + 1 bits of history,
+    // aliased noise with exactly history_bits. A filler branch burns a
+    // variable number of history slots between victim executions.
+    const int period = history_bits + 1;
+    std::vector<bool> pattern;
+    pattern.reserve(std::size_t(period));
+    for (int i = 0; i < period; ++i)
+        pattern.push_back(rng.next() & 1);
+    std::size_t pos = 0;
+    std::size_t emitted = 0;
+    while (emitted < num_branches) {
+        sb.cond(kCodeBase, pattern[pos]);
+        pos = (pos + 1) % pattern.size();
+        ++emitted;
+        std::uint64_t fillers = rng.next() % 3;
+        for (std::uint64_t f = 0; f < fillers && emitted < num_branches;
+             ++f, ++emitted)
+            sb.cond(kCodeBase + 0x40 + f * 0x40, (rng.next() & 1) != 0);
+    }
+    return sb.take();
+}
+
+std::vector<TraceEvent>
+rasOverflow(std::uint64_t seed, std::size_t num_branches, int depth)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    // Functions live at fixed addresses; call site k calls function k+1.
+    auto entry = [](int level) {
+        return kCodeBase + 0x1000 + std::uint64_t(level) * 0x100;
+    };
+    while (sb.events().size() < num_branches) {
+        int levels = 1 + int(rng.next() % std::uint64_t(depth));
+        for (int l = 0; l < levels; ++l) {
+            sb.call(entry(l) - 0x20, entry(l));
+            // A conditional inside each frame keeps history moving.
+            sb.cond(entry(l) + 0x10, (rng.next() & 1) != 0);
+        }
+        for (int l = levels - 1; l >= 0; --l)
+            sb.ret(entry(l) + 0x20, entry(l) - 0x20 + 4);
+        if (rng.next() % 4 == 0) {
+            // Unmatched return: underflows the RAS.
+            sb.ret(kCodeBase + 0x8000, kCodeBase + 0x24);
+        }
+    }
+    auto events = sb.take();
+    events.resize(std::min(events.size(), num_branches));
+    return events;
+}
+
+std::vector<TraceEvent>
+degenerateRun(std::size_t num_branches, bool taken)
+{
+    StreamBuilder sb;
+    for (std::size_t i = 0; i < num_branches; ++i)
+        sb.cond(kCodeBase + (i % 16) * 0x40, taken);
+    return sb.take();
+}
+
+std::vector<TraceEvent>
+phaseFlips(std::uint64_t seed, std::size_t num_branches,
+           std::size_t phase_len)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    constexpr int kSites = 12;
+    int bias[kSites];
+    for (int s = 0; s < kSites; ++s)
+        bias[s] = 50 + int(rng.next() % 900);
+    if (phase_len == 0)
+        phase_len = 1;
+    for (std::size_t i = 0; i < num_branches; ++i) {
+        if (i > 0 && i % phase_len == 0) {
+            for (int s = 0; s < kSites; ++s)
+                bias[s] = 1000 - bias[s];
+        }
+        int s = int(rng.next() % kSites);
+        sb.cond(kCodeBase + std::uint64_t(s) * 0x40,
+                int(rng.next() % 1000) < bias[s]);
+    }
+    return sb.take();
+}
+
+std::vector<TraceEvent>
+concat(std::vector<TraceEvent> a, const std::vector<TraceEvent> &b)
+{
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+std::vector<TraceEvent>
+interleave(const std::vector<TraceEvent> &a,
+           const std::vector<TraceEvent> &b, std::uint64_t seed)
+{
+    Lfsr rng(seed);
+    std::vector<TraceEvent> out;
+    out.reserve(a.size() + b.size());
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.size() || ib < b.size()) {
+        bool from_a = ib >= b.size() || (ia < a.size() && (rng.next() & 1));
+        out.push_back(from_a ? a[ia++] : b[ib++]);
+    }
+    return out;
+}
+
+std::uint64_t
+streamInstructions(const std::vector<TraceEvent> &events)
+{
+    std::uint64_t total = 0;
+    for (const TraceEvent &ev : events)
+        total += ev.instr_gap + 1;
+    return total;
+}
+
+} // namespace mbp::tracegen

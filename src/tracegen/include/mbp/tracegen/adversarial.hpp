@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Composable adversarial branch-stream building blocks.
+ *
+ * The structured generator (generator.hpp) produces *realistic* programs;
+ * these builders produce *hostile* ones: streams shaped to sit exactly on
+ * the edges where predictor and simulator implementations diverge —
+ * table-index aliasing, history-length wraps, return-stack overflows,
+ * degenerate monotone runs and abrupt phase flips. They are the input
+ * vocabulary of the differential fuzzer (mbp::testkit), but are exposed
+ * here so any test can compose hostile workloads directly.
+ *
+ * Every builder is a pure function of its arguments: the same (seed,
+ * size, shape) always yields the same stream, and every emitted event
+ * satisfies the SBBT validity rules (sbbt::branchIsValid) so the streams
+ * round-trip through every trace format in the suite.
+ */
+#ifndef MBP_TRACEGEN_ADVERSARIAL_HPP
+#define MBP_TRACEGEN_ADVERSARIAL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mbp/tracegen/generator.hpp"
+
+namespace mbp::tracegen
+{
+
+/**
+ * Incremental builder for hand-crafted event streams.
+ *
+ * Keeps the stream legal by construction: non-conditional branches are
+ * always emitted taken, gaps are clamped to the SBBT packet limit, and
+ * addresses stay in the canonical low range.
+ */
+class StreamBuilder
+{
+  public:
+    /** @param default_gap Non-branch instructions before each branch. */
+    explicit StreamBuilder(std::uint32_t default_gap = 3)
+        : default_gap_(default_gap)
+    {}
+
+    /** Appends a conditional direct jump. A static @p target is recorded
+     *  whether or not the branch is taken, like the structured generator
+     *  does for direct branches. */
+    StreamBuilder &
+    cond(std::uint64_t ip, bool taken, std::uint64_t target = 0)
+    {
+        return push(Branch{ip, target ? target : ip + 16,
+                           OpCode::condJump(), taken});
+    }
+
+    /** Appends an unconditional direct jump (always taken). */
+    StreamBuilder &
+    jump(std::uint64_t ip, std::uint64_t target)
+    {
+        return push(Branch{ip, target, OpCode::jump(), true});
+    }
+
+    /** Appends a direct call (pushes the RAS). */
+    StreamBuilder &
+    call(std::uint64_t ip, std::uint64_t target)
+    {
+        return push(Branch{ip, target, OpCode::call(), true});
+    }
+
+    /** Appends a return (pops the RAS). */
+    StreamBuilder &
+    ret(std::uint64_t ip, std::uint64_t target)
+    {
+        return push(Branch{ip, target, OpCode::ret(), true});
+    }
+
+    /** Adds extra non-branch instructions before the next branch. */
+    StreamBuilder &
+    gap(std::uint32_t instructions)
+    {
+        extra_gap_ += instructions;
+        return *this;
+    }
+
+    /** Appends an arbitrary (valid) branch. */
+    StreamBuilder &push(const Branch &branch);
+
+    /** @return The stream built so far, resetting the builder. */
+    std::vector<TraceEvent> take() { return std::move(events_); }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::uint32_t default_gap_;
+    std::uint32_t extra_gap_ = 0;
+};
+
+/**
+ * Branches whose IPs all collide in a @p table_bits -bit XorFold index:
+ * XOR-ing the same value into two consecutive fold chunks of the IP
+ * cancels out under `XorFold(ip >> 2, table_bits)`, so the distinct IPs
+ * share one table entry. Their outcomes are independently biased — the
+ * worst case for untagged counter tables and for any hash that drops the
+ * distinguishing bits.
+ */
+std::vector<TraceEvent> aliasingStorm(std::uint64_t seed,
+                                      std::size_t num_branches,
+                                      int table_bits);
+
+/**
+ * One branch repeating a pattern of period @p history_bits + 1: exactly
+ * one outcome longer than an @p history_bits global history can hold, so
+ * any off-by-one in history length or shift order becomes visible.
+ * Interleaved with a second branch that consumes history slots.
+ */
+std::vector<TraceEvent> historyWrap(std::uint64_t seed,
+                                    std::size_t num_branches,
+                                    int history_bits);
+
+/**
+ * Call chains @p depth levels deep (with conditional branches inside)
+ * followed by the matching returns, plus occasional unmatched returns —
+ * overflows and underflows any bounded return-address stack.
+ */
+std::vector<TraceEvent> rasOverflow(std::uint64_t seed,
+                                    std::size_t num_branches, int depth);
+
+/** A monotone run: every conditional @p taken (or never taken). */
+std::vector<TraceEvent> degenerateRun(std::size_t num_branches, bool taken);
+
+/**
+ * A working set of branches whose biases all invert every @p phase_len
+ * branches — the sharpest possible phase change, punishing stale state
+ * and slow-adapting counters.
+ */
+std::vector<TraceEvent> phaseFlips(std::uint64_t seed,
+                                   std::size_t num_branches,
+                                   std::size_t phase_len);
+
+/** Concatenates two streams. */
+std::vector<TraceEvent> concat(std::vector<TraceEvent> a,
+                               const std::vector<TraceEvent> &b);
+
+/** Deterministically shuffles two streams together, preserving the
+ *  relative order within each. */
+std::vector<TraceEvent> interleave(const std::vector<TraceEvent> &a,
+                                   const std::vector<TraceEvent> &b,
+                                   std::uint64_t seed);
+
+/** @return Total instructions (gaps + branches) of @p events. */
+std::uint64_t streamInstructions(const std::vector<TraceEvent> &events);
+
+} // namespace mbp::tracegen
+
+#endif // MBP_TRACEGEN_ADVERSARIAL_HPP

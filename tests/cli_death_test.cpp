@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Exit-code and argv contract tests for the installed binaries (mbp_sim,
+ * mbp_sweep, mbp_fuzz), run as real subprocesses. The documented
+ * convention (README "Command-line tools", TESTING.md):
+ *
+ *   exit 2 — usage errors: bad flag value, unknown flag, unknown
+ *            predictor name, unreadable trace path;
+ *   exit 1 — runtime failures: a corrupt-but-openable trace, a failing
+ *            sweep cell, fuzz violations;
+ *   exit 0 — success.
+ *
+ * Every usage error must name the offending flag (or path) on stderr.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+#include "mbp/sbbt/writer.hpp"
+
+namespace
+{
+
+struct RunResult
+{
+    int exit_code = -1;
+    std::string err;
+};
+
+/** Runs @p command, capturing its exit code and stderr. */
+RunResult
+run(const std::string &command)
+{
+    static int counter = 0;
+    const std::string err_path = testing::TempDir() + "/cli-death-stderr-" +
+                                 std::to_string(counter++) + ".txt";
+    RunResult result;
+    const std::string full =
+        command + " >/dev/null 2>" + err_path;
+    int status = std::system(full.c_str());
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    std::ifstream in(err_path);
+    result.err.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    return result;
+}
+
+std::string
+quoted(const std::string &path)
+{
+    return "'" + path + "'";
+}
+
+/** A tiny but valid SBBT trace. */
+std::string
+validTrace()
+{
+    static std::string path;
+    if (!path.empty())
+        return path;
+    path = testing::TempDir() + "/cli-death-valid.sbbt";
+    mbp::sbbt::SbbtWriter writer(path);
+    for (int i = 0; i < 32; ++i)
+        writer.append(mbp::Branch{0x500000ull + std::uint64_t(i % 4) * 16,
+                                  0x500100ull, mbp::OpCode::condJump(),
+                                  (i & 1) != 0},
+                      3);
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return path;
+}
+
+/** A file that opens fine but is not an SBBT trace. */
+std::string
+corruptTrace()
+{
+    static std::string path;
+    if (!path.empty())
+        return path;
+    path = testing::TempDir() + "/cli-death-corrupt.sbbt";
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a branch trace at all, sorry";
+    return path;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// mbp_sim
+
+TEST(SimCli, NoArgumentsIsUsageError)
+{
+    EXPECT_EQ(run(MBP_SIM_BIN).exit_code, 2);
+}
+
+TEST(SimCli, UnknownPredictorExits2)
+{
+    auto r = run(std::string(MBP_SIM_BIN) + " no-such-predictor " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("unknown predictor"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("no-such-predictor"), std::string::npos) << r.err;
+}
+
+TEST(SimCli, UnreadableTraceExits2AndNamesThePath)
+{
+    auto r = run(std::string(MBP_SIM_BIN) +
+                 " bimodal /no/such/dir/missing.sbbt");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("cannot read trace"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("/no/such/dir/missing.sbbt"), std::string::npos)
+        << r.err;
+}
+
+TEST(SimCli, BadInstructionCountExits2)
+{
+    auto r = run(std::string(MBP_SIM_BIN) + " bimodal " +
+                 quoted(validTrace()) + " not-a-number");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("not-a-number"), std::string::npos) << r.err;
+}
+
+TEST(SimCli, CorruptTraceIsRuntimeFailureExit1)
+{
+    auto r = run(std::string(MBP_SIM_BIN) + " bimodal " +
+                 quoted(corruptTrace()));
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(SimCli, ValidRunExits0)
+{
+    auto r = run(std::string(MBP_SIM_BIN) + " bimodal " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+}
+
+// ---------------------------------------------------------------------------
+// mbp_sweep
+
+TEST(SweepCli, BadJobsValueExits2AndNamesTheFlag)
+{
+    for (const char *bad : {"0", "abc", "99999"}) {
+        auto r = run(std::string(MBP_SWEEP_BIN) +
+                     " --predictors bimodal --traces " +
+                     quoted(validTrace()) + " --jobs " + bad);
+        EXPECT_EQ(r.exit_code, 2) << "--jobs " << bad;
+        EXPECT_NE(r.err.find("--jobs"), std::string::npos) << r.err;
+    }
+}
+
+TEST(SweepCli, UnknownPredictorExits2)
+{
+    auto r = run(std::string(MBP_SWEEP_BIN) +
+                 " --predictors no-such-predictor --traces " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("unknown predictor"), std::string::npos) << r.err;
+}
+
+TEST(SweepCli, UnreadableTraceExits2AndNamesTheFlag)
+{
+    auto r = run(std::string(MBP_SWEEP_BIN) +
+                 " --predictors bimodal --traces /no/such/trace.sbbt");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("cannot read trace"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("--traces"), std::string::npos) << r.err;
+}
+
+TEST(SweepCli, UnknownFlagExits2)
+{
+    auto r = run(std::string(MBP_SWEEP_BIN) + " --frobnicate");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--frobnicate"), std::string::npos) << r.err;
+}
+
+TEST(SweepCli, FailingCellExits1)
+{
+    // A readable-but-corrupt trace fails mid-campaign: the run completes
+    // (failure isolation) and reports via the exit code.
+    auto r = run(std::string(MBP_SWEEP_BIN) +
+                 " --predictors bimodal --traces " +
+                 quoted(corruptTrace()) + " --jobs 1");
+    EXPECT_EQ(r.exit_code, 1) << r.err;
+}
+
+TEST(SweepCli, ValidCampaignExits0)
+{
+    auto r = run(std::string(MBP_SWEEP_BIN) +
+                 " --predictors bimodal,gshare --traces " +
+                 quoted(validTrace()) + " --jobs 2");
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+}
+
+// ---------------------------------------------------------------------------
+// mbp_fuzz
+
+TEST(FuzzCli, BadStreamsValueExits2AndNamesTheFlag)
+{
+    auto r = run(std::string(MBP_FUZZ_BIN) + " --streams 0");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--streams"), std::string::npos) << r.err;
+}
+
+TEST(FuzzCli, UnknownPredictorExits2AndNamesTheFlag)
+{
+    auto r = run(std::string(MBP_FUZZ_BIN) +
+                 " --predictors no-such-predictor");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--predictors"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("no-such-predictor"), std::string::npos) << r.err;
+}
+
+TEST(FuzzCli, UnknownFlagExits2)
+{
+    auto r = run(std::string(MBP_FUZZ_BIN) + " --zap");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--zap"), std::string::npos) << r.err;
+}
+
+TEST(FuzzCli, SelfTestCatchesAndExits0)
+{
+    auto r = run(std::string(MBP_FUZZ_BIN) +
+                 " --self-test --seed 11 --streams 4 --artifacts " +
+                 quoted(testing::TempDir() + "/fuzz-cli-selftest"));
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.err.find("self-test passed"), std::string::npos) << r.err;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The fuzz-smoke tier: a small seeded fuzzing campaign that rides in the
+ * default ctest run (`ctest -L fuzz-smoke`, budgeted well under 10 s).
+ * Full-size campaigns run from the mbp_fuzz binary; this tier exists so a
+ * regression that the differential or metamorphic oracles would catch
+ * never survives an ordinary `ctest` invocation.
+ */
+#include "mbp/testkit/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mbp;
+
+TEST(FuzzSmoke, SeededCampaignIsCleanAndDeterministic)
+{
+    testkit::FuzzOptions options;
+    options.seed = 20260805;
+    options.num_streams = 12;
+    options.max_branches = 1024;
+    options.artifact_dir = testing::TempDir() + "/fuzz-smoke";
+    options.metamorphic_predictors = {"bimodal", "gshare", "tage"};
+
+    json_t first = testkit::runFuzz(options, testkit::defaultDiffTargets());
+    EXPECT_TRUE(first.find("ok")->asBool()) << first.dump(2);
+
+    json_t second =
+        testkit::runFuzz(options, testkit::defaultDiffTargets());
+    EXPECT_EQ(first.dump(), second.dump())
+        << "same options must reproduce the identical report";
+}
+
+TEST(FuzzSmoke, SelfTestStillCatchesThePlantedBug)
+{
+    testkit::FuzzOptions options;
+    options.seed = 20260805;
+    options.num_streams = 4;
+    options.max_branches = 512;
+    options.artifact_dir = testing::TempDir() + "/fuzz-smoke-selftest";
+    options.metamorphic = false;
+    json_t report =
+        testkit::runFuzz(options, {testkit::brokenGshareTarget()});
+    EXPECT_GT(report.find("failures")->size(), 0u)
+        << "a fuzzer that cannot catch a planted bug is not a fuzzer";
+}

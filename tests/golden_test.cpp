@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Golden MPKI regression: every roster predictor is simulated on the
+ * bundled example-demo trace and compared against the checked-in numbers
+ * in tests/golden/roster_demo.json. A behavioural change to any predictor
+ * — intended or not — shows up as an exact mispredictions diff here.
+ *
+ * To refresh after an intentional change:
+ *
+ *     ./tests/golden_test --update-golden
+ *
+ * which rewrites the golden file in the source tree; commit the diff with
+ * an explanation of why the numbers moved.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mbp/json/json.hpp"
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sim/simulator.hpp"
+
+using namespace mbp;
+
+namespace
+{
+
+constexpr std::uint64_t kSimInstr = 2'000'000;
+
+/** One row of the golden file, freshly measured. */
+json_t
+measure(const std::string &name)
+{
+    auto predictor = pred::makeByName(name);
+    EXPECT_NE(predictor, nullptr) << name;
+    SimArgs args;
+    args.trace_path = MBP_DEMO_TRACE;
+    args.sim_instr = kSimInstr;
+    args.collect_most_failed = false;
+    json_t result = simulate(*predictor, args);
+    EXPECT_FALSE(result.contains("error")) << name << ": " << result.dump(2);
+    const json_t *metrics = result.find("metrics");
+    return json_t::object({
+        {"mpki", *metrics->find("mpki")},
+        {"mispredictions", *metrics->find("mispredictions")},
+        {"accuracy", *metrics->find("accuracy")},
+    });
+}
+
+json_t
+measureAll()
+{
+    json_t rows = json_t::object({});
+    for (const std::string &name : pred::rosterNames())
+        rows[name] = measure(name);
+    return rows;
+}
+
+json_t
+loadGolden(std::string &error)
+{
+    std::ifstream in(MBP_GOLDEN_FILE);
+    if (!in) {
+        error = "cannot open golden file " MBP_GOLDEN_FILE
+                " — run ./tests/golden_test --update-golden to create it";
+        return json_t();
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = json::Value::parse(text.str(), &error);
+    return parsed ? *parsed : json_t();
+}
+
+} // namespace
+
+TEST(Golden, RosterMatchesRecordedNumbers)
+{
+    std::string error;
+    json_t golden = loadGolden(error);
+    ASSERT_EQ(error, "");
+    const json_t *rows = golden.find("predictors");
+    ASSERT_NE(rows, nullptr) << "golden file has no 'predictors' object";
+
+    const json_t fresh = measureAll();
+
+    // Every roster predictor must have a recorded row, and vice versa —
+    // adding a predictor without refreshing the golden file is an error.
+    ASSERT_EQ(rows->size(), fresh.size())
+        << "roster and golden file disagree on the predictor set; "
+           "run ./tests/golden_test --update-golden";
+
+    for (const auto &[name, expected] : rows->members()) {
+        const json_t *actual = fresh.find(name);
+        ASSERT_NE(actual, nullptr)
+            << "golden row '" << name << "' is not in the roster";
+        EXPECT_EQ(expected.find("mispredictions")->asUint(),
+                  actual->find("mispredictions")->asUint())
+            << name << " mispredictions moved; if intended, run "
+                       "./tests/golden_test --update-golden";
+        EXPECT_NEAR(expected.find("mpki")->asDouble(),
+                    actual->find("mpki")->asDouble(), 1e-6)
+            << name;
+        EXPECT_NEAR(expected.find("accuracy")->asDouble(),
+                    actual->find("accuracy")->asDouble(), 1e-9)
+            << name;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden") {
+            json_t golden = json_t::object({
+                {"trace", json_t("traces_corpus/example-demo.sbbt.flz")},
+                {"sim_instr", json_t(kSimInstr)},
+                {"predictors", measureAll()},
+            });
+            std::ofstream out(MBP_GOLDEN_FILE);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", MBP_GOLDEN_FILE);
+                return 1;
+            }
+            out << golden.dump(2) << "\n";
+            std::printf("wrote %s\n", MBP_GOLDEN_FILE);
+            return 0;
+        }
+    }
+    testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

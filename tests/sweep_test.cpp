@@ -330,3 +330,104 @@ TEST_F(SweepTest, CsvHasOneRowPerCell)
     EXPECT_NE(csv.find("bimodal,"), std::string::npos);
     EXPECT_NE(csv.find("unknown predictor 'bogus'"), std::string::npos);
 }
+
+namespace
+{
+
+/**
+ * A straight RFC 4180 reader: quoted fields may contain commas, CRLF/LF
+ * and doubled quotes. Used to prove toCsv output survives a conforming
+ * consumer (spreadsheet, pandas) rather than just eyeballing the bytes.
+ */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field.push_back('"');
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+        } else if (c == '"' && field.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            row.push_back(std::move(field));
+            field.clear();
+        } else if (c == '\n') {
+            row.push_back(std::move(field));
+            field.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+        } else if (c != '\r') {
+            field.push_back(c);
+        }
+    }
+    if (!field.empty() || !row.empty()) {
+        row.push_back(std::move(field));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
+TEST(SweepCsv, HostileNamesRoundTripThroughRfc4180)
+{
+    // Display names are free-form; these hit every character RFC 4180
+    // treats specially, plus a trace path with a comma and quote in the
+    // file name itself.
+    const std::string evil_pred = "gshare, \"tuned\"\n(16 kB)";
+    const std::string other_pred = "plain";
+    const std::string evil_trace =
+        writeTrace("evil, \"quoted\".sbbt", 77, 20'000);
+
+    sweep::Campaign campaign;
+    campaign.predictors = {
+        {evil_pred, [] { return std::make_unique<pred::Gshare<15, 17>>(); }},
+        {other_pred, [] { return std::make_unique<pred::Bimodal<16>>(); }},
+    };
+    campaign.traces = {evil_trace};
+    json_t result = sweep::run(campaign, 2);
+    const std::string csv = sweep::toCsv(result);
+
+    auto rows = parseCsv(csv);
+    ASSERT_EQ(rows.size(), 3u) << csv;
+    for (const auto &row : rows)
+        EXPECT_EQ(row.size(), 8u) << csv;
+    // The parsed fields must reproduce the original names byte for byte,
+    // newline and all.
+    EXPECT_EQ(rows[1][0], evil_pred);
+    EXPECT_EQ(rows[1][1], evil_trace);
+    EXPECT_EQ(rows[2][0], other_pred);
+    // Raw-byte line counting (the naive consumer) must NOT work here:
+    // the embedded newline is the regression this test pins down.
+    std::size_t raw_newlines = 0;
+    for (char c : csv)
+        raw_newlines += c == '\n';
+    EXPECT_EQ(raw_newlines, 4u) << "expected one quoted newline in " << csv;
+}
+
+TEST(SweepCsv, ErrorMessagesAreQuotedToo)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {{"has, comma", nullptr}};
+    campaign.traces = {"/no/such/trace.sbbt"};
+    json_t result = sweep::run(campaign, 1);
+    const std::string csv = sweep::toCsv(result);
+    auto rows = parseCsv(csv);
+    ASSERT_EQ(rows.size(), 2u) << csv;
+    ASSERT_EQ(rows[1].size(), 8u) << csv;
+    EXPECT_EQ(rows[1][0], "has, comma");
+    EXPECT_NE(rows[1][7].find("unknown predictor"), std::string::npos);
+}
