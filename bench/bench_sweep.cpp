@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Machine-readable tracking benchmark for the decode-once trace pipeline.
+ *
+ * Runs the same small sweep campaign twice — per-cell streaming readers
+ * versus the shared in-memory arena cache — and writes `BENCH_sweep.json`
+ * (path from argv[1], default ./BENCH_sweep.json) with branches/second
+ * per predictor for both paths, so the perf trajectory is a diffable
+ * artifact of every CI run.
+ *
+ * Functional checks, enforced with exit code 1 (perf ratios are reported
+ * but never gate, since this also runs under sanitizer builds):
+ *   - both paths produce identical misprediction counts per cell;
+ *   - the in-memory campaign decodes each trace exactly once
+ *     (trace_cache misses == number of traces, zero fallbacks).
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sweep/sweep.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mbp;
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_sweep.json";
+
+    // One mid-sized trace, predictors spanning the Table III cost range:
+    // the cheap end is where decode dominates and the arena should win.
+    tracegen::WorkloadSpec spec;
+    spec.name = "bench-sweep";
+    spec.seed = 11;
+    spec.num_instr = 8'000'000;
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    auto entries = tools::materialize(bench::corpusDir(), {spec}, formats);
+    const std::vector<std::string> roster = {"bimodal", "gshare", "batage"};
+
+    sweep::Campaign campaign;
+    for (const std::string &name : roster)
+        campaign.predictors.push_back(
+            {name, [name] { return pred::makeByName(name); }});
+    campaign.traces.push_back(entries[0].sbbt_flz);
+    const unsigned jobs = bench::jobCount();
+
+    campaign.in_memory = false;
+    json_t streaming = sweep::run(campaign, jobs);
+    campaign.in_memory = true;
+    json_t in_memory = sweep::run(campaign, jobs);
+
+    const json_t &stream_cells = *streaming.find("cells");
+    const json_t &arena_cells = *in_memory.find("cells");
+    const std::size_t num_traces = campaign.traces.size();
+
+    bool ok = true;
+    json_t rows = json_t::array();
+    for (std::size_t p = 0; p < roster.size(); ++p) {
+        double stream_bps = 0.0, arena_bps = 0.0;
+        std::uint64_t stream_mis = 0, arena_mis = 0;
+        for (std::size_t t = 0; t < num_traces; ++t) {
+            const json_t &s =
+                *stream_cells[p * num_traces + t].find("result");
+            const json_t &a =
+                *arena_cells[p * num_traces + t].find("result");
+            if (s.contains("error") || a.contains("error")) {
+                std::fprintf(stderr, "%s: cell failed: %s\n",
+                             roster[p].c_str(),
+                             (s.contains("error") ? s : a)
+                                 .find("error")
+                                 ->asString()
+                                 .c_str());
+                ok = false;
+                continue;
+            }
+            stream_bps +=
+                s.find("metrics")->find("branches_per_second")->asDouble();
+            arena_bps +=
+                a.find("metrics")->find("branches_per_second")->asDouble();
+            stream_mis +=
+                s.find("metrics")->find("mispredictions")->asUint();
+            arena_mis +=
+                a.find("metrics")->find("mispredictions")->asUint();
+        }
+        if (stream_mis != arena_mis) {
+            std::fprintf(stderr,
+                         "%s: misprediction mismatch between paths "
+                         "(streaming %llu, in-memory %llu)\n",
+                         roster[p].c_str(),
+                         (unsigned long long)stream_mis,
+                         (unsigned long long)arena_mis);
+            ok = false;
+        }
+        stream_bps /= double(num_traces);
+        arena_bps /= double(num_traces);
+        std::printf("%-10s streaming %12.0f b/s   in-memory %12.0f b/s "
+                    "  %5.2fx\n",
+                    roster[p].c_str(), stream_bps, arena_bps,
+                    stream_bps > 0 ? arena_bps / stream_bps : 0.0);
+        rows.push_back(json_t::object({
+            {"predictor", roster[p]},
+            {"streaming_branches_per_second", stream_bps},
+            {"in_memory_branches_per_second", arena_bps},
+            {"speedup",
+             stream_bps > 0 ? arena_bps / stream_bps : 0.0},
+            {"mispredictions", stream_mis},
+        }));
+    }
+
+    const json_t &cache = *in_memory.find("aggregate")->find("trace_cache");
+    const std::uint64_t misses = cache.find("misses")->asUint();
+    const std::uint64_t fallbacks =
+        cache.find("streamed_fallbacks")->asUint();
+    if (misses != num_traces || fallbacks != 0) {
+        std::fprintf(stderr,
+                     "trace_cache: expected exactly one decode per trace "
+                     "(misses %llu of %zu traces, %llu fallbacks)\n",
+                     (unsigned long long)misses, num_traces,
+                     (unsigned long long)fallbacks);
+        ok = false;
+    }
+
+    json_t doc = json_t::object({
+        {"bench", "mbp_sweep decode-once pipeline"},
+        {"version", kMbpVersion},
+        {"workload", json_t::object({
+                         {"name", spec.name},
+                         {"seed", spec.seed},
+                         {"num_instr", spec.num_instr},
+                         {"num_traces", std::uint64_t(num_traces)},
+                     })},
+        {"jobs", std::uint64_t(jobs)},
+        {"predictors", std::move(rows)},
+        {"streaming_wall_seconds", streaming.find("aggregate")
+                                       ->find("wall_time_seconds")
+                                       ->asDouble()},
+        {"in_memory_wall_seconds", in_memory.find("aggregate")
+                                       ->find("wall_time_seconds")
+                                       ->asDouble()},
+        {"trace_cache", cache},
+        {"checks_passed", ok},
+    });
+
+    std::FILE *out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::string text = doc.dump(2) + "\n";
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+    return ok ? 0 : 1;
+}

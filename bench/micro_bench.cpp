@@ -8,13 +8,18 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <random>
+#include <string>
 
 #include "bench_predictors.hpp"
 #include "mbp/compress/flz.hpp"
 #include "mbp/compress/streams.hpp"
 #include "mbp/sbbt/format.hpp"
+#include "mbp/sbbt/mem_trace.hpp"
 #include "mbp/sbbt/reader.hpp"
 #include "mbp/sbbt/writer.hpp"
 #include "mbp/tracegen/generator.hpp"
@@ -149,11 +154,30 @@ BM_GzipRoundTripDecompress(benchmark::State &state)
 BENCHMARK(BM_GzipRoundTripDecompress);
 
 /**
+ * Workload size for the pipeline benches: $MBP_BENCH_PIPELINE_INSTR or
+ * 70M instructions. The bench-smoke ctest run shrinks it so the
+ * arena-vs-streaming numbers come out of every CI run in seconds.
+ */
+std::uint64_t
+pipelineInstrCount()
+{
+    if (const char *env = std::getenv("MBP_BENCH_PIPELINE_INSTR")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return v;
+    }
+    return 70'000'000;
+}
+
+/**
  * On-disk compressed trace for the end-to-end pipeline benchmark. Built
  * lazily on first use: a count pass (compressed SBBT needs the header
- * counts up front), then a streaming write. ~14M branches from a 70M
- * instruction workload, so one benchmark iteration decompresses and
- * decodes roughly 220 MB of packet data.
+ * counts up front), then a streaming write. At the default size, ~14M
+ * branches from a 70M instruction workload, so one benchmark iteration
+ * decompresses and decodes roughly 220 MB of packet data. The cached
+ * file name encodes the size so runs with different
+ * MBP_BENCH_PIPELINE_INSTR never reuse a stale trace.
  */
 const std::string &
 pipelineTracePath()
@@ -162,7 +186,7 @@ pipelineTracePath()
         tracegen::WorkloadSpec spec;
         spec.name = "pipeline";
         spec.seed = 13;
-        spec.num_instr = 70'000'000;
+        spec.num_instr = pipelineInstrCount();
         std::uint64_t instr = 0, branches = 0;
         {
             tracegen::TraceGenerator gen(spec);
@@ -175,9 +199,11 @@ pipelineTracePath()
         sbbt::Header header;
         header.instruction_count = instr;
         header.branch_count = branches;
-        std::string p = (std::filesystem::temp_directory_path() /
-                         "mbp_pipeline_bench.sbbt.flz")
-                            .string();
+        std::string p =
+            (std::filesystem::temp_directory_path() /
+             ("mbp_pipeline_bench_" + std::to_string(spec.num_instr) +
+              ".sbbt.flz"))
+                .string();
         sbbt::SbbtWriter writer(p, header, 1);
         tracegen::TraceGenerator gen(spec);
         tracegen::TraceEvent ev;
@@ -221,6 +247,75 @@ BENCHMARK(BM_SbbtTracePipeline)
     ->Args({4096, 0}) // block-decoded
     ->Args({4096, 1}) // block-decoded + prefetch thread
     ->Unit(benchmark::kMillisecond);
+
+/** The decode-once arena, shared by the MemTrace benches below. */
+std::shared_ptr<const sbbt::MemTrace>
+pipelineArena()
+{
+    static const auto arena = [] {
+        std::string error;
+        auto trace = sbbt::MemTrace::load(pipelineTracePath(), {}, &error);
+        if (trace == nullptr) {
+            std::fprintf(stderr, "MemTrace::load: %s\n", error.c_str());
+            std::abort();
+        }
+        return trace;
+    }();
+    return arena;
+}
+
+/**
+ * The one-time cost of the in-memory path: decompress + decode the whole
+ * trace into a MemTrace arena. Compare one iteration of this plus N of
+ * BM_MemTraceReplay against N iterations of BM_SbbtTracePipeline to see
+ * where the arena starts winning for an N-predictor sweep.
+ */
+void
+BM_MemTraceLoad(benchmark::State &state)
+{
+    const std::string &path = pipelineTracePath();
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        std::string error;
+        auto trace = sbbt::MemTrace::load(path, {}, &error);
+        if (trace == nullptr) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        branches = trace->size();
+        benchmark::DoNotOptimize(trace);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(branches));
+    state.counters["arena_bytes"] =
+        static_cast<double>(pipelineArena()->memoryBytes());
+}
+BENCHMARK(BM_MemTraceLoad)->Unit(benchmark::kMillisecond);
+
+/**
+ * The steady-state in-memory path: replay the already-decoded arena
+ * through a cursor — what every simulation pass after the first costs.
+ * items/s is directly comparable with BM_SbbtTracePipeline's.
+ */
+void
+BM_MemTraceReplay(benchmark::State &state)
+{
+    auto arena = pipelineArena();
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        sbbt::MemTraceCursor cursor(arena);
+        sbbt::PacketData p;
+        std::uint64_t n = 0;
+        while (cursor.next(p))
+            ++n;
+        branches = n;
+        benchmark::DoNotOptimize(cursor.instrNumber());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(branches));
+    state.counters["branches"] = static_cast<double>(branches);
+}
+BENCHMARK(BM_MemTraceReplay)->Unit(benchmark::kMillisecond);
 
 void
 BM_XorFold(benchmark::State &state)

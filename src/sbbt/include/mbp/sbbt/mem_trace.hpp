@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Decode-once in-memory trace arena.
+ *
+ * For cheap predictors (Bimodal/GShare class) the simulator's running
+ * time is dominated by trace decode — decompression plus packet decode —
+ * not by prediction (paper Table III). A MemTrace pays that cost exactly
+ * once: one streaming pass decodes the whole trace into a compact
+ * struct-of-arrays arena that is immutable afterwards and can be shared
+ * across any number of predictors and threads via
+ * `std::shared_ptr<const MemTrace>`. A MemTraceCursor then replays the
+ * arena through the same `next(PacketData&)` / `instrNumber()` surface as
+ * SbbtReader, so the simulator core runs unchanged over either source.
+ *
+ * @code
+ *   std::string error;
+ *   auto trace = sbbt::MemTrace::load("trace.sbbt.flz", {}, &error);
+ *   if (!trace) fail(error);
+ *   sbbt::MemTraceCursor cursor(trace);   // one per concurrent consumer
+ *   sbbt::PacketData p;
+ *   while (cursor.next(p)) { ... cursor.instrNumber() ... }
+ * @endcode
+ */
+#ifndef MBP_SBBT_MEM_TRACE_HPP
+#define MBP_SBBT_MEM_TRACE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbp/sbbt/format.hpp"
+#include "mbp/sbbt/reader.hpp"
+
+namespace mbp::sbbt
+{
+
+/**
+ * An immutable, fully decoded SBBT trace resident in memory.
+ *
+ * Layout is struct-of-arrays: branch IPs, targets, a packed
+ * opcode+outcome byte and the 1-based cumulative instruction number of
+ * every branch. Instruction gaps are not stored — a cursor recovers them
+ * from consecutive instruction numbers — so the arena costs
+ * kBytesPerBranch per branch regardless of the on-disk codec.
+ *
+ * Thread safety: a loaded MemTrace is never mutated, so any number of
+ * threads may iterate it concurrently, each through its own cursor.
+ */
+class MemTrace
+{
+  public:
+    /** Arena bytes consumed per branch (ip + target + instr number + meta). */
+    static constexpr std::uint64_t kBytesPerBranch = 8 + 8 + 8 + 1;
+
+    /**
+     * Decodes the whole trace at @p path in one streaming pass.
+     *
+     * Errors follow SbbtReader semantics: an unreadable file, corrupt
+     * compressed stream, invalid packet or early-ending trace fails the
+     * load (nothing partial is returned).
+     *
+     * @param path    Trace file (possibly compressed).
+     * @param options Decode pipeline knobs (block size, prefetch thread).
+     * @param error   Receives the failure description (optional).
+     * @return The shared arena, or nullptr on error.
+     */
+    static std::shared_ptr<const MemTrace>
+    load(const std::string &path, const ReaderOptions &options = {},
+         std::string *error = nullptr);
+
+    /** @return Estimated arena footprint for a trace with @p header. */
+    static std::uint64_t
+    estimateBytes(const Header &header)
+    {
+        return header.branch_count * kBytesPerBranch + sizeof(MemTrace);
+    }
+
+    /**
+     * Estimated arena footprint of the trace at @p path, from its header
+     * alone (no packet is decoded). Used by memory-budgeted callers to
+     * decide streaming fallback *before* committing the memory.
+     *
+     * @return The estimate, or 0 when the header cannot be read — callers
+     *         should then proceed to load()/stream and surface the real
+     *         error.
+     */
+    static std::uint64_t estimateFileBytes(const std::string &path);
+
+    /** @return The trace header. */
+    const Header &header() const { return header_; }
+
+    /** @return Branches in the arena. */
+    std::size_t size() const { return ips_.size(); }
+
+    /** @return Actual resident footprint of the arena in bytes. */
+    std::uint64_t memoryBytes() const;
+
+    /** @return Decompressed SBBT bytes consumed while decoding. */
+    std::uint64_t decompressedBytes() const { return decompressed_bytes_; }
+
+    /** @return Seconds the one decode pass took. */
+    double loadSeconds() const { return load_seconds_; }
+
+    // Per-branch row accessors (i < size()).
+    std::uint64_t ip(std::size_t i) const { return ips_[i]; }
+    std::uint64_t target(std::size_t i) const { return targets_[i]; }
+    OpCode opcode(std::size_t i) const { return OpCode(meta_[i] & 0xf); }
+    bool taken(std::size_t i) const { return (meta_[i] & 0x10) != 0; }
+    /** 1-based instruction number of branch @p i (SbbtReader convention). */
+    std::uint64_t instrNumber(std::size_t i) const { return instr_nums_[i]; }
+
+  private:
+    friend class MemTraceCursor;
+
+    MemTrace() = default;
+
+    Header header_;
+    std::vector<std::uint64_t> ips_;
+    std::vector<std::uint64_t> targets_;
+    std::vector<std::uint64_t> instr_nums_; // cumulative, 1-based
+    std::vector<std::uint8_t> meta_;        // bits 0-3 opcode, bit 4 outcome
+    std::uint64_t decompressed_bytes_ = 0;
+    double load_seconds_ = 0.0;
+};
+
+/**
+ * Replays a shared MemTrace with the SbbtReader consumption surface
+ * (next/instrNumber/branchesRead/exhausted/...), so simulator code
+ * templated over a trace source runs identically on both.
+ *
+ * Each concurrent consumer needs its own cursor; cursors share the arena.
+ */
+class MemTraceCursor
+{
+  public:
+    explicit MemTraceCursor(std::shared_ptr<const MemTrace> trace)
+        : trace_(std::move(trace))
+    {
+        if (trace_ == nullptr) {
+            error_ = "null in-memory trace";
+            done_ = true;
+        } else {
+            size_ = trace_->size();
+        }
+    }
+
+    /** @return Whether the cursor has a trace to read. */
+    bool ok() const { return error_.empty(); }
+
+    /** @return "" — a loaded arena has no deferred errors. */
+    const std::string &error() const { return error_; }
+
+    /** @return The trace header. */
+    const Header &header() const { return trace_->header_; }
+
+    /** Advances to the next branch; false at end of arena. */
+    bool
+    next(PacketData &out)
+    {
+        if (pos_ == size_) {
+            done_ = true;
+            return false;
+        }
+        const MemTrace &t = *trace_;
+        out.branch = Branch{t.ips_[pos_], t.targets_[pos_],
+                            OpCode(t.meta_[pos_] & 0xf),
+                            (t.meta_[pos_] & 0x10) != 0};
+        const std::uint64_t n = t.instr_nums_[pos_];
+        out.instr_gap = static_cast<std::uint32_t>(n - instr_number_ - 1);
+        instr_number_ = n;
+        ++pos_;
+        return true;
+    }
+
+    /** @return 1-based instruction number of the most recent branch. */
+    std::uint64_t instrNumber() const { return instr_number_; }
+
+    /** @return Branches delivered so far. */
+    std::uint64_t branchesRead() const { return pos_; }
+
+    /**
+     * @return Whether the whole trace was consumed, mirroring
+     *         SbbtReader::exhausted(): true only after next() has
+     *         returned false at the end of the arena.
+     */
+    bool exhausted() const { return done_ && error_.empty(); }
+
+    /** @return Decompressed SBBT bytes of the one decode pass. */
+    std::uint64_t
+    decompressedBytes() const
+    {
+        return trace_ ? trace_->decompressed_bytes_ : 0;
+    }
+
+    /** @return 0 — the arena never stalls on a prefetch thread. */
+    double prefetchStallSeconds() const { return 0.0; }
+
+  private:
+    std::shared_ptr<const MemTrace> trace_;
+    std::string error_;
+    std::size_t size_ = 0;
+    std::size_t pos_ = 0;
+    std::uint64_t instr_number_ = 0;
+    bool done_ = false;
+};
+
+} // namespace mbp::sbbt
+
+#endif // MBP_SBBT_MEM_TRACE_HPP

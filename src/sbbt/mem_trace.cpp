@@ -1,0 +1,74 @@
+#include "mbp/sbbt/mem_trace.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace mbp::sbbt
+{
+
+std::shared_ptr<const MemTrace>
+MemTrace::load(const std::string &path, const ReaderOptions &options,
+               std::string *error)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SbbtReader reader(path, options);
+    if (!reader.ok()) {
+        if (error != nullptr)
+            *error = reader.error();
+        return nullptr;
+    }
+
+    // make_shared is unavailable with the private constructor; the arena
+    // is shared read-only so the separate control block costs nothing hot.
+    std::shared_ptr<MemTrace> trace(new MemTrace());
+    trace->header_ = reader.header();
+    const std::size_t hint = trace->header_.branch_count;
+    trace->ips_.reserve(hint);
+    trace->targets_.reserve(hint);
+    trace->instr_nums_.reserve(hint);
+    trace->meta_.reserve(hint);
+
+    PacketData p;
+    while (reader.next(p)) {
+        trace->ips_.push_back(p.branch.ip());
+        trace->targets_.push_back(p.branch.target());
+        trace->instr_nums_.push_back(reader.instrNumber());
+        trace->meta_.push_back(static_cast<std::uint8_t>(
+            p.branch.opcode().bits() | (p.branch.isTaken() ? 0x10 : 0)));
+    }
+    if (!reader.error().empty()) {
+        if (error != nullptr)
+            *error = reader.error();
+        return nullptr;
+    }
+    trace->decompressed_bytes_ = reader.decompressedBytes();
+    trace->load_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return trace;
+}
+
+std::uint64_t
+MemTrace::estimateFileBytes(const std::string &path)
+{
+    // The SbbtReader constructor parses only the header, so this peek
+    // costs one small read even on multi-gigabyte compressed traces.
+    SbbtReader reader(path, ReaderOptions{.block_packets = 1,
+                                         .prefetch = false});
+    if (!reader.ok())
+        return 0;
+    return estimateBytes(reader.header());
+}
+
+std::uint64_t
+MemTrace::memoryBytes() const
+{
+    return sizeof(MemTrace) +
+           ips_.capacity() * sizeof(std::uint64_t) +
+           targets_.capacity() * sizeof(std::uint64_t) +
+           instr_nums_.capacity() * sizeof(std::uint64_t) +
+           meta_.capacity() * sizeof(std::uint8_t);
+}
+
+} // namespace mbp::sbbt

@@ -25,13 +25,14 @@
 #include <vector>
 
 #include "mbp/json/json.hpp"
+#include "mbp/sbbt/mem_trace.hpp"
 #include "mbp/sim/predictor.hpp"
 
 namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.8.0";
+inline constexpr const char *kMbpVersion = "v0.9.0";
 
 /** Parameters of a simulation run. */
 struct SimArgs
@@ -86,6 +87,34 @@ struct SimArgs
     bool prefetch = true;
 
     /**
+     * Decode the whole trace once into an in-memory arena
+     * (sbbt::MemTrace) and simulate from it, instead of streaming
+     * packets from disk. Results are bit-identical either way (the
+     * conformance suite pins this); only the throughput profile changes:
+     * the decode cost moves out of the predict loop into a one-time
+     * `trace_load_seconds`, which pays off whenever the same trace feeds
+     * more than one predictor (compare/simulateMany/sweeps) or the
+     * predictor is cheap enough that decode dominates (paper Table III).
+     */
+    bool in_memory = false;
+
+    /**
+     * Upper bound, in bytes, on the arena a run may allocate when
+     * `in_memory` is set; traces whose estimated footprint exceeds it
+     * fall back to the streaming reader instead of failing. 0 means
+     * unlimited. Ignored when `preloaded` supplies the arena.
+     */
+    std::uint64_t mem_budget = 0;
+
+    /**
+     * Already-decoded arena to simulate from, overriding `trace_path`
+     * for input (the path is still echoed in the result metadata).
+     * This is how mbp::sweep shares one decode across all predictor
+     * cells of a trace.
+     */
+    std::shared_ptr<const sbbt::MemTrace> preloaded;
+
+    /**
      * Branch-level observation hook: invoked for every conditional branch
      * with the prediction just made (before train/track), the 1-based
      * instruction number of the branch, and whether the branch falls in
@@ -114,8 +143,30 @@ json_t simulate(Predictor &predictor, const SimArgs &args);
  * over the same trace. The `most_failed` section ranks the branches by the
  * absolute difference in mispredictions between both predictors, telling
  * which branches each design predicts better.
+ *
+ * A 2-ary wrapper over the same N-predictor core as simulateMany(); the
+ * output document is unchanged from previous releases.
  */
 json_t compare(Predictor &a, Predictor &b, const SimArgs &args);
+
+/**
+ * The multi-predictor simulator: one pass over the trace feeds all
+ * @p predictors, so an N-way roster comparison costs one decode plus N
+ * predict/train loops instead of N full decodes. Combine with
+ * `SimArgs::in_memory` (or `preloaded`) and even the one decode is an
+ * in-memory replay.
+ *
+ * Output follows the compare() document generalized to N: metadata has
+ * `predictor_0..predictor_{N-1}`, metrics have `mpki_i` /
+ * `mispredictions_i` / `accuracy_i`, and `most_failed` ranks branches by
+ * `mpki_spread` (max − min misprediction MPKI across predictors; for
+ * N == 2 the field is the signed `mpki_diff`, as in compare()). Each
+ * predictor trains and tracks independently; like compare(), the
+ * per-branch ranking is always collected and `prediction_hook` is not
+ * invoked.
+ */
+json_t simulateMany(const std::vector<Predictor *> &predictors,
+                    const SimArgs &args);
 
 /**
  * Championship-style multi-trace driver: runs a *fresh* predictor (from

@@ -1,6 +1,13 @@
 /**
  * @file
- * Implementation of the standard and comparison simulators.
+ * Implementation of the standard, comparison and multi-predictor
+ * simulators.
+ *
+ * The hot loops are templated over a trace-source concept — anything with
+ * the SbbtReader consumption surface (next/instrNumber/header/exhausted/
+ * error/decompressedBytes/prefetchStallSeconds) — so the streaming reader
+ * and the decode-once in-memory arena (sbbt::MemTraceCursor) share one
+ * accounting implementation and cannot drift apart.
  */
 #include "mbp/sim/simulator.hpp"
 
@@ -8,8 +15,10 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "mbp/sbbt/mem_trace.hpp"
 #include "mbp/sbbt/reader.hpp"
 #include "mbp/utils/flat_hash_map.hpp"
 
@@ -24,21 +33,18 @@ struct BranchStat
 {
     std::uint64_t occurrences = 0;  // measured conditional executions
     std::uint64_t mispredictions_a = 0;
-    std::uint64_t mispredictions_b = 0; // comparison simulator only
+    std::uint64_t mispredictions_b = 0; // unused by simulate()
 };
 
-/** State shared by simulate() and compare(). */
-struct RunAccounting
+/** Branch-site bookkeeping shared by every simulator flavor. */
+struct SiteAccounting
 {
-    util::FlatHashMap<BranchStat> per_branch;
     std::uint64_t static_branches = 0; // distinct branch IPs (any opcode)
     std::uint64_t dynamic_cond = 0;    // measured conditional executions
     std::uint64_t dynamic_branches = 0;
-    std::uint64_t mispredictions_a = 0;
-    std::uint64_t mispredictions_b = 0;
 
     // Tracks uniqueness of *all* branch sites, including unconditional
-    // ones, which never get a per_branch entry otherwise.
+    // ones, which never get a per-branch stats entry otherwise.
     util::FlatHashMap<char> seen_ips;
 
     void
@@ -52,10 +58,17 @@ struct RunAccounting
     }
 };
 
+/** State of a single-predictor simulate() run. */
+struct RunAccounting : SiteAccounting
+{
+    util::FlatHashMap<BranchStat> per_branch;
+    std::uint64_t mispredictions_a = 0;
+};
+
 json_t
 makeMetadata(const char *simulator_name, const SimArgs &args,
              std::uint64_t simulation_instr, bool exhausted,
-             const RunAccounting &acc)
+             const SiteAccounting &acc)
 {
     return json_t::object({
         {"simulator", simulator_name},
@@ -112,7 +125,7 @@ readerOptions(const SimArgs &args)
 /**
  * Instruction number (inclusive) at which a run stops: warmup plus the
  * simulation budget, saturating so sim_instr = "unlimited" never wraps.
- * Shared by simulate() and compare() so their measurement windows cannot
+ * Shared by all simulator flavors so their measurement windows cannot
  * drift apart.
  */
 std::uint64_t
@@ -131,31 +144,37 @@ instrLimit(const SimArgs &args)
  * limit-stopped run is clamped to the limit.
  */
 std::uint64_t
-measuredInstr(const SimArgs &args, const sbbt::SbbtReader &reader,
+measuredInstr(const SimArgs &args, std::uint64_t header_instr,
               bool exhausted, std::uint64_t last_instr,
               std::uint64_t limit)
 {
-    std::uint64_t end_instr =
-        exhausted ? std::max(reader.header().instruction_count, last_instr)
-                  : std::min(last_instr, limit);
+    std::uint64_t end_instr = exhausted
+                                  ? std::max(header_instr, last_instr)
+                                  : std::min(last_instr, limit);
     return end_instr > args.warmup_instr ? end_instr - args.warmup_instr
                                          : 0;
 }
 
 /**
- * Appends the per-run throughput observability fields shared by both
- * simulators to @p metrics.
+ * Appends the per-run throughput observability fields shared by all
+ * simulator flavors to @p metrics. `trace_load_seconds` is the one-time
+ * arena decode cost (0 when streaming, or when the arena arrived
+ * pre-decoded via SimArgs::preloaded); it is deliberately kept outside
+ * `simulation_time` so branches_per_second measures the predict loop.
  */
+template <typename Source>
 void
-addThroughputMetrics(json_t &metrics, const RunAccounting &acc,
-                     double seconds, const sbbt::SbbtReader &reader)
+addThroughputMetrics(json_t &metrics, const SiteAccounting &acc,
+                     double seconds, const Source &source,
+                     double load_seconds)
 {
     metrics["simulation_time"] = seconds;
     metrics["branches_per_second"] =
         seconds > 0.0 ? static_cast<double>(acc.dynamic_branches) / seconds
                       : 0.0;
-    metrics["decompressed_bytes"] = reader.decompressedBytes();
-    metrics["prefetch_stall_seconds"] = reader.prefetchStallSeconds();
+    metrics["decompressed_bytes"] = source.decompressedBytes();
+    metrics["prefetch_stall_seconds"] = source.prefetchStallSeconds();
+    metrics["trace_load_seconds"] = load_seconds;
 }
 
 /** Sorted (by primary misprediction count) snapshot of per-branch stats. */
@@ -176,16 +195,54 @@ sortedByMispredictions(const RunAccounting &acc)
     return rows;
 }
 
-} // namespace
-
-json_t
-simulate(Predictor &predictor, const SimArgs &args)
+/**
+ * How a run obtains its branches: the streaming reader, or a decode-once
+ * arena (requested via in_memory/preloaded, subject to mem_budget).
+ */
+bool
+wantsArena(const SimArgs &args)
 {
-    constexpr const char *kName = "MBPlib std simulator";
-    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
-    if (!reader.ok())
-        return errorResult(kName, args, reader.error());
+    if (args.preloaded != nullptr)
+        return true;
+    if (!args.in_memory)
+        return false;
+    if (args.mem_budget > 0 &&
+        sbbt::MemTrace::estimateFileBytes(args.trace_path) >
+            args.mem_budget)
+        return false; // streaming fallback, never a failure
+    return true;
+}
 
+/** A resolved arena: the trace, its decode cost, or the load error. */
+struct ArenaHandle
+{
+    std::shared_ptr<const sbbt::MemTrace> trace;
+    double load_seconds = 0.0;
+    std::string error;
+};
+
+ArenaHandle
+resolveArena(const SimArgs &args)
+{
+    ArenaHandle handle;
+    if (args.preloaded != nullptr) {
+        handle.trace = args.preloaded;
+        return handle; // decode already paid for elsewhere
+    }
+    handle.trace =
+        sbbt::MemTrace::load(args.trace_path, readerOptions(args),
+                             &handle.error);
+    if (handle.trace != nullptr)
+        handle.load_seconds = handle.trace->loadSeconds();
+    return handle;
+}
+
+/** The simulate() hot loop and report, over any trace source. */
+template <typename Source>
+json_t
+simulateCore(const char *kName, Predictor &predictor, const SimArgs &args,
+             Source &reader, double load_seconds)
+{
     RunAccounting acc;
     const std::uint64_t limit = instrLimit(args);
 
@@ -229,7 +286,8 @@ simulate(Predictor &predictor, const SimArgs &args)
 
     const bool exhausted = reader.exhausted();
     std::uint64_t simulation_instr =
-        measuredInstr(args, reader, exhausted, last_instr, limit);
+        measuredInstr(args, reader.header().instruction_count, exhausted,
+                      last_instr, limit);
 
     json_t result = json_t::object();
     result["metadata"] =
@@ -270,12 +328,222 @@ simulate(Predictor &predictor, const SimArgs &args)
         metrics["num_most_failed_branches"] = std::uint64_t(num_most_failed);
     }
 
-    addThroughputMetrics(metrics, acc, seconds, reader);
+    addThroughputMetrics(metrics, acc, seconds, reader, load_seconds);
     result["metrics"] = std::move(metrics);
     result["predictor_statistics"] = predictor.execution_stats();
     if (args.collect_most_failed)
         result["most_failed"] = std::move(most_failed);
     return result;
+}
+
+/**
+ * The N-predictor hot loop and report, over any trace source. compare()
+ * is this with N == 2 and its historical simulator name; the document
+ * layout is compare()'s, generalized.
+ */
+template <typename Source>
+json_t
+simulateManyCore(const char *kName,
+                 const std::vector<Predictor *> &predictors,
+                 const SimArgs &args, Source &reader, double load_seconds)
+{
+    const std::size_t n = predictors.size();
+    SiteAccounting acc;
+    std::vector<std::uint64_t> mispredictions(n, 0);
+
+    // Per-branch stats live in one flat array (stride = 1 + n:
+    // occurrences then one misprediction counter per predictor) indexed
+    // through an ip -> row map, so N predictors cost one hash lookup per
+    // measured branch, same as compare() always did.
+    util::FlatHashMap<std::uint32_t> row_of; // value = row index + 1
+    std::vector<std::uint64_t> rows;
+    std::vector<std::uint64_t> row_ips;
+    const std::size_t stride = 1 + n;
+
+    std::vector<char> guesses(n, 0);
+    const std::uint64_t limit = instrLimit(args);
+
+    auto start_time = std::chrono::steady_clock::now();
+    sbbt::PacketData packet;
+    std::uint64_t last_instr = 0;
+    while (reader.next(packet)) {
+        const Branch &branch = packet.branch;
+        last_instr = reader.instrNumber();
+        if (last_instr > limit)
+            break;
+        const bool measured = last_instr > args.warmup_instr;
+        acc.noteBranchSite(branch.ip());
+        ++acc.dynamic_branches;
+        if (branch.isConditional()) {
+            for (std::size_t k = 0; k < n; ++k)
+                guesses[k] = predictors[k]->predict(branch.ip());
+            if (measured) {
+                ++acc.dynamic_cond;
+                std::uint32_t &slot = row_of[branch.ip()];
+                if (slot == 0) {
+                    row_ips.push_back(branch.ip());
+                    rows.resize(rows.size() + stride, 0);
+                    slot = static_cast<std::uint32_t>(row_ips.size());
+                }
+                std::uint64_t *row = rows.data() + (slot - 1) * stride;
+                ++row[0];
+                const char taken = branch.isTaken() ? 1 : 0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    if (guesses[k] != taken) {
+                        ++row[1 + k];
+                        ++mispredictions[k];
+                    }
+                }
+            }
+            for (std::size_t k = 0; k < n; ++k)
+                predictors[k]->train(branch);
+        }
+        if (!args.track_only_conditional || branch.isConditional()) {
+            for (std::size_t k = 0; k < n; ++k)
+                predictors[k]->track(branch);
+        }
+    }
+    auto end_time = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(end_time - start_time)
+                         .count();
+
+    if (!reader.error().empty())
+        return errorResult(kName, args, reader.error());
+
+    const bool exhausted = reader.exhausted();
+    std::uint64_t simulation_instr =
+        measuredInstr(args, reader.header().instruction_count, exhausted,
+                      last_instr, limit);
+
+    // Rank by the spread in mispredictions (max − min across predictors):
+    // the branches whose predictability changed the most between designs.
+    // For two predictors this is exactly compare()'s absolute difference.
+    auto spreadOf = [&](const std::uint64_t *row) {
+        std::uint64_t lo = row[1], hi = row[1];
+        for (std::size_t k = 1; k < n; ++k) {
+            lo = std::min(lo, row[1 + k]);
+            hi = std::max(hi, row[1 + k]);
+        }
+        return hi - lo;
+    };
+    std::vector<std::uint32_t> ranked;
+    ranked.reserve(row_ips.size());
+    for (std::uint32_t r = 0; r < row_ips.size(); ++r) {
+        if (spreadOf(rows.data() + std::size_t(r) * stride) > 0)
+            ranked.push_back(r);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                  std::uint64_t dx =
+                      spreadOf(rows.data() + std::size_t(x) * stride);
+                  std::uint64_t dy =
+                      spreadOf(rows.data() + std::size_t(y) * stride);
+                  if (dx != dy)
+                      return dx > dy;
+                  return row_ips[x] < row_ips[y];
+              });
+
+    json_t most_failed = json_t::array();
+    for (std::size_t i = 0;
+         i < std::min(ranked.size(), args.most_failed_cap); ++i) {
+        const std::uint64_t *row =
+            rows.data() + std::size_t(ranked[i]) * stride;
+        json_t entry = json_t::object({
+            {"ip", row_ips[ranked[i]]},
+            {"occurrences", row[0]},
+        });
+        for (std::size_t k = 0; k < n; ++k)
+            entry["mpki_" + std::to_string(k)] =
+                mpkiOf(row[1 + k], simulation_instr);
+        if (n == 2) {
+            entry["mpki_diff"] = mpkiOf(row[1], simulation_instr) -
+                                 mpkiOf(row[2], simulation_instr);
+        } else {
+            entry["mpki_spread"] =
+                mpkiOf(spreadOf(row), simulation_instr);
+        }
+        most_failed.push_back(std::move(entry));
+    }
+
+    json_t result = json_t::object();
+    result["metadata"] =
+        makeMetadata(kName, args, simulation_instr, exhausted, acc);
+    for (std::size_t k = 0; k < n; ++k)
+        result["metadata"]["predictor_" + std::to_string(k)] =
+            predictors[k]->metadata_stats();
+    json_t metrics = json_t::object();
+    for (std::size_t k = 0; k < n; ++k)
+        metrics["mpki_" + std::to_string(k)] =
+            mpkiOf(mispredictions[k], simulation_instr);
+    for (std::size_t k = 0; k < n; ++k)
+        metrics["mispredictions_" + std::to_string(k)] = mispredictions[k];
+    for (std::size_t k = 0; k < n; ++k)
+        metrics["accuracy_" + std::to_string(k)] =
+            accuracyOf(mispredictions[k], acc.dynamic_cond);
+    addThroughputMetrics(metrics, acc, seconds, reader, load_seconds);
+    result["metrics"] = std::move(metrics);
+    for (std::size_t k = 0; k < n; ++k)
+        result["predictor_statistics_" + std::to_string(k)] =
+            predictors[k]->execution_stats();
+    result["most_failed"] = std::move(most_failed);
+    return result;
+}
+
+json_t
+runManyNamed(const char *kName, const std::vector<Predictor *> &predictors,
+             const SimArgs &args)
+{
+    if (predictors.empty())
+        return errorResult(kName, args, "no predictors to simulate");
+    for (const Predictor *p : predictors) {
+        if (p == nullptr)
+            return errorResult(kName, args, "null predictor");
+    }
+    if (wantsArena(args)) {
+        ArenaHandle arena = resolveArena(args);
+        if (arena.trace == nullptr)
+            return errorResult(kName, args, arena.error);
+        sbbt::MemTraceCursor cursor(std::move(arena.trace));
+        return simulateManyCore(kName, predictors, args, cursor,
+                                arena.load_seconds);
+    }
+    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
+    if (!reader.ok())
+        return errorResult(kName, args, reader.error());
+    return simulateManyCore(kName, predictors, args, reader, 0.0);
+}
+
+} // namespace
+
+json_t
+simulate(Predictor &predictor, const SimArgs &args)
+{
+    constexpr const char *kName = "MBPlib std simulator";
+    if (wantsArena(args)) {
+        ArenaHandle arena = resolveArena(args);
+        if (arena.trace == nullptr)
+            return errorResult(kName, args, arena.error);
+        sbbt::MemTraceCursor cursor(std::move(arena.trace));
+        return simulateCore(kName, predictor, args, cursor,
+                            arena.load_seconds);
+    }
+    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
+    if (!reader.ok())
+        return errorResult(kName, args, reader.error());
+    return simulateCore(kName, predictor, args, reader, 0.0);
+}
+
+json_t
+compare(Predictor &a, Predictor &b, const SimArgs &args)
+{
+    return runManyNamed("MBPlib comparison simulator", {&a, &b}, args);
+}
+
+json_t
+simulateMany(const std::vector<Predictor *> &predictors,
+             const SimArgs &args)
+{
+    return runManyNamed("MBPlib multi simulator", predictors, args);
 }
 
 namespace
@@ -376,119 +644,6 @@ simulateSuiteParallel(
     for (std::thread &thread : threads)
         thread.join();
     return assembleSuite(std::move(results));
-}
-
-json_t
-compare(Predictor &a, Predictor &b, const SimArgs &args)
-{
-    constexpr const char *kName = "MBPlib comparison simulator";
-    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
-    if (!reader.ok())
-        return errorResult(kName, args, reader.error());
-
-    RunAccounting acc;
-    const std::uint64_t limit = instrLimit(args);
-
-    auto start_time = std::chrono::steady_clock::now();
-    sbbt::PacketData packet;
-    std::uint64_t last_instr = 0;
-    while (reader.next(packet)) {
-        const Branch &branch = packet.branch;
-        last_instr = reader.instrNumber();
-        if (last_instr > limit)
-            break;
-        const bool measured = last_instr > args.warmup_instr;
-        acc.noteBranchSite(branch.ip());
-        ++acc.dynamic_branches;
-        if (branch.isConditional()) {
-            bool guess_a = a.predict(branch.ip());
-            bool guess_b = b.predict(branch.ip());
-            if (measured) {
-                ++acc.dynamic_cond;
-                BranchStat &stat = acc.per_branch[branch.ip()];
-                ++stat.occurrences;
-                if (guess_a != branch.isTaken()) {
-                    ++stat.mispredictions_a;
-                    ++acc.mispredictions_a;
-                }
-                if (guess_b != branch.isTaken()) {
-                    ++stat.mispredictions_b;
-                    ++acc.mispredictions_b;
-                }
-            }
-            a.train(branch);
-            b.train(branch);
-        }
-        if (!args.track_only_conditional || branch.isConditional()) {
-            a.track(branch);
-            b.track(branch);
-        }
-    }
-    auto end_time = std::chrono::steady_clock::now();
-    double seconds = std::chrono::duration<double>(end_time - start_time)
-                         .count();
-
-    if (!reader.error().empty())
-        return errorResult(kName, args, reader.error());
-
-    const bool exhausted = reader.exhausted();
-    std::uint64_t simulation_instr =
-        measuredInstr(args, reader, exhausted, last_instr, limit);
-
-    // Rank by the absolute difference in mispredictions: the branches whose
-    // predictability changed the most between the two designs.
-    std::vector<std::pair<std::uint64_t, BranchStat>> rows;
-    rows.reserve(acc.per_branch.size());
-    acc.per_branch.forEach([&](std::uint64_t ip, const BranchStat &stat) {
-        if (stat.mispredictions_a != stat.mispredictions_b)
-            rows.emplace_back(ip, stat);
-    });
-    auto diff = [](const BranchStat &s) {
-        return s.mispredictions_a > s.mispredictions_b
-                   ? s.mispredictions_a - s.mispredictions_b
-                   : s.mispredictions_b - s.mispredictions_a;
-    };
-    std::sort(rows.begin(), rows.end(), [&](const auto &x, const auto &y) {
-        std::uint64_t dx = diff(x.second), dy = diff(y.second);
-        if (dx != dy)
-            return dx > dy;
-        return x.first < y.first;
-    });
-
-    json_t most_failed = json_t::array();
-    for (std::size_t i = 0; i < std::min(rows.size(), args.most_failed_cap);
-         ++i) {
-        const auto &[ip, stat] = rows[i];
-        most_failed.push_back(json_t::object({
-            {"ip", ip},
-            {"occurrences", stat.occurrences},
-            {"mpki_0", mpkiOf(stat.mispredictions_a, simulation_instr)},
-            {"mpki_1", mpkiOf(stat.mispredictions_b, simulation_instr)},
-            {"mpki_diff",
-             mpkiOf(stat.mispredictions_a, simulation_instr) -
-                 mpkiOf(stat.mispredictions_b, simulation_instr)},
-        }));
-    }
-
-    json_t result = json_t::object();
-    result["metadata"] =
-        makeMetadata(kName, args, simulation_instr, exhausted, acc);
-    result["metadata"]["predictor_0"] = a.metadata_stats();
-    result["metadata"]["predictor_1"] = b.metadata_stats();
-    json_t metrics = json_t::object({
-        {"mpki_0", mpkiOf(acc.mispredictions_a, simulation_instr)},
-        {"mpki_1", mpkiOf(acc.mispredictions_b, simulation_instr)},
-        {"mispredictions_0", acc.mispredictions_a},
-        {"mispredictions_1", acc.mispredictions_b},
-        {"accuracy_0", accuracyOf(acc.mispredictions_a, acc.dynamic_cond)},
-        {"accuracy_1", accuracyOf(acc.mispredictions_b, acc.dynamic_cond)},
-    });
-    addThroughputMetrics(metrics, acc, seconds, reader);
-    result["metrics"] = std::move(metrics);
-    result["predictor_statistics_0"] = a.execution_stats();
-    result["predictor_statistics_1"] = b.execution_stats();
-    result["most_failed"] = std::move(most_failed);
-    return result;
 }
 
 } // namespace mbp

@@ -35,16 +35,38 @@
 
 #include "mbp/json/json.hpp"
 #include "mbp/sim/simulator.hpp"
+#include "mbp/sweep/trace_cache.hpp"
 
 namespace mbp::sweep
 {
+
+/**
+ * Resolves a requested worker count against the detected hardware
+ * concurrency: an explicit request wins; request 0 defers to
+ * @p hardware; and when the hardware count is itself unknown (the
+ * standard allows hardware_concurrency() to return 0) the pool falls
+ * back to a small fixed size of 2 rather than degrading to serial
+ * execution — a sweep should still overlap decode and simulation on
+ * such platforms.
+ *
+ * Pure so the unknown-hardware branch is unit-testable without mocking
+ * std::thread.
+ */
+constexpr unsigned
+effectiveJobs(unsigned requested, unsigned hardware)
+{
+    if (requested != 0)
+        return requested;
+    return hardware != 0 ? hardware : 2;
+}
 
 /**
  * Runs fn(0), ..., fn(n-1) distributed over a fixed pool of @p jobs
  * threads (dynamic work stealing via an atomic cursor, so long cells do
  * not serialize behind short ones).
  *
- * @param jobs Pool size; 0 means std::thread::hardware_concurrency(),
+ * @param jobs Pool size; 0 means std::thread::hardware_concurrency()
+ *             (or a pool of 2 when that is unknown, see effectiveJobs),
  *             and values < 2 (or n < 2) run inline on the caller.
  * @param fn   Must not throw: an escaping exception in a worker would
  *             terminate the process. Called exactly once per index,
@@ -72,11 +94,28 @@ struct Campaign
 {
     std::vector<PredictorSpec> predictors;
     std::vector<std::string> traces;
-    /** Shared by every cell; trace_path is overwritten per cell. */
+    /** Shared by every cell; trace_path is overwritten per cell. The
+     *  in_memory/mem_budget/preloaded fields are managed by run() (see
+     *  the campaign-level knobs below) and any caller-set values are
+     *  ignored. */
     SimArgs base_args;
     /** Default worker count (0 = hardware concurrency); run() callers
      *  and the CLI's --jobs override it. */
     unsigned jobs = 0;
+    /**
+     * Decode each trace once into a shared in-memory arena (the
+     * TraceCache) instead of re-streaming it per predictor cell — the
+     * decode-once pipeline this module exists for, and the default.
+     * Disable (`--streaming`) to reproduce the per-cell streaming
+     * behavior of previous releases.
+     */
+    bool in_memory = true;
+    /**
+     * TraceCache budget in bytes (0 = unlimited). Traces whose arena
+     * would not fit fall back to streaming — a campaign never fails
+     * because of the budget.
+     */
+    std::uint64_t mem_budget = kDefaultMemBudget;
 };
 
 /**
@@ -90,7 +129,9 @@ struct Campaign
  *     "sim_instr": 10000000,                       // optional
  *     "track_only_conditional": false,             // optional
  *     "collect_most_failed": true,                 // optional
- *     "jobs": 8                                    // optional
+ *     "jobs": 8,                                   // optional
+ *     "in_memory": true,                           // optional
+ *     "mem_budget": 1073741824                     // optional, bytes
  *   }
  * @endcode
  *
@@ -113,9 +154,15 @@ bool campaignFromJson(const json_t &spec, Campaign &out,
  *   - "cells": one entry per (predictor, trace) pair in predictor-major
  *     grid order: {"predictor", "trace", "result": <simulate() doc>};
  *   - "aggregate": campaign wall time, total branches/second across the
- *     pool, failed-cell count, and per-predictor rollups (arithmetic
+ *     pool, failed-cell count, per-predictor rollups (arithmetic
  *     mean MPKI over the traces, total mispredictions) — the Table III
- *     summary form.
+ *     summary form — and a "trace_cache" block ({hits, misses,
+ *     evictions, resident_bytes, streamed_fallbacks}) reporting how the
+ *     decode-once cache behaved (all zero when in_memory is off).
+ *
+ * Cells are *scheduled* trace-major so every predictor of a trace runs
+ * while its arena is resident, but *reported* in the same
+ * predictor-major grid order as always.
  */
 json_t run(const Campaign &campaign, unsigned jobs = 0);
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Memory-budgeted LRU cache of decoded trace arenas.
+ *
+ * A sweep campaign visits the same trace once per predictor; the cache
+ * makes sure the expensive part — decompressing and decoding the SBBT
+ * stream — happens exactly once per trace, with every cell (and worker
+ * thread) sharing the immutable sbbt::MemTrace that results. Traces whose
+ * estimated arena would not fit the byte budget are refused (a *streamed
+ * fallback*, counted, never an error), so a campaign can always complete
+ * no matter how small the budget is.
+ */
+#ifndef MBP_SWEEP_TRACE_CACHE_HPP
+#define MBP_SWEEP_TRACE_CACHE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mbp/sbbt/mem_trace.hpp"
+
+namespace mbp::sweep
+{
+
+/** Default arena budget for sweeps: 1 GiB. */
+inline constexpr std::uint64_t kDefaultMemBudget = std::uint64_t(1) << 30;
+
+/**
+ * Thread-safe decode-once trace cache.
+ *
+ * Concurrency: the first thread to request a trace decodes it; threads
+ * requesting the same trace meanwhile block until that one decode
+ * finishes and then share its arena (they count as cache hits — the
+ * decode happened once). Distinct traces decode concurrently. Eviction
+ * is LRU over ready entries; an arena still referenced by running cells
+ * survives eviction (the shared_ptr keeps it alive), the cache merely
+ * stops accounting for it.
+ */
+class TraceCache
+{
+  public:
+    /** Counters surfaced in the sweep aggregate's `trace_cache` block. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;   //!< arena shared with an earlier decode
+        std::uint64_t misses = 0; //!< decodes initiated
+        std::uint64_t evictions = 0;
+        std::uint64_t resident_bytes = 0; //!< currently cached arenas
+        std::uint64_t streamed_fallbacks = 0; //!< budget refusals
+    };
+
+    /** @param budget_bytes Max resident arena bytes; 0 means unlimited. */
+    explicit TraceCache(std::uint64_t budget_bytes = kDefaultMemBudget)
+        : budget_(budget_bytes)
+    {}
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * Returns the decoded arena for @p path, decoding it (once, shared
+     * with concurrent requesters) on first use.
+     *
+     * @param path    Trace file; used verbatim as the cache key.
+     * @param options Decode pipeline knobs for a cache-miss load.
+     * @param error   Receives the decode failure, "" otherwise (optional).
+     * @return The shared arena; nullptr when the trace exceeds the budget
+     *         (streamed fallback, @p error stays "") or when the decode
+     *         failed (@p error says why). Callers should fall back to the
+     *         streaming reader in both cases.
+     */
+    std::shared_ptr<const sbbt::MemTrace>
+    acquire(const std::string &path, const sbbt::ReaderOptions &options,
+            std::string *error = nullptr);
+
+    /** @return A consistent snapshot of the counters. */
+    Stats stats() const;
+
+    /** @return The configured budget in bytes (0 = unlimited). */
+    std::uint64_t budgetBytes() const { return budget_; }
+
+  private:
+    struct Entry
+    {
+        enum class State { kLoading, kReady, kFailed };
+        State state = State::kLoading;
+        std::shared_ptr<const sbbt::MemTrace> trace;
+        std::string error;
+        std::uint64_t bytes = 0;
+        std::uint64_t last_used = 0;
+    };
+
+    void evictOverBudgetLocked(const std::string &keep);
+
+    const std::uint64_t budget_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_cv_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::uint64_t tick_ = 0;
+    Stats stats_;
+};
+
+} // namespace mbp::sweep
+
+#endif // MBP_SWEEP_TRACE_CACHE_HPP

@@ -21,8 +21,7 @@ parallelFor(std::size_t n, unsigned jobs,
 {
     if (n == 0)
         return;
-    if (jobs == 0)
-        jobs = std::thread::hardware_concurrency();
+    jobs = effectiveJobs(jobs, std::thread::hardware_concurrency());
     if (jobs > n)
         jobs = static_cast<unsigned>(n);
     if (jobs < 2) {
@@ -123,6 +122,15 @@ campaignFromJson(const json_t &spec, Campaign &out, std::string &error)
         }
         campaign.jobs = static_cast<unsigned>(v->asUint());
     }
+    if (const json_t *v = spec.find("in_memory")) {
+        if (!v->isBool()) {
+            error = "\"in_memory\" must be a bool";
+            return false;
+        }
+        campaign.in_memory = v->asBool();
+    }
+    if (!uintField("mem_budget", campaign.mem_budget))
+        return false;
     out = std::move(campaign);
     return true;
 }
@@ -154,26 +162,43 @@ run(const Campaign &campaign, unsigned jobs)
     const std::size_t num_traces = campaign.traces.size();
     const std::size_t num_cells = num_predictors * num_traces;
     unsigned used_jobs = jobs != 0 ? jobs : campaign.jobs;
-    if (used_jobs == 0)
-        used_jobs = std::thread::hardware_concurrency();
-    if (used_jobs == 0)
-        used_jobs = 1;
+    used_jobs =
+        effectiveJobs(used_jobs, std::thread::hardware_concurrency());
     if (num_cells > 0 && used_jobs > num_cells)
         used_jobs = static_cast<unsigned>(num_cells);
 
+    TraceCache cache(campaign.in_memory ? campaign.mem_budget : 0);
+    sbbt::ReaderOptions decode_options;
+    decode_options.block_packets = campaign.base_args.reader_block_packets;
+    decode_options.prefetch = campaign.base_args.prefetch;
+
     std::vector<json_t> cell_results(num_cells);
     auto start_time = std::chrono::steady_clock::now();
+    // Work indices walk the grid trace-major — all predictor cells of a
+    // trace run back to back, while its decoded arena is resident — but
+    // each result lands in the predictor-major slot the report (and its
+    // consumers) have always used.
     parallelFor(num_cells, used_jobs, [&](std::size_t i) {
-        const PredictorSpec &spec = campaign.predictors[i / num_traces];
-        const std::string &trace = campaign.traces[i % num_traces];
+        const std::size_t t = i / num_predictors;
+        const std::size_t p = i % num_predictors;
+        const PredictorSpec &spec = campaign.predictors[p];
+        const std::string &trace = campaign.traces[t];
         SimArgs args = campaign.base_args;
         args.trace_path = trace;
+        args.in_memory = false;
+        args.preloaded = nullptr;
         json_t result;
         std::unique_ptr<Predictor> instance =
             spec.make ? spec.make() : nullptr;
         if (instance == nullptr) {
             result = errorCell("unknown predictor '" + spec.name + "'");
         } else {
+            if (campaign.in_memory) {
+                // A null arena (budget fallback or decode failure) simply
+                // streams; a corrupt trace then surfaces its error through
+                // the streaming reader, same as before this cache existed.
+                args.preloaded = cache.acquire(trace, decode_options);
+            }
             try {
                 result = simulate(*instance, args);
             } catch (const std::exception &e) {
@@ -185,7 +210,7 @@ run(const Campaign &campaign, unsigned jobs)
             {"trace", trace},
         });
         cell["result"] = std::move(result);
-        cell_results[i] = std::move(cell);
+        cell_results[p * num_traces + t] = std::move(cell);
     });
     auto end_time = std::chrono::steady_clock::now();
     double wall =
@@ -224,6 +249,8 @@ run(const Campaign &campaign, unsigned jobs)
         {"jobs", std::uint64_t(used_jobs)},
         {"warmup_instr", campaign.base_args.warmup_instr},
         {"sim_instr", campaign.base_args.sim_instr},
+        {"in_memory", campaign.in_memory},
+        {"mem_budget", campaign.mem_budget},
     });
     json_t cells = json_t::array();
     for (json_t &cell : cell_results)
@@ -241,11 +268,20 @@ run(const Campaign &campaign, unsigned jobs)
             {"failed_cells", std::uint64_t(rollup.failed)},
         }));
     }
+    const TraceCache::Stats cache_stats = cache.stats();
     out["aggregate"] = json_t::object({
         {"wall_time_seconds", wall},
         {"branches_per_second",
          wall > 0.0 ? total_branches / wall : 0.0},
         {"failed_cells", std::uint64_t(failed_cells)},
+        {"trace_cache",
+         json_t::object({
+             {"hits", cache_stats.hits},
+             {"misses", cache_stats.misses},
+             {"evictions", cache_stats.evictions},
+             {"resident_bytes", cache_stats.resident_bytes},
+             {"streamed_fallbacks", cache_stats.streamed_fallbacks},
+         })},
         {"per_predictor", std::move(per_predictor)},
     });
     return out;

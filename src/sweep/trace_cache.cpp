@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Decode-once trace cache implementation.
+ */
+#include "mbp/sweep/trace_cache.hpp"
+
+#include <utility>
+
+namespace mbp::sweep
+{
+
+std::shared_ptr<const sbbt::MemTrace>
+TraceCache::acquire(const std::string &path,
+                    const sbbt::ReaderOptions &options, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(path);
+    if (it == entries_.end()) {
+        // The budget check peeks the trace header from disk, so drop the
+        // lock; re-lookup afterwards in case another thread started (or
+        // finished) this trace meanwhile.
+        lock.unlock();
+        const std::uint64_t estimate =
+            budget_ > 0 ? sbbt::MemTrace::estimateFileBytes(path) : 0;
+        lock.lock();
+        it = entries_.find(path);
+        if (it == entries_.end()) {
+            if (budget_ > 0 && estimate > budget_) {
+                ++stats_.streamed_fallbacks;
+                return nullptr; // doesn't fit: stream it, not an error
+            }
+            // This thread decodes; peers arriving meanwhile wait below.
+            auto entry = std::make_shared<Entry>();
+            entries_.emplace(path, entry);
+            ++stats_.misses;
+            lock.unlock();
+
+            std::string load_error;
+            std::shared_ptr<const sbbt::MemTrace> trace =
+                sbbt::MemTrace::load(path, options, &load_error);
+
+            lock.lock();
+            if (trace == nullptr) {
+                entry->state = Entry::State::kFailed;
+                entry->error = load_error;
+                // Drop the failed entry so a later acquire retries (the
+                // file may be rewritten between cells); current waiters
+                // still see the error through their shared_ptr.
+                entries_.erase(path);
+                ready_cv_.notify_all();
+                if (error != nullptr)
+                    *error = load_error;
+                return nullptr;
+            }
+            entry->state = Entry::State::kReady;
+            entry->trace = trace;
+            entry->bytes = trace->memoryBytes();
+            entry->last_used = ++tick_;
+            stats_.resident_bytes += entry->bytes;
+            evictOverBudgetLocked(path);
+            ready_cv_.notify_all();
+            return trace;
+        }
+    }
+
+    // Found: share the arena, waiting out an in-flight decode if needed.
+    std::shared_ptr<Entry> entry = it->second;
+    ++stats_.hits;
+    ready_cv_.wait(lock,
+                   [&] { return entry->state != Entry::State::kLoading; });
+    if (entry->state == Entry::State::kFailed) {
+        if (error != nullptr)
+            *error = entry->error;
+        return nullptr;
+    }
+    entry->last_used = ++tick_;
+    return entry->trace;
+}
+
+void
+TraceCache::evictOverBudgetLocked(const std::string &keep)
+{
+    while (budget_ > 0 && stats_.resident_bytes > budget_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second->state != Entry::State::kReady ||
+                it->first == keep)
+                continue;
+            if (victim == entries_.end() ||
+                it->second->last_used < victim->second->last_used)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return; // only the just-loaded arena remains; keep it
+        stats_.resident_bytes -= victim->second->bytes;
+        ++stats_.evictions;
+        entries_.erase(victim);
+    }
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace mbp::sweep

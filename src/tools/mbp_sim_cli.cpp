@@ -6,12 +6,21 @@
  * configuration, paper §VI-A) remains the intended interface.
  *
  * Usage:
- *   mbp_sim <predictor> <trace.sbbt[.gz|.flz]> [warmup_instr] [sim_instr]
- *   mbp_sim compare <pred_a> <pred_b> <trace> [warmup_instr] [sim_instr]
+ *   mbp_sim [flags] <predictor> <trace.sbbt[.gz|.flz]> [warmup] [sim_instr]
+ *   mbp_sim [flags] compare <pred_a> <pred_b> <trace> [warmup] [sim_instr]
  *   mbp_sim list
+ *
+ * Flags (anywhere on the line):
+ *   --in-memory        decode the trace once into an in-memory arena and
+ *                      simulate from it (identical results, different
+ *                      throughput profile; see README "Decode-once")
+ *   --streaming        stream packets from disk (the default)
+ *   --mem-budget N     with --in-memory, fall back to streaming when the
+ *                      arena would exceed N bytes (0 = unlimited)
  */
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sim/simulator.hpp"
@@ -25,23 +34,25 @@ usage(const char *prog)
 {
     std::fprintf(
         stderr,
-        "usage: %s <predictor> <trace> [warmup_instr] [sim_instr]\n"
-        "       %s compare <pred_a> <pred_b> <trace> [warmup_instr] "
+        "usage: %s [flags] <predictor> <trace> [warmup_instr] [sim_instr]\n"
+        "       %s [flags] compare <pred_a> <pred_b> <trace> [warmup_instr] "
         "[sim_instr]\n"
-        "       %s list\n",
+        "       %s list\n"
+        "flags: --in-memory | --streaming | --mem-budget <bytes>\n",
         prog, prog, prog);
     return 2;
 }
 
 /** Parses the optional [warmup_instr] [sim_instr] tail into @p args. */
 bool
-parseLimits(int argc, char **argv, int first, mbp::SimArgs &args)
+parseLimits(const std::vector<const char *> &pos, std::size_t first,
+            mbp::SimArgs &args)
 {
-    for (int i = first; i < argc; ++i) {
+    for (std::size_t i = first; i < pos.size(); ++i) {
         std::uint64_t value = 0;
-        if (!mbp::tools::parseCount(argv[i], value)) {
+        if (!mbp::tools::parseCount(pos[i], value)) {
             std::fprintf(stderr, "invalid instruction count '%s'\n",
-                         argv[i]);
+                         pos[i]);
             return false;
         }
         if (i == first)
@@ -57,48 +68,68 @@ parseLimits(int argc, char **argv, int first, mbp::SimArgs &args)
 int
 main(int argc, char **argv)
 {
-    if (argc >= 2 && std::strcmp(argv[1], "list") == 0) {
+    // Split flags from positionals so the flags may appear anywhere.
+    mbp::SimArgs args;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--in-memory") == 0) {
+            args.in_memory = true;
+        } else if (std::strcmp(argv[i], "--streaming") == 0) {
+            args.in_memory = false;
+        } else if (std::strcmp(argv[i], "--mem-budget") == 0) {
+            if (i + 1 >= argc ||
+                !mbp::tools::parseCount(argv[++i], args.mem_budget)) {
+                std::fprintf(stderr, "invalid --mem-budget value\n");
+                return usage(argv[0]);
+            }
+        } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage(argv[0]);
+        } else {
+            pos.push_back(argv[i]);
+        }
+    }
+
+    if (!pos.empty() && std::strcmp(pos[0], "list") == 0) {
         for (const std::string &name : mbp::pred::rosterNames())
             std::printf("%s\n", name.c_str());
         return 0;
     }
-    if (argc >= 2 && std::strcmp(argv[1], "compare") == 0) {
-        if (argc < 5 || argc > 7)
+    if (!pos.empty() && std::strcmp(pos[0], "compare") == 0) {
+        if (pos.size() < 4 || pos.size() > 6)
             return usage(argv[0]);
-        auto a = mbp::pred::makeByName(argv[2]);
-        auto b = mbp::pred::makeByName(argv[3]);
+        auto a = mbp::pred::makeByName(pos[1]);
+        auto b = mbp::pred::makeByName(pos[2]);
         if (!a || !b) {
             std::fprintf(stderr, "unknown predictor (try '%s list')\n",
                          argv[0]);
             return 2;
         }
-        mbp::SimArgs args;
-        args.trace_path = argv[4];
+        args.trace_path = pos[3];
         if (!mbp::tools::fileReadable(args.trace_path)) {
-            std::fprintf(stderr, "cannot read trace '%s'\n", argv[4]);
+            std::fprintf(stderr, "cannot read trace '%s'\n", pos[3]);
             return 2;
         }
-        if (!parseLimits(argc, argv, 5, args))
+        if (!parseLimits(pos, 4, args))
             return usage(argv[0]);
         mbp::json_t result = mbp::compare(*a, *b, args);
         std::printf("%s\n", result.dump(2).c_str());
         return result.contains("error") ? 1 : 0;
     }
-    if (argc < 3 || argc > 5)
+    if (pos.size() < 2 || pos.size() > 4)
         return usage(argv[0]);
-    auto predictor = mbp::pred::makeByName(argv[1]);
+    auto predictor = mbp::pred::makeByName(pos[0]);
     if (!predictor) {
         std::fprintf(stderr, "unknown predictor '%s' (try '%s list')\n",
-                     argv[1], argv[0]);
+                     pos[0], argv[0]);
         return 2;
     }
-    mbp::SimArgs args;
-    args.trace_path = argv[2];
+    args.trace_path = pos[1];
     if (!mbp::tools::fileReadable(args.trace_path)) {
-        std::fprintf(stderr, "cannot read trace '%s'\n", argv[2]);
+        std::fprintf(stderr, "cannot read trace '%s'\n", pos[1]);
         return 2;
     }
-    if (!parseLimits(argc, argv, 3, args))
+    if (!parseLimits(pos, 2, args))
         return usage(argv[0]);
     mbp::json_t result = mbp::simulate(*predictor, args);
     std::printf("%s\n", result.dump(2).c_str());

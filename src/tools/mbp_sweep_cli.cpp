@@ -8,12 +8,19 @@
  * Usage:
  *   mbp_sweep --predictors <a,b,...> --traces <t1,t2,...>
  *             [--warmup N] [--sim-instr N] [--jobs N] [--csv] [--out FILE]
+ *             [--in-memory | --streaming] [--mem-budget BYTES]
  *   mbp_sweep --spec campaign.json [--jobs N] [--csv] [--out FILE]
  *   mbp_sweep list
  *
+ * Traces are decoded once into shared in-memory arenas by default
+ * (--in-memory); --streaming restores the per-cell streaming reader of
+ * previous releases, and --mem-budget caps the arena cache (oversized
+ * traces stream instead — the campaign never fails on budget).
+ *
  * The campaign JSON spec (see README "Parallel sweeps"):
  *   {"predictors": ["gshare", ...], "traces": ["a.sbbt.flz", ...],
- *    "warmup_instr": 0, "sim_instr": 10000000, "jobs": 8}
+ *    "warmup_instr": 0, "sim_instr": 10000000, "jobs": 8,
+ *    "in_memory": true, "mem_budget": 1073741824}
  */
 #include <cstdio>
 #include <cstring>
@@ -36,6 +43,7 @@ usage(const char *prog)
         "usage: %s --predictors <a,b,...> --traces <t1,t2,...>\n"
         "          [--warmup N] [--sim-instr N] [--jobs N] [--csv]"
         " [--out FILE]\n"
+        "          [--in-memory | --streaming] [--mem-budget BYTES]\n"
         "       %s --spec campaign.json [--jobs N] [--csv] [--out FILE]\n"
         "       %s list\n",
         prog, prog, prog);
@@ -72,6 +80,9 @@ main(int argc, char **argv)
     bool have_warmup = false, have_sim_instr = false;
     std::uint64_t jobs = 0;
     bool csv = false;
+    bool in_memory = true, have_in_memory = false;
+    std::uint64_t mem_budget = 0;
+    bool have_mem_budget = false;
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
@@ -116,6 +127,19 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "invalid --jobs value\n");
                 return usage(argv[0]);
             }
+        } else if (std::strcmp(argv[i], "--in-memory") == 0) {
+            in_memory = true;
+            have_in_memory = true;
+        } else if (std::strcmp(argv[i], "--streaming") == 0) {
+            in_memory = false;
+            have_in_memory = true;
+        } else if (std::strcmp(argv[i], "--mem-budget") == 0) {
+            const char *v = value("--mem-budget");
+            if (!v || !tools::parseCount(v, mem_budget)) {
+                std::fprintf(stderr, "invalid --mem-budget value\n");
+                return usage(argv[0]);
+            }
+            have_mem_budget = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             csv = true;
         } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -184,6 +208,10 @@ main(int argc, char **argv)
         campaign.base_args.warmup_instr = warmup;
     if (have_sim_instr)
         campaign.base_args.sim_instr = sim_instr;
+    if (have_in_memory)
+        campaign.in_memory = in_memory;
+    if (have_mem_budget)
+        campaign.mem_budget = mem_budget;
 
     json_t result = sweep::run(campaign, static_cast<unsigned>(jobs));
     std::string text =

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Streaming-vs-arena conformance: simulate()'s two trace sources — the
+ * per-run SbbtReader and the shared in-memory MemTrace arena — must be
+ * observationally identical. For every roster predictor the per-branch
+ * prediction stream (captured byte-by-byte through
+ * SimArgs::prediction_hook) must match exactly, and the full simulate()
+ * JSON must match modulo the timing observability fields, which are the
+ * only place the pipelines are allowed to differ. The same holds for the
+ * N-ary simulateMany()/compare() path and for the memory-budget fallback,
+ * which silently streams instead of failing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sbbt/mem_trace.hpp"
+#include "mbp/sbbt/writer.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+using namespace mbp;
+
+namespace
+{
+
+/** Timing metrics: the only fields allowed to differ between sources. */
+bool
+isTimingKey(const std::string &key)
+{
+    return key == "simulation_time" || key == "branches_per_second" ||
+           key == "decompressed_bytes" || key == "prefetch_stall_seconds" ||
+           key == "trace_load_seconds";
+}
+
+/** Deep copy of @p value with every timing key dropped. */
+json_t
+scrubTiming(const json_t &value)
+{
+    if (value.isObject()) {
+        json_t out = json_t::object({});
+        for (const auto &[key, member] : value.members()) {
+            if (isTimingKey(key))
+                continue;
+            out[key] = scrubTiming(member);
+        }
+        return out;
+    }
+    if (value.isArray()) {
+        json_t out = json_t::array();
+        for (std::size_t i = 0; i < value.size(); ++i)
+            out.push_back(scrubTiming(value[i]));
+        return out;
+    }
+    return value;
+}
+
+class ArenaConformanceTest : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        trace_path_ = new std::string(testing::TempDir() +
+                                      "/arena_conformance.sbbt");
+        tracegen::WorkloadSpec spec;
+        spec.seed = 20260805;
+        spec.num_instr = 150'000;
+        spec.noise_fraction = 0.15;
+        sbbt::SbbtWriter writer(*trace_path_);
+        tracegen::TraceGenerator gen(spec);
+        tracegen::TraceEvent ev;
+        while (gen.next(ev))
+            ASSERT_TRUE(writer.append(ev.branch, ev.instr_gap));
+        ASSERT_TRUE(writer.close()) << writer.error();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        std::remove(trace_path_->c_str());
+        delete trace_path_;
+        trace_path_ = nullptr;
+    }
+
+    /** Base arguments exercising the warmup window split. */
+    static SimArgs
+    baseArgs()
+    {
+        SimArgs args;
+        args.trace_path = *trace_path_;
+        args.warmup_instr = 40'000;
+        return args;
+    }
+
+    /** simulate() capturing the exact per-branch prediction stream. */
+    static json_t
+    run(Predictor &predictor, SimArgs args, std::string &stream)
+    {
+        stream.clear();
+        args.prediction_hook = [&stream](const Branch &, bool predicted,
+                                         std::uint64_t, bool) {
+            stream.push_back(predicted ? 'T' : 'N');
+        };
+        json_t result = simulate(predictor, args);
+        EXPECT_FALSE(result.contains("error")) << result.dump(2);
+        return result;
+    }
+
+    static std::string *trace_path_;
+};
+
+std::string *ArenaConformanceTest::trace_path_ = nullptr;
+
+} // namespace
+
+TEST_F(ArenaConformanceTest, EveryRosterPredictorIsSourceInvariant)
+{
+    for (const std::string &name : pred::rosterNames()) {
+        auto streaming_pred = pred::makeByName(name);
+        auto arena_pred = pred::makeByName(name);
+        ASSERT_NE(streaming_pred, nullptr) << name;
+
+        SimArgs streaming_args = baseArgs();
+        streaming_args.in_memory = false;
+        SimArgs arena_args = baseArgs();
+        arena_args.in_memory = true;
+
+        std::string streaming_bytes, arena_bytes;
+        json_t streaming = run(*streaming_pred, streaming_args,
+                               streaming_bytes);
+        json_t arena = run(*arena_pred, arena_args, arena_bytes);
+
+        EXPECT_GT(streaming_bytes.size(), 0u) << name;
+        EXPECT_EQ(streaming_bytes, arena_bytes)
+            << name << ": prediction streams diverge between sources";
+        EXPECT_EQ(scrubTiming(streaming).dump(2), scrubTiming(arena).dump(2))
+            << name;
+    }
+}
+
+TEST_F(ArenaConformanceTest, PreloadedArenaMatchesPathLoadedArena)
+{
+    std::string error;
+    auto arena = sbbt::MemTrace::load(*trace_path_, {}, &error);
+    ASSERT_NE(arena, nullptr) << error;
+
+    auto self_pred = pred::makeByName("gshare");
+    auto preloaded_pred = pred::makeByName("gshare");
+
+    SimArgs self_args = baseArgs();
+    self_args.in_memory = true;
+    SimArgs preloaded_args = baseArgs();
+    preloaded_args.preloaded = arena; // as sweep cells hand it over
+
+    std::string self_bytes, preloaded_bytes;
+    json_t self_loaded = run(*self_pred, self_args, self_bytes);
+    json_t preloaded = run(*preloaded_pred, preloaded_args,
+                           preloaded_bytes);
+
+    EXPECT_EQ(self_bytes, preloaded_bytes);
+    EXPECT_EQ(scrubTiming(self_loaded).dump(2),
+              scrubTiming(preloaded).dump(2));
+    // A preloaded arena costs the run nothing to load; a self-loaded one
+    // reports its actual decode time.
+    EXPECT_EQ(preloaded.find("metrics")
+                  ->find("trace_load_seconds")
+                  ->asDouble(),
+              0.0);
+}
+
+TEST_F(ArenaConformanceTest, TinyMemBudgetFallsBackToStreamingSilently)
+{
+    auto budget_pred = pred::makeByName("bimodal");
+    auto streaming_pred = pred::makeByName("bimodal");
+
+    SimArgs budget_args = baseArgs();
+    budget_args.in_memory = true;
+    budget_args.mem_budget = 1; // no real trace fits one byte
+    SimArgs streaming_args = baseArgs();
+    streaming_args.in_memory = false;
+
+    std::string budget_bytes, streaming_bytes;
+    json_t budgeted = run(*budget_pred, budget_args, budget_bytes);
+    json_t streaming = run(*streaming_pred, streaming_args,
+                           streaming_bytes);
+
+    EXPECT_EQ(budget_bytes, streaming_bytes);
+    EXPECT_EQ(scrubTiming(budgeted).dump(2), scrubTiming(streaming).dump(2));
+    // The fallback is the streaming pipeline, so it pays no load time.
+    EXPECT_EQ(budgeted.find("metrics")
+                  ->find("trace_load_seconds")
+                  ->asDouble(),
+              0.0);
+}
+
+TEST_F(ArenaConformanceTest, SimulateManyIsSourceInvariant)
+{
+    const std::vector<std::string> names = {"bimodal", "gshare", "batage"};
+    std::vector<std::unique_ptr<Predictor>> streaming_preds, arena_preds;
+    std::vector<Predictor *> streaming_ptrs, arena_ptrs;
+    for (const std::string &name : names) {
+        streaming_preds.push_back(pred::makeByName(name));
+        arena_preds.push_back(pred::makeByName(name));
+        ASSERT_NE(streaming_preds.back(), nullptr) << name;
+        streaming_ptrs.push_back(streaming_preds.back().get());
+        arena_ptrs.push_back(arena_preds.back().get());
+    }
+
+    SimArgs streaming_args = baseArgs();
+    streaming_args.in_memory = false;
+    SimArgs arena_args = baseArgs();
+    arena_args.in_memory = true;
+
+    json_t streaming = simulateMany(streaming_ptrs, streaming_args);
+    json_t arena = simulateMany(arena_ptrs, arena_args);
+    ASSERT_FALSE(streaming.contains("error")) << streaming.dump(2);
+    ASSERT_FALSE(arena.contains("error")) << arena.dump(2);
+    EXPECT_EQ(scrubTiming(streaming).dump(2), scrubTiming(arena).dump(2));
+    // One pass over three predictors: per-predictor metrics plus the
+    // per-branch ranking annotated with the N-ary spread.
+    EXPECT_NE(streaming.find("metrics")->find("mpki_2"), nullptr);
+    const json_t &ranked = *streaming.find("most_failed");
+    ASSERT_GT(ranked.size(), 0u);
+    EXPECT_NE(ranked[0].find("mpki_spread"), nullptr);
+}
+
+TEST_F(ArenaConformanceTest, CompareIsSourceInvariant)
+{
+    auto streaming_a = pred::makeByName("bimodal");
+    auto streaming_b = pred::makeByName("gshare");
+    auto arena_a = pred::makeByName("bimodal");
+    auto arena_b = pred::makeByName("gshare");
+
+    SimArgs streaming_args = baseArgs();
+    streaming_args.in_memory = false;
+    SimArgs arena_args = baseArgs();
+    arena_args.in_memory = true;
+
+    json_t streaming = compare(*streaming_a, *streaming_b, streaming_args);
+    json_t arena = compare(*arena_a, *arena_b, arena_args);
+    ASSERT_FALSE(streaming.contains("error")) << streaming.dump(2);
+    ASSERT_FALSE(arena.contains("error")) << arena.dump(2);
+    EXPECT_EQ(scrubTiming(streaming).dump(2), scrubTiming(arena).dump(2));
+}
+
+TEST_F(ArenaConformanceTest, InstructionLimitCutsBothSourcesIdentically)
+{
+    // A sim_instr limit that stops mid-trace: the limit break must fire
+    // on the same branch for both sources (exhausted() parity).
+    auto streaming_pred = pred::makeByName("tage");
+    auto arena_pred = pred::makeByName("tage");
+
+    SimArgs streaming_args = baseArgs();
+    streaming_args.in_memory = false;
+    streaming_args.sim_instr = 50'000;
+    SimArgs arena_args = streaming_args;
+    arena_args.in_memory = true;
+
+    std::string streaming_bytes, arena_bytes;
+    json_t streaming = run(*streaming_pred, streaming_args,
+                           streaming_bytes);
+    json_t arena = run(*arena_pred, arena_args, arena_bytes);
+
+    EXPECT_EQ(streaming_bytes, arena_bytes);
+    EXPECT_EQ(scrubTiming(streaming).dump(2), scrubTiming(arena).dump(2));
+    EXPECT_EQ(streaming.find("metadata")
+                  ->find("simulation_instr")
+                  ->asUint(),
+              arena.find("metadata")->find("simulation_instr")->asUint());
+}

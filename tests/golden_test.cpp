@@ -23,6 +23,8 @@
 #include "mbp/json/json.hpp"
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sim/simulator.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/generator.hpp"
 
 using namespace mbp;
 
@@ -31,6 +33,34 @@ namespace
 
 constexpr std::uint64_t kSimInstr = 2'000'000;
 
+/**
+ * The demo trace is synthetic and not checked in: materialize it on
+ * demand (cached, flock-guarded) with the exact spec the examples use
+ * (examples/example_common.hpp), so the golden numbers stay tied to one
+ * reproducible trace.
+ */
+const std::string &
+demoTrace()
+{
+    static const std::string path = [] {
+        const std::string target = MBP_DEMO_TRACE;
+        tracegen::WorkloadSpec spec;
+        spec.name = "example-demo";
+        spec.seed = 7;
+        spec.num_instr = 20'000'000;
+        tools::CorpusFormats formats;
+        formats.sbbt_flz = true;
+        auto entries = tools::materialize(
+            target.substr(0, target.rfind('/')), {spec}, formats);
+        if (entries[0].sbbt_flz != target)
+            std::fprintf(stderr,
+                         "warning: materialized %s, expected %s\n",
+                         entries[0].sbbt_flz.c_str(), target.c_str());
+        return entries[0].sbbt_flz;
+    }();
+    return path;
+}
+
 /** One row of the golden file, freshly measured. */
 json_t
 measure(const std::string &name)
@@ -38,7 +68,7 @@ measure(const std::string &name)
     auto predictor = pred::makeByName(name);
     EXPECT_NE(predictor, nullptr) << name;
     SimArgs args;
-    args.trace_path = MBP_DEMO_TRACE;
+    args.trace_path = demoTrace();
     args.sim_instr = kSimInstr;
     args.collect_most_failed = false;
     json_t result = simulate(*predictor, args);

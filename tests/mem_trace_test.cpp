@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the decode-once in-memory trace arena: a loaded
+ * MemTrace must replay, through MemTraceCursor, the exact packet stream
+ * SbbtReader delivers from the same file — same branches, same gaps,
+ * same instruction numbers, same exhaustion semantics — plus the sizing
+ * helpers the memory-budgeted cache relies on.
+ */
+#include "mbp/sbbt/mem_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/sbbt/writer.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+using namespace mbp;
+
+namespace
+{
+
+std::string
+writeTrace(const std::string &name, std::uint64_t seed,
+           std::uint64_t num_instr)
+{
+    std::string path = testing::TempDir() + "/" + name;
+    tracegen::WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_instr = num_instr;
+    sbbt::SbbtWriter writer(path);
+    tracegen::TraceGenerator gen(spec);
+    tracegen::TraceEvent ev;
+    while (gen.next(ev))
+        EXPECT_TRUE(writer.append(ev.branch, ev.instr_gap));
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return path;
+}
+
+} // namespace
+
+TEST(MemTrace, LoadFailsOnMissingFile)
+{
+    std::string error;
+    auto trace = sbbt::MemTrace::load(
+        testing::TempDir() + "/no-such-trace.sbbt", {}, &error);
+    EXPECT_EQ(trace, nullptr);
+    EXPECT_NE(error, "");
+}
+
+TEST(MemTrace, LoadFailsOnCorruptFile)
+{
+    const std::string path = testing::TempDir() + "/corrupt.sbbt";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not an SBBT trace at all, not even close!";
+    }
+    std::string error;
+    auto trace = sbbt::MemTrace::load(path, {}, &error);
+    EXPECT_EQ(trace, nullptr);
+    EXPECT_NE(error, "");
+    std::remove(path.c_str());
+}
+
+TEST(MemTrace, LoadMatchesHeaderAndRowAccessors)
+{
+    const std::string path = writeTrace("mem_rows.sbbt", 91, 60'000);
+    std::string error;
+    auto trace = sbbt::MemTrace::load(path, {}, &error);
+    ASSERT_NE(trace, nullptr) << error;
+    EXPECT_EQ(error, "");
+
+    sbbt::SbbtReader reader(path);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(trace->header().instruction_count,
+              reader.header().instruction_count);
+    EXPECT_EQ(trace->header().branch_count, reader.header().branch_count);
+    EXPECT_EQ(trace->size(), reader.header().branch_count);
+
+    sbbt::PacketData packet;
+    std::size_t i = 0;
+    while (reader.next(packet)) {
+        ASSERT_LT(i, trace->size());
+        EXPECT_EQ(trace->ip(i), packet.branch.ip());
+        EXPECT_EQ(trace->target(i), packet.branch.target());
+        EXPECT_EQ(trace->opcode(i), packet.branch.opcode());
+        EXPECT_EQ(trace->taken(i), packet.branch.isTaken());
+        EXPECT_EQ(trace->instrNumber(i), reader.instrNumber());
+        ++i;
+    }
+    EXPECT_EQ(reader.error(), "");
+    EXPECT_EQ(i, trace->size());
+
+    // The whole decode pass is accounted for.
+    EXPECT_EQ(trace->decompressedBytes(), reader.decompressedBytes());
+    EXPECT_GE(trace->loadSeconds(), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(MemTrace, CursorReplaysReaderStreamInLockstep)
+{
+    const std::string path = writeTrace("mem_lockstep.sbbt", 92, 80'000);
+    std::string error;
+    auto trace = sbbt::MemTrace::load(path, {}, &error);
+    ASSERT_NE(trace, nullptr) << error;
+
+    sbbt::SbbtReader reader(path);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    sbbt::MemTraceCursor cursor(trace);
+    ASSERT_TRUE(cursor.ok());
+
+    sbbt::PacketData from_file, from_arena;
+    while (true) {
+        const bool file_more = reader.next(from_file);
+        const bool arena_more = cursor.next(from_arena);
+        ASSERT_EQ(file_more, arena_more);
+        if (!file_more)
+            break;
+        EXPECT_EQ(from_arena.branch, from_file.branch);
+        EXPECT_EQ(from_arena.instr_gap, from_file.instr_gap);
+        EXPECT_EQ(cursor.instrNumber(), reader.instrNumber());
+        EXPECT_EQ(cursor.branchesRead(), reader.branchesRead());
+    }
+    EXPECT_EQ(reader.error(), "");
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_TRUE(cursor.exhausted());
+    EXPECT_EQ(cursor.branchesRead(), reader.branchesRead());
+    std::remove(path.c_str());
+}
+
+TEST(MemTrace, CursorExhaustedOnlyAfterFailingNext)
+{
+    const std::string path = writeTrace("mem_exhaust.sbbt", 93, 5'000);
+    auto trace = sbbt::MemTrace::load(path);
+    ASSERT_NE(trace, nullptr);
+    ASSERT_GT(trace->size(), 0u);
+
+    // Mirror SbbtReader: consuming the last packet does not flip
+    // exhausted(); only the next() that returns false does. This is what
+    // lets the simulator's instruction-limit break distinguish "stopped
+    // early" from "trace fully consumed" identically on both sources.
+    sbbt::MemTraceCursor cursor(trace);
+    sbbt::PacketData packet;
+    for (std::size_t i = 0; i < trace->size(); ++i) {
+        ASSERT_TRUE(cursor.next(packet));
+        EXPECT_FALSE(cursor.exhausted());
+    }
+    EXPECT_FALSE(cursor.next(packet));
+    EXPECT_TRUE(cursor.exhausted());
+    std::remove(path.c_str());
+}
+
+TEST(MemTrace, NullCursorReportsErrorNotExhaustion)
+{
+    sbbt::MemTraceCursor cursor(nullptr);
+    EXPECT_FALSE(cursor.ok());
+    EXPECT_NE(cursor.error(), "");
+    sbbt::PacketData packet;
+    EXPECT_FALSE(cursor.next(packet));
+    EXPECT_FALSE(cursor.exhausted()); // an error is not a clean end
+    EXPECT_EQ(cursor.decompressedBytes(), 0u);
+}
+
+TEST(MemTrace, IndependentCursorsShareOneArena)
+{
+    const std::string path = writeTrace("mem_share.sbbt", 94, 20'000);
+    auto trace = sbbt::MemTrace::load(path);
+    ASSERT_NE(trace, nullptr);
+
+    // Several threads replay the same arena concurrently, each through
+    // its own cursor; every replay must see the full identical stream.
+    // (This test doubles as the MemTrace workout under MBP_SANITIZE=thread.)
+    constexpr int kThreads = 4;
+    std::vector<std::uint64_t> checksums(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&, w] {
+            sbbt::MemTraceCursor cursor(trace);
+            sbbt::PacketData packet;
+            std::uint64_t sum = 0;
+            while (cursor.next(packet))
+                sum += packet.branch.ip() + packet.instr_gap +
+                       (packet.branch.isTaken() ? 1 : 0);
+            checksums[w] = cursor.exhausted() ? sum : 0;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_NE(checksums[0], 0u);
+    for (int w = 1; w < kThreads; ++w)
+        EXPECT_EQ(checksums[w], checksums[0]);
+    std::remove(path.c_str());
+}
+
+TEST(MemTrace, EstimateBytesTracksActualFootprint)
+{
+    const std::string path = writeTrace("mem_estimate.sbbt", 95, 50'000);
+    auto trace = sbbt::MemTrace::load(path);
+    ASSERT_NE(trace, nullptr);
+
+    const std::uint64_t estimate =
+        sbbt::MemTrace::estimateBytes(trace->header());
+    EXPECT_EQ(estimate, trace->header().branch_count *
+                                sbbt::MemTrace::kBytesPerBranch +
+                            sizeof(sbbt::MemTrace));
+    // The estimate is made from the header before decoding, the actual
+    // footprint after vectors are populated; they must agree closely
+    // enough for budget decisions (within 2x either way).
+    EXPECT_GE(trace->memoryBytes(), estimate / 2);
+    EXPECT_LE(trace->memoryBytes(), estimate * 2);
+
+    // File-based estimation reads only the header.
+    EXPECT_EQ(sbbt::MemTrace::estimateFileBytes(path), estimate);
+    EXPECT_EQ(sbbt::MemTrace::estimateFileBytes(
+                  testing::TempDir() + "/definitely-missing.sbbt"),
+              0u);
+    std::remove(path.c_str());
+}

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -430,4 +431,205 @@ TEST(SweepCsv, ErrorMessagesAreQuotedToo)
     ASSERT_EQ(rows[1].size(), 8u) << csv;
     EXPECT_EQ(rows[1][0], "has, comma");
     EXPECT_NE(rows[1][7].find("unknown predictor"), std::string::npos);
+}
+
+TEST(EffectiveJobs, ResolvesZeroRequestsWithoutGoingSerial)
+{
+    // An explicit request always wins.
+    EXPECT_EQ(sweep::effectiveJobs(8, 4), 8u);
+    EXPECT_EQ(sweep::effectiveJobs(1, 0), 1u);
+    // jobs == 0 means "all hardware threads"...
+    EXPECT_EQ(sweep::effectiveJobs(0, 6), 6u);
+    // ...and when hardware_concurrency() itself is unknown (0), the pool
+    // must not silently degrade to a single worker: fixed pool of 2.
+    EXPECT_EQ(sweep::effectiveJobs(0, 0), 2u);
+}
+
+TEST(TraceCache, DecodesOnceAndSharesAcrossAcquires)
+{
+    const std::string path = writeTrace("cache_share.sbbt", 401, 60'000);
+    sweep::TraceCache cache; // default 1 GiB budget
+    std::string error;
+    auto first = cache.acquire(path, {}, &error);
+    ASSERT_NE(first, nullptr) << error;
+    auto second = cache.acquire(path, {}, &error);
+    EXPECT_EQ(second.get(), first.get()) << "second acquire re-decoded";
+
+    const sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.streamed_fallbacks, 0u);
+    EXPECT_EQ(stats.resident_bytes, first->memoryBytes());
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, TinyBudgetRefusesWithCountedFallback)
+{
+    const std::string path = writeTrace("cache_tiny.sbbt", 402, 30'000);
+    sweep::TraceCache cache(1); // nothing real fits one byte
+    std::string error = "poisoned";
+    auto trace = cache.acquire(path, {}, &error);
+    EXPECT_EQ(trace, nullptr);
+    EXPECT_EQ(error, "") << "a budget refusal is not an error";
+
+    const sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.streamed_fallbacks, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.resident_bytes, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, EvictsLeastRecentlyUsedWhenOverBudget)
+{
+    const std::vector<std::string> paths = {
+        writeTrace("cache_lru_a.sbbt", 403, 40'000),
+        writeTrace("cache_lru_b.sbbt", 404, 40'000),
+        writeTrace("cache_lru_c.sbbt", 405, 40'000),
+    };
+    std::uint64_t total = 0;
+    for (const auto &p : paths) {
+        const std::uint64_t est = sbbt::MemTrace::estimateFileBytes(p);
+        ASSERT_GT(est, 0u);
+        total += est;
+    }
+    // Any two arenas fit, all three do not: loading the third must evict
+    // exactly the least recently used one.
+    sweep::TraceCache cache(total - 1);
+    std::string error;
+    ASSERT_NE(cache.acquire(paths[0], {}, &error), nullptr) << error;
+    ASSERT_NE(cache.acquire(paths[1], {}, &error), nullptr) << error;
+    ASSERT_NE(cache.acquire(paths[2], {}, &error), nullptr) << error;
+
+    sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.resident_bytes, cache.budgetBytes());
+
+    // paths[0] was the LRU victim: touching it again is a fresh decode,
+    // while paths[2] is still resident.
+    ASSERT_NE(cache.acquire(paths[2], {}, &error), nullptr) << error;
+    ASSERT_NE(cache.acquire(paths[0], {}, &error), nullptr) << error;
+    stats = cache.stats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits, 1u);
+    for (const auto &p : paths)
+        std::remove(p.c_str());
+}
+
+TEST(TraceCache, ConcurrentAcquiresShareOneDecode)
+{
+    const std::string path = writeTrace("cache_race.sbbt", 406, 80'000);
+    sweep::TraceCache cache;
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const sbbt::MemTrace>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&, w] {
+            std::string error;
+            seen[w] = cache.acquire(path, {}, &error);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int w = 0; w < kThreads; ++w) {
+        ASSERT_NE(seen[w], nullptr) << w;
+        EXPECT_EQ(seen[w].get(), seen[0].get()) << w;
+    }
+    const sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u) << "the decode must happen exactly once";
+    EXPECT_EQ(stats.hits, std::uint64_t(kThreads) - 1);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, FailedLoadsReportErrorsAndRetry)
+{
+    const std::string missing = testing::TempDir() + "/cache_missing.sbbt";
+    sweep::TraceCache cache;
+    std::string error;
+    EXPECT_EQ(cache.acquire(missing, {}, &error), nullptr);
+    EXPECT_NE(error, "");
+    // The failed entry is dropped, so the trace can appear later and a
+    // retry decodes it instead of replaying the stale failure.
+    const std::string path = writeTrace("cache_retry.sbbt", 407, 20'000);
+    EXPECT_EQ(cache.acquire(missing, {}, &error), nullptr);
+    EXPECT_NE(error, "");
+    EXPECT_NE(cache.acquire(path, {}, &error), nullptr) << error;
+    const sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 3u); // two failed attempts plus the decode
+    std::remove(path.c_str());
+}
+
+TEST_F(SweepTest, InMemoryCampaignDecodesEachTraceOnce)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare"),
+                           rosterSpec("two-level")};
+    campaign.traces = traces_;
+    json_t result = sweep::run(campaign, 4);
+
+    EXPECT_TRUE(result.find("metadata")->find("in_memory")->asBool());
+    EXPECT_EQ(result.find("aggregate")->find("failed_cells")->asUint(),
+              0u);
+    const json_t &cache = *result.find("aggregate")->find("trace_cache");
+    // The decode-once guarantee: one miss per trace no matter how many
+    // predictors visit it; every other visit shares the arena.
+    EXPECT_EQ(cache.find("misses")->asUint(), traces_.size());
+    EXPECT_EQ(cache.find("hits")->asUint(),
+              traces_.size() * (campaign.predictors.size() - 1));
+    EXPECT_EQ(cache.find("streamed_fallbacks")->asUint(), 0u);
+    EXPECT_EQ(cache.find("evictions")->asUint(), 0u);
+}
+
+TEST_F(SweepTest, BudgetedCampaignNeverFailsJustStreams)
+{
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare")};
+    campaign.traces = traces_;
+    campaign.mem_budget = 1; // every arena is refused
+
+    json_t budgeted = sweep::run(campaign, 4);
+    EXPECT_EQ(budgeted.find("aggregate")->find("failed_cells")->asUint(),
+              0u);
+    const json_t &cache = *budgeted.find("aggregate")->find("trace_cache");
+    EXPECT_EQ(cache.find("misses")->asUint(), 0u);
+    EXPECT_EQ(cache.find("streamed_fallbacks")->asUint(),
+              campaign.predictors.size() * traces_.size());
+
+    // ...and the streamed cells are identical to a plain streaming run.
+    campaign.in_memory = false;
+    json_t streaming = sweep::run(campaign, 4);
+    const json_t &cells_a = *budgeted.find("cells");
+    const json_t &cells_b = *streaming.find("cells");
+    ASSERT_EQ(cells_a.size(), cells_b.size());
+    for (std::size_t i = 0; i < cells_a.size(); ++i) {
+        EXPECT_EQ(*cells_a[i].find("result")->find("metrics")
+                       ->find("mispredictions"),
+                  *cells_b[i].find("result")->find("metrics")
+                       ->find("mispredictions"))
+            << i;
+    }
+}
+
+TEST(CampaignFromJson, ParsesArenaKnobs)
+{
+    auto spec = json_t::parse(R"({
+        "predictors": ["gshare"],
+        "traces": ["a.sbbt"],
+        "in_memory": false,
+        "mem_budget": 4096
+    })");
+    ASSERT_TRUE(spec.has_value());
+    sweep::Campaign campaign;
+    std::string error;
+    ASSERT_TRUE(sweep::campaignFromJson(*spec, campaign, error)) << error;
+    EXPECT_FALSE(campaign.in_memory);
+    EXPECT_EQ(campaign.mem_budget, 4096u);
+
+    auto bad = json_t::parse(
+        R"({"predictors": ["gshare"], "traces": ["a"], "in_memory": 3})");
+    ASSERT_TRUE(bad.has_value());
+    EXPECT_FALSE(sweep::campaignFromJson(*bad, campaign, error));
+    EXPECT_NE(error.find("in_memory"), std::string::npos);
 }
