@@ -1,0 +1,41 @@
+#!/bin/sh
+# Runs the repo clang-tidy baseline (.clang-tidy) over every first-party
+# translation unit, using the compile database of an existing build tree.
+#
+# usage: run_clang_tidy.sh <source-dir> <build-dir>
+#
+# Exit codes follow the shared tool convention, plus the ctest skip code:
+#   0  — no findings
+#   1  — findings (WarningsAsErrors promotes every enabled check), or a
+#        missing compile database
+#   77 — clang-tidy is not installed; the ctest `lint` label reports the
+#        test as SKIPPED (SKIP_RETURN_CODE 77) instead of failing on
+#        machines without LLVM tooling
+set -u
+
+src="${1:?usage: run_clang_tidy.sh <source-dir> <build-dir>}"
+build="${2:?usage: run_clang_tidy.sh <source-dir> <build-dir>}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$tidy" >/dev/null 2>&1; then
+    echo "run_clang_tidy: '$tidy' not found;" \
+         "skipping (install clang-tidy or set CLANG_TIDY)" >&2
+    exit 77
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "run_clang_tidy: $build/compile_commands.json missing;" \
+         "configure the build tree first" >&2
+    exit 1
+fi
+
+cd "$src" || exit 1
+files=$(find src tests bench examples -name '*.cpp' | sort)
+if [ -z "$files" ]; then
+    echo "run_clang_tidy: no sources found under $src" >&2
+    exit 1
+fi
+
+# Headers are covered through HeaderFilterRegex in .clang-tidy.
+# shellcheck disable=SC2086
+"$tidy" --quiet -p "$build" $files || exit 1
+exit 0

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Checks every first-party source file against the repo-root
+# .clang-format (gem5 style); prints a diff-style report and fails on
+# the first deviation.
+#
+# usage: run_format_check.sh <source-dir>
+#
+# Exit codes:
+#   0  — everything is formatted
+#   1  — at least one file deviates from .clang-format
+#   77 — clang-format is not installed; the ctest `lint` label reports
+#        the test as SKIPPED (SKIP_RETURN_CODE 77)
+set -u
+
+src="${1:?usage: run_format_check.sh <source-dir>}"
+fmt="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$fmt" >/dev/null 2>&1; then
+    echo "run_format_check: '$fmt' not found;" \
+         "skipping (install clang-format or set CLANG_FORMAT)" >&2
+    exit 77
+fi
+
+cd "$src" || exit 1
+files=$(find src tests bench examples \
+             -name '*.cpp' -o -name '*.hpp' | sort)
+if [ -z "$files" ]; then
+    echo "run_format_check: no sources found under $src" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2086
+"$fmt" --dry-run --Werror --style=file $files || exit 1
+exit 0

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Storage audit: machine-checking the championship budget accounting.
+ *
+ * MBPlib's value proposition is that predictors are composed from
+ * modular components whose storage cost is accountable (paper Table II),
+ * yet storageBits() has always been a hand-written formula — a wrong
+ * formula fails silently, and the base-class default of 0 is
+ * indistinguishable from a genuinely storage-free design. This module
+ * cross-checks every predictor's *declared* storageBits() against the
+ * sum *derived* from its ComponentInfo tree (the table geometry the
+ * design says it is built from) and renders the result as a paper
+ * Table-II-style budget report, JSON or text. The CBP-style budget gate
+ * (predictors capped at N bits) rides on the same report.
+ *
+ * @code
+ *   auto entries = mbp::audit::auditRoster();
+ *   mbp::json_t report = mbp::audit::report(entries, {});
+ *   std::cout << mbp::audit::renderTable(report);
+ *   return mbp::audit::clean(entries) ? 0 : 1;
+ * @endcode
+ */
+#ifndef MBP_AUDIT_AUDIT_HPP
+#define MBP_AUDIT_AUDIT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sim/predictor.hpp"
+
+namespace mbp::audit
+{
+
+/** Outcome of auditing one predictor's storage accounting. */
+enum class Status
+{
+    /** Components declared and the derived sum equals storageBits(). */
+    kOk,
+    /** Components declared, both declared and derived cost are zero —
+     *  a genuinely storage-free design (static predictors). */
+    kZeroCost,
+    /** Components declared but the derived sum differs from
+     *  storageBits(): one of the two formulas is wrong. */
+    kMismatch,
+    /** No components and storageBits() == 0: the silent base-class
+     *  default — the design reports nothing at all. */
+    kUnreported,
+    /** storageBits() != 0 but no component tree to derive it from, so
+     *  the declared value cannot be cross-checked. */
+    kUndeclaredComponents,
+};
+
+/** Stable identifier used in reports ("ok", "mismatch", ...). */
+const char *statusName(Status status);
+
+/** @return Whether @p status is a passing outcome (ok / zero-cost). */
+bool statusPasses(Status status);
+
+/** One audited predictor. */
+struct Entry
+{
+    std::string name;
+    Status status = Status::kUnreported;
+    /** Hand-written storageBits() value. */
+    std::uint64_t declared_bits = 0;
+    /** Sum derived from the ComponentInfo tree (0 when undeclared). */
+    std::uint64_t derived_bits = 0;
+    /** The declared tree itself, when present. */
+    std::optional<ComponentInfo> components;
+};
+
+/** Audits one predictor instance under the report name @p name. */
+Entry auditPredictor(const std::string &name, const Predictor &predictor);
+
+/**
+ * Audits every roster predictor (mbp::pred::rosterNames(), fresh default
+ * instances), in roster order.
+ */
+std::vector<Entry> auditRoster();
+
+/**
+ * Audits the given roster subset. Unknown names produce an Entry with
+ * status kUnreported and a 0 budget; callers that must reject unknown
+ * names (the CLI does, as a usage error) validate beforehand with
+ * mbp::pred::makeByName.
+ */
+std::vector<Entry> auditByNames(const std::vector<std::string> &names);
+
+/** Report-shaping options. */
+struct Options
+{
+    /**
+     * CBP-style storage budget in bits (0 = no gate). Predictors whose
+     * audited cost exceeds it are flagged over budget: the leaderboard
+     * gate for championship-style submissions.
+     */
+    std::uint64_t budget_bits = 0;
+    /** Embed each predictor's full component tree in the JSON report. */
+    bool include_components = true;
+};
+
+/**
+ * Builds the budget report document:
+ *   - "metadata": tool, version, roster size, budget;
+ *   - "predictors": per-entry {name, status, declared_bits, derived_bits,
+ *     kib, over_budget, components?};
+ *   - "summary": counts per status, failures, over_budget.
+ */
+json_t report(const std::vector<Entry> &entries,
+              const Options &options = {});
+
+/**
+ * Renders a report document as the paper-Table-II-style text table
+ * (name, status, declared/derived bits, KiB, budget flag).
+ */
+std::string renderTable(const json_t &report);
+
+/**
+ * @return Whether every entry passes (no mismatch, no unreported
+ *         storage, no undeclared components) — the CLI's exit-0
+ *         condition (combined with the budget gate when one is set).
+ */
+bool clean(const std::vector<Entry> &entries);
+
+} // namespace mbp::audit
+
+#endif // MBP_AUDIT_AUDIT_HPP

@@ -291,6 +291,30 @@ Batage::storageBits() const
     return bits;
 }
 
+std::optional<ComponentInfo>
+Batage::storage_components() const
+{
+    const std::uint64_t dual_bits =
+        2 * std::uint64_t(mbp::util::ceilLog2(
+                std::uint64_t(config_.counter_max) + 1));
+    std::vector<ComponentInfo> parts;
+    parts.push_back(ComponentInfo::table(
+        "bimodal", std::uint64_t(1) << config_.log_bimodal_size,
+        dual_bits));
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const TageTableSpec &spec = tables_[t].spec;
+        parts.push_back(ComponentInfo::table(
+            "tagged_table_" + std::to_string(t),
+            std::uint64_t(1) << spec.log_size,
+            dual_bits + std::uint64_t(spec.tag_bits)));
+    }
+    parts.push_back(ComponentInfo::reg(
+        "global_history", std::uint64_t(ghist_.capacity())));
+    parts.push_back(ComponentInfo::reg("path_history", 32));
+    parts.push_back(ComponentInfo::reg("cat_counter", 16));
+    return ComponentInfo::composite("batage", std::move(parts));
+}
+
 json_t
 Batage::execution_stats() const
 {

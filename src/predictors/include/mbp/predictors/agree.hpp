@@ -72,6 +72,19 @@ class Agree : public Predictor
                (std::uint64_t(1) << C) * 2 + H;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        // Bias entries cost 2 bits each: the latched bias bit plus its
+        // allocated flag.
+        return ComponentInfo::composite(
+            "agree",
+            {ComponentInfo::table("agree_counters", std::uint64_t(1) << T,
+                                  2),
+             ComponentInfo::table("bias_bits", std::uint64_t(1) << C, 2),
+             ComponentInfo::reg("global_history", H)});
+    }
+
     json_t
     metadata_stats() const override
     {

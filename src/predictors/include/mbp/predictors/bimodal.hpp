@@ -54,6 +54,14 @@ struct Bimodal : Predictor
         return (std::uint64_t(1) << T) * B;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "bimodal",
+            {ComponentInfo::table("counters", std::uint64_t(1) << T, B)});
+    }
+
     json_t
     metadata_stats() const override
     {

@@ -79,6 +79,18 @@ class BiMode : public Predictor
                (std::uint64_t(1) << C) * 2 + H;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "bimode",
+            {ComponentInfo::table("taken_bank", std::uint64_t(1) << T, 2),
+             ComponentInfo::table("not_taken_bank", std::uint64_t(1) << T,
+                                  2),
+             ComponentInfo::table("choice", std::uint64_t(1) << C, 2),
+             ComponentInfo::reg("global_history", H)});
+    }
+
     json_t
     metadata_stats() const override
     {

@@ -91,10 +91,25 @@ class BiasFilter : public Predictor
     std::uint64_t
     storageBits() const override
     {
-        std::uint64_t inner = main_->storageBits();
         // run counter (8 b saturating in hardware) + direction + flag.
-        return inner == 0 ? 0
-                          : inner + (std::uint64_t(1) << T) * (8 + 1 + 1);
+        // An unreported main predictor leaves the composite unreported.
+        return main_->reportsStorage()
+                   ? main_->storageBits() +
+                         (std::uint64_t(1) << T) * (8 + 1 + 1)
+                   : 0;
+    }
+
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        std::optional<ComponentInfo> main = main_->storage_components();
+        if (!main.has_value())
+            return std::nullopt;
+        return ComponentInfo::composite(
+            "bias_filter",
+            {ComponentInfo::table("filter_entries", std::uint64_t(1) << T,
+                                  8 + 1 + 1),
+             ComponentInfo::composite("main", {*std::move(main)})});
     }
 
     json_t

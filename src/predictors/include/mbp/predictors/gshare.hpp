@@ -63,6 +63,15 @@ struct Gshare : Predictor
         return (std::uint64_t(1) << T) * 2 + H;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "gshare",
+            {ComponentInfo::table("counters", std::uint64_t(1) << T, 2),
+             ComponentInfo::reg("global_history", H)});
+    }
+
     json_t
     metadata_stats() const override
     {

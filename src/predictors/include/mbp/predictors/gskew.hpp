@@ -98,6 +98,18 @@ class Gskew2bc : public Predictor
         return 4 * (std::uint64_t(1) << T) * 2 + H;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "2bc_gskew",
+            {ComponentInfo::table("bim_bank", std::uint64_t(1) << T, 2),
+             ComponentInfo::table("g0_bank", std::uint64_t(1) << T, 2),
+             ComponentInfo::table("g1_bank", std::uint64_t(1) << T, 2),
+             ComponentInfo::table("meta_bank", std::uint64_t(1) << T, 2),
+             ComponentInfo::reg("global_history", H)});
+    }
+
     json_t
     metadata_stats() const override
     {

@@ -105,6 +105,15 @@ class LoopPredictor : public Predictor
         return (std::uint64_t(1) << T) * (TagBits + 14 + 14 + 2);
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "loop", {ComponentInfo::table("entries",
+                                          std::uint64_t(1) << T,
+                                          TagBits + 14 + 14 + 2)});
+    }
+
     json_t
     metadata_stats() const override
     {
@@ -183,8 +192,24 @@ class LoopOverride : public Predictor
     std::uint64_t
     storageBits() const override
     {
-        std::uint64_t inner = main_->storageBits();
-        return inner == 0 ? 0 : loop_.storageBits() + inner;
+        // An unreported main predictor makes the composite unreported
+        // too; a main that *declares* zero cost still pays for the loop
+        // tables.
+        return main_->reportsStorage()
+                   ? loop_.storageBits() + main_->storageBits()
+                   : 0;
+    }
+
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        std::optional<ComponentInfo> main = main_->storage_components();
+        if (!main.has_value())
+            return std::nullopt; // cannot derive an undeclared component
+        return ComponentInfo::composite(
+            "loop_override",
+            {*loop_.storage_components(),
+             ComponentInfo::composite("main", {*std::move(main)})});
     }
 
     json_t

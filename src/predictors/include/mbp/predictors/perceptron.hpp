@@ -123,6 +123,20 @@ class HashedPerceptron : public Predictor
                MaxHist + 32 /* path */ + 16 /* theta state */;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "hashed_perceptron",
+            {ComponentInfo::table("weights",
+                                  std::uint64_t(NumTables) *
+                                      (std::uint64_t(1) << T),
+                                  8),
+             ComponentInfo::reg("global_history", MaxHist),
+             ComponentInfo::reg("path_history", 32),
+             ComponentInfo::reg("theta_state", 16)});
+    }
+
     json_t
     metadata_stats() const override
     {

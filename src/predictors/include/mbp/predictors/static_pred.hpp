@@ -19,6 +19,18 @@ struct StaticPred : Predictor
     void train(const Branch &) override {}
     void track(const Branch &) override {}
 
+    /**
+     * A declared-empty inventory: the design is genuinely storage-free
+     * (0 bits), which is different from the base-class default of "not
+     * reported" — the audit and the simulate() report keep the two
+     * apart.
+     */
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite("static", {});
+    }
+
     json_t
     metadata_stats() const override
     {

@@ -119,6 +119,18 @@ class TageScl : public Predictor
                7 /* WITHLOOP */;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "tage_scl",
+            {*tage_.storage_components(), *loop_.storage_components(),
+             ComponentInfo::table("sc_counters",
+                                  sc_tables_.size() * kScSize, 6),
+             ComponentInfo::reg("sc_history", 64),
+             ComponentInfo::reg("with_loop", 7)});
+    }
+
     json_t
     execution_stats() const override
     {

@@ -81,9 +81,30 @@ class TournamentPred : public Predictor
     std::uint64_t
     storageBits() const override
     {
-        std::uint64_t inner = meta_->storageBits() + bp0_->storageBits() +
-                              bp1_->storageBits();
-        return inner == 0 ? 0 : inner;
+        // Reported only when every component reports; a component that
+        // declares zero cost (e.g. a static predictor) still counts as
+        // reported.
+        if (!meta_->reportsStorage() || !bp0_->reportsStorage() ||
+            !bp1_->reportsStorage())
+            return 0;
+        return meta_->storageBits() + bp0_->storageBits() +
+               bp1_->storageBits();
+    }
+
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        std::optional<ComponentInfo> meta = meta_->storage_components();
+        std::optional<ComponentInfo> bp0 = bp0_->storage_components();
+        std::optional<ComponentInfo> bp1 = bp1_->storage_components();
+        if (!meta.has_value() || !bp0.has_value() || !bp1.has_value())
+            return std::nullopt;
+        return ComponentInfo::composite(
+            "tournament",
+            {ComponentInfo::composite("metapredictor",
+                                      {*std::move(meta)}),
+             ComponentInfo::composite("predictor_0", {*std::move(bp0)}),
+             ComponentInfo::composite("predictor_1", {*std::move(bp1)})});
     }
 
     json_t

@@ -109,6 +109,19 @@ class TwoLevel : public Predictor
                tables_.size() * (std::uint64_t(1) << H) * B;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "two_level",
+            {ComponentInfo::table("branch_histories", histories_.size(),
+                                  H),
+             ComponentInfo::table("pattern_counters",
+                                  tables_.size() *
+                                      (std::uint64_t(1) << H),
+                                  B)});
+    }
+
     json_t
     metadata_stats() const override
     {

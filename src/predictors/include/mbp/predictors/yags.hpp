@@ -78,6 +78,19 @@ class Yags : public Predictor
                (std::uint64_t(1) << C) * 2 + H;
     }
 
+    std::optional<ComponentInfo>
+    storage_components() const override
+    {
+        return ComponentInfo::composite(
+            "yags",
+            {ComponentInfo::table("taken_cache", std::uint64_t(1) << T,
+                                  2 + TagBits),
+             ComponentInfo::table("not_taken_cache",
+                                  std::uint64_t(1) << T, 2 + TagBits),
+             ComponentInfo::table("choice", std::uint64_t(1) << C, 2),
+             ComponentInfo::reg("global_history", H)});
+    }
+
     json_t
     metadata_stats() const override
     {

@@ -317,6 +317,28 @@ Tage::storageBits() const
     return bits;
 }
 
+std::optional<ComponentInfo>
+Tage::storage_components() const
+{
+    std::vector<ComponentInfo> parts;
+    parts.push_back(ComponentInfo::table(
+        "bimodal", std::uint64_t(1) << config_.log_bimodal_size, 2));
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const TageTableSpec &spec = tables_[t].spec;
+        parts.push_back(ComponentInfo::table(
+            "tagged_table_" + std::to_string(t),
+            std::uint64_t(1) << spec.log_size,
+            std::uint64_t(config_.counter_bits + config_.useful_bits +
+                          spec.tag_bits)));
+    }
+    parts.push_back(ComponentInfo::reg(
+        "global_history", std::uint64_t(ghist_.capacity())));
+    parts.push_back(ComponentInfo::reg("path_history", 32));
+    parts.push_back(ComponentInfo::reg("use_alt_on_na", 4));
+    parts.push_back(ComponentInfo::reg("u_reset_counter", 32));
+    return ComponentInfo::composite("tage", std::move(parts));
+}
+
 json_t
 Tage::execution_stats() const
 {

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Compile-time contracts for the simulator's template surface.
+ *
+ * The hot loops (simulateCore/simulateManyCore) and the sweep's
+ * predictor factories are templates so that the streaming reader, the
+ * in-memory arena cursor and (future) devirtualized predictor kernels
+ * share one implementation. Duck typing made interface drift fail with
+ * pages of template errors deep inside the instantiation; these concepts
+ * turn a wrong trace-source or predictor shape into a one-line
+ * diagnostic at the call site, and the conformance static_asserts
+ * (tests/contracts_test.cpp) pin every roster predictor and both cursor
+ * types to the contracts.
+ */
+#ifndef MBP_SIM_CONCEPTS_HPP
+#define MBP_SIM_CONCEPTS_HPP
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sbbt/branch.hpp"
+#include "mbp/sbbt/format.hpp"
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/sim/predictor.hpp"
+
+namespace mbp
+{
+
+/**
+ * The trace-consumption surface shared by sbbt::SbbtReader and
+ * sbbt::MemTraceCursor — exactly what simulateCore/simulateManyCore
+ * call. next() advances to the next branch packet; instrNumber() is the
+ * 1-based instruction number of the branch just delivered; header(),
+ * error(), exhausted() and the throughput accessors feed the report.
+ */
+template <typename S>
+concept TraceSource = requires(S source, const S const_source,
+                               sbbt::PacketData &packet) {
+    { source.next(packet) } -> std::same_as<bool>;
+    { const_source.instrNumber() } -> std::same_as<std::uint64_t>;
+    { const_source.branchesRead() } -> std::same_as<std::uint64_t>;
+    { const_source.header() } -> std::same_as<const sbbt::Header &>;
+    { const_source.error() } -> std::same_as<const std::string &>;
+    { const_source.exhausted() } -> std::same_as<bool>;
+    { const_source.decompressedBytes() } -> std::same_as<std::uint64_t>;
+    { const_source.prefetchStallSeconds() } -> std::same_as<double>;
+};
+
+/**
+ * The behavioural surface of a branch predictor, independent of the
+ * Predictor base class: predict/train/track plus the reporting quartet.
+ * Satisfied by every roster predictor through its virtual overrides, but
+ * deliberately duck-typed so that devirtualized kernels (ROADMAP item 1)
+ * can accept concrete predictor types with no vtable at all.
+ */
+template <typename P>
+concept PredictorLike = requires(P predictor, const P const_predictor,
+                                 const Branch &branch, std::uint64_t ip) {
+    { predictor.predict(ip) } -> std::same_as<bool>;
+    { predictor.train(branch) } -> std::same_as<void>;
+    { predictor.track(branch) } -> std::same_as<void>;
+    { const_predictor.metadata_stats() } -> std::same_as<json_t>;
+    { const_predictor.execution_stats() } -> std::same_as<json_t>;
+    { const_predictor.storageBits() } -> std::same_as<std::uint64_t>;
+    {
+        const_predictor.storage_components()
+    } -> std::same_as<std::optional<ComponentInfo>>;
+};
+
+/**
+ * A roster predictor: PredictorLike *and* usable through the runtime
+ * Predictor interface the simulators take. Concrete (instantiable), so
+ * sweep factories constrained on it cannot name an abstract base.
+ */
+template <typename P>
+concept RosterPredictor = PredictorLike<P> &&
+                          std::derived_from<P, Predictor> &&
+                          !std::is_abstract_v<P>;
+
+/**
+ * A sweep/suite predictor factory: a callable producing fresh
+ * heap-allocated predictors, one per campaign cell or suite trace.
+ */
+template <typename F>
+concept PredictorFactory = requires(F factory) {
+    { factory() } -> std::convertible_to<std::unique_ptr<Predictor>>;
+};
+
+} // namespace mbp
+
+#endif // MBP_SIM_CONCEPTS_HPP

@@ -23,12 +23,100 @@
 #define MBP_SIM_PREDICTOR_HPP
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "mbp/json/json.hpp"
 #include "mbp/sbbt/branch.hpp"
 
 namespace mbp
 {
+
+/**
+ * One node of a predictor's declared storage inventory (paper Table II).
+ *
+ * A predictor describes its hardware cost as a tree: leaf nodes are
+ * tables (`entries` rows of `bits_per_entry` bits) or registers
+ * (`extra_bits` of non-tabular state such as history registers and
+ * global counters); composite predictors nest their subcomponents as
+ * `children`. The storage cost is then *derived* from the declared
+ * geometry by totalBits() instead of being hand-computed per design,
+ * and mbp_audit cross-checks it against storageBits() so a wrong budget
+ * formula fails loudly instead of silently.
+ */
+struct ComponentInfo
+{
+    std::string name;
+    std::uint64_t entries = 0;        //!< table rows; 0 for registers
+    std::uint64_t bits_per_entry = 0; //!< bits per table row
+    std::uint64_t extra_bits = 0;     //!< non-tabular bits (registers...)
+    std::vector<ComponentInfo> children;
+
+    /** A table leaf: @p entries rows of @p bits_per_entry bits. */
+    static ComponentInfo
+    table(std::string name, std::uint64_t entries,
+          std::uint64_t bits_per_entry)
+    {
+        ComponentInfo info;
+        info.name = std::move(name);
+        info.entries = entries;
+        info.bits_per_entry = bits_per_entry;
+        return info;
+    }
+
+    /** A register leaf: @p bits of non-tabular state. */
+    static ComponentInfo
+    reg(std::string name, std::uint64_t bits)
+    {
+        ComponentInfo info;
+        info.name = std::move(name);
+        info.extra_bits = bits;
+        return info;
+    }
+
+    /** A composite node owning @p children subcomponents. */
+    static ComponentInfo
+    composite(std::string name, std::vector<ComponentInfo> children)
+    {
+        ComponentInfo info;
+        info.name = std::move(name);
+        info.children = std::move(children);
+        return info;
+    }
+
+    /** Derived storage cost: this node plus all children, in bits. */
+    std::uint64_t
+    totalBits() const
+    {
+        std::uint64_t bits = entries * bits_per_entry + extra_bits;
+        for (const ComponentInfo &child : children)
+            bits += child.totalBits();
+        return bits;
+    }
+
+    /** JSON form used by the mbp_audit budget report. */
+    json_t
+    toJson() const
+    {
+        json_t node = json_t::object({{"name", name}});
+        if (entries != 0) {
+            node["entries"] = entries;
+            node["bits_per_entry"] = bits_per_entry;
+        }
+        if (extra_bits != 0)
+            node["extra_bits"] = extra_bits;
+        node["total_bits"] = totalBits();
+        if (!children.empty()) {
+            json_t kids = json_t::array();
+            for (const ComponentInfo &child : children)
+                kids.push_back(child.toJson());
+            node["children"] = std::move(kids);
+        }
+        return node;
+    }
+};
 
 /** Abstract base class for every branch predictor in the suite. */
 class Predictor
@@ -85,9 +173,37 @@ class Predictor
      * Hardware storage cost of the design in bits — the championship
      * budget accounting (the CBPs cap predictors at 64 kB + epsilon).
      * Predictors that implement it have the value echoed into the
-     * simulator output; 0 means "not reported".
+     * simulator output; 0 means "not reported" *unless* the predictor
+     * also declares a storage_components() tree totalling 0 (a genuinely
+     * storage-free design, e.g. a static predictor).
      */
     virtual std::uint64_t storageBits() const { return 0; }
+
+    /**
+     * Declared storage inventory: the table geometry and register state
+     * the design is built from, as a ComponentInfo tree. std::nullopt
+     * (the default) means the predictor does not describe its storage —
+     * distinct from an empty tree, which declares a zero-cost design.
+     *
+     * mbp_audit derives each roster predictor's budget from this tree
+     * and cross-checks it against storageBits(); the simulator report
+     * uses it to distinguish "unreported" from "zero-cost".
+     */
+    virtual std::optional<ComponentInfo>
+    storage_components() const
+    {
+        return std::nullopt;
+    }
+
+    /**
+     * Whether the design reports its storage cost at all: either through
+     * a declared component tree or a non-zero storageBits().
+     */
+    bool
+    reportsStorage() const
+    {
+        return storage_components().has_value() || storageBits() != 0;
+    }
 };
 
 } // namespace mbp

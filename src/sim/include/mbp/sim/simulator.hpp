@@ -32,7 +32,7 @@ namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.9.0";
+inline constexpr const char *kMbpVersion = "v0.10.0";
 
 /** Parameters of a simulation run. */
 struct SimArgs

@@ -3,11 +3,13 @@
  * Implementation of the standard, comparison and multi-predictor
  * simulators.
  *
- * The hot loops are templated over a trace-source concept — anything with
- * the SbbtReader consumption surface (next/instrNumber/header/exhausted/
+ * The hot loops are templated over the mbp::TraceSource concept — the
+ * SbbtReader consumption surface (next/instrNumber/header/exhausted/
  * error/decompressedBytes/prefetchStallSeconds) — so the streaming reader
  * and the decode-once in-memory arena (sbbt::MemTraceCursor) share one
- * accounting implementation and cannot drift apart.
+ * accounting implementation and cannot drift apart. The concept (declared
+ * in mbp/sim/concepts.hpp) turns a wrong source shape into a one-line
+ * diagnostic instead of a template backtrace.
  */
 #include "mbp/sim/simulator.hpp"
 
@@ -20,10 +22,16 @@
 
 #include "mbp/sbbt/mem_trace.hpp"
 #include "mbp/sbbt/reader.hpp"
+#include "mbp/sim/concepts.hpp"
 #include "mbp/utils/flat_hash_map.hpp"
 
 namespace mbp
 {
+
+// Both shipped trace sources must keep satisfying the contract the
+// simulator cores are constrained on; drift fails right here.
+static_assert(TraceSource<sbbt::SbbtReader>);
+static_assert(TraceSource<sbbt::MemTraceCursor>);
 
 namespace
 {
@@ -162,7 +170,7 @@ measuredInstr(const SimArgs &args, std::uint64_t header_instr,
  * pre-decoded via SimArgs::preloaded); it is deliberately kept outside
  * `simulation_time` so branches_per_second measures the predict loop.
  */
-template <typename Source>
+template <TraceSource Source>
 void
 addThroughputMetrics(json_t &metrics, const SiteAccounting &acc,
                      double seconds, const Source &source,
@@ -238,7 +246,7 @@ resolveArena(const SimArgs &args)
 }
 
 /** The simulate() hot loop and report, over any trace source. */
-template <typename Source>
+template <TraceSource Source>
 json_t
 simulateCore(const char *kName, Predictor &predictor, const SimArgs &args,
              Source &reader, double load_seconds)
@@ -293,8 +301,16 @@ simulateCore(const char *kName, Predictor &predictor, const SimArgs &args,
     result["metadata"] =
         makeMetadata(kName, args, simulation_instr, exhausted, acc);
     result["metadata"]["predictor"] = predictor.metadata_stats();
-    if (std::uint64_t bits = predictor.storageBits(); bits != 0)
-        result["metadata"]["predictor"]["storage_bits"] = bits;
+    // Budget accounting: a design that reports its storage — via a
+    // non-zero storageBits() or a declared (possibly zero-total)
+    // component tree — gets the number, including a true 0 for
+    // storage-free designs; one that reports nothing gets an explicit
+    // null so "unreported" can never be mistaken for "zero-cost".
+    if (predictor.reportsStorage())
+        result["metadata"]["predictor"]["storage_bits"] =
+            predictor.storageBits();
+    else
+        result["metadata"]["predictor"]["storage_bits"] = nullptr;
     json_t metrics = json_t::object({
         {"mpki", mpkiOf(acc.mispredictions_a, simulation_instr)},
         {"mispredictions", acc.mispredictions_a},
@@ -341,7 +357,7 @@ simulateCore(const char *kName, Predictor &predictor, const SimArgs &args,
  * is this with N == 2 and its historical simulator name; the document
  * layout is compare()'s, generalized.
  */
-template <typename Source>
+template <TraceSource Source>
 json_t
 simulateManyCore(const char *kName,
                  const std::vector<Predictor *> &predictors,
@@ -468,9 +484,16 @@ simulateManyCore(const char *kName,
     json_t result = json_t::object();
     result["metadata"] =
         makeMetadata(kName, args, simulation_instr, exhausted, acc);
-    for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t k = 0; k < n; ++k) {
+        json_t md = predictors[k]->metadata_stats();
+        // Same unreported-vs-zero-cost distinction as simulate().
+        if (predictors[k]->reportsStorage())
+            md["storage_bits"] = predictors[k]->storageBits();
+        else
+            md["storage_bits"] = nullptr;
         result["metadata"]["predictor_" + std::to_string(k)] =
-            predictors[k]->metadata_stats();
+            std::move(md);
+    }
     json_t metrics = json_t::object();
     for (std::size_t k = 0; k < n; ++k)
         metrics["mpki_" + std::to_string(k)] =

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "mbp/json/json.hpp"
+#include "mbp/sim/concepts.hpp"
 #include "mbp/sim/simulator.hpp"
 #include "mbp/sweep/trace_cache.hpp"
 
@@ -88,6 +89,33 @@ struct PredictorSpec
      */
     std::function<std::unique_ptr<Predictor>()> make;
 };
+
+/**
+ * Builds a PredictorSpec for a concrete predictor type, checked at
+ * compile time: P must satisfy the full predictor contract *and* be a
+ * concrete Predictor subclass (mbp::RosterPredictor), so an interface
+ * drift — a renamed override, a signature change, an accidentally
+ * abstract type — fails at the makeSpec call site instead of deep
+ * inside the campaign machinery. Constructor arguments are captured by
+ * value: each cell still gets a fresh instance.
+ *
+ * @code
+ *   campaign.predictors = {
+ *       mbp::sweep::makeSpec<mbp::pred::Gshare<15, 17>>("gshare"),
+ *       mbp::sweep::makeSpec<mbp::pred::Tage>("tage-big",
+ *                                             Tage::Config::geometric(12)),
+ *   };
+ * @endcode
+ */
+template <RosterPredictor P, typename... Args>
+PredictorSpec
+makeSpec(std::string name, Args... args)
+{
+    PredictorSpec spec;
+    spec.name = std::move(name);
+    spec.make = [args...] { return std::make_unique<P>(args...); };
+    return spec;
+}
 
 /** A (predictor x trace) campaign specification. */
 struct Campaign

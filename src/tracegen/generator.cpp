@@ -468,7 +468,8 @@ struct TraceGenerator::Impl
     emit(std::uint64_t ip, std::uint64_t target, OpCode opcode, bool taken)
     {
         TraceEvent ev;
-        std::uint32_t gap = std::min<std::uint64_t>(pending_gap, kMaxGap);
+        auto gap = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pending_gap, kMaxGap));
         pending_gap = 0;
         ev.branch = Branch{ip, taken ? target : 0, opcode, taken};
         if (!opcode.isIndirect() || !opcode.isConditional() || taken) {

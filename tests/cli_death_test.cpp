@@ -1,8 +1,8 @@
 /**
  * @file
  * Exit-code and argv contract tests for the installed binaries (mbp_sim,
- * mbp_sweep, mbp_fuzz), run as real subprocesses. The documented
- * convention (README "Command-line tools", TESTING.md):
+ * mbp_sweep, mbp_fuzz, mbp_audit), run as real subprocesses. The
+ * documented convention (README "Command-line tools", TESTING.md):
  *
  *   exit 2 — usage errors: bad flag value, unknown flag, unknown
  *            predictor name, unreadable trace path;
@@ -226,4 +226,60 @@ TEST(FuzzCli, SelfTestCatchesAndExits0)
                  quoted(testing::TempDir() + "/fuzz-cli-selftest"));
     EXPECT_EQ(r.exit_code, 0) << r.err;
     EXPECT_NE(r.err.find("self-test passed"), std::string::npos) << r.err;
+}
+
+// ---------------------------------------------------------------------------
+// mbp_audit
+
+TEST(AuditCli, CleanRosterExits0)
+{
+    EXPECT_EQ(run(MBP_AUDIT_BIN).exit_code, 0);
+    EXPECT_EQ(run(std::string(MBP_AUDIT_BIN) + " --json").exit_code, 0);
+}
+
+TEST(AuditCli, ListExits0)
+{
+    EXPECT_EQ(run(std::string(MBP_AUDIT_BIN) + " list").exit_code, 0);
+}
+
+TEST(AuditCli, OverBudgetIsAuditFailureExit1)
+{
+    // Every sized predictor is over a 1-bit budget; the budget gate is a
+    // failed audit (exit 1), not a usage error.
+    auto r = run(std::string(MBP_AUDIT_BIN) + " --budget 1");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("storage audit failed"), std::string::npos)
+        << r.err;
+}
+
+TEST(AuditCli, GenerousBudgetExits0)
+{
+    // 1 MiB: the roster's ~64 kB-class predictors all fit.
+    auto r = run(std::string(MBP_AUDIT_BIN) + " --budget-kib 1024");
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+}
+
+TEST(AuditCli, UnknownPredictorExits2)
+{
+    auto r = run(std::string(MBP_AUDIT_BIN) + " no-such-predictor");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("unknown predictor"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("no-such-predictor"), std::string::npos) << r.err;
+}
+
+TEST(AuditCli, UnknownFlagExits2)
+{
+    auto r = run(std::string(MBP_AUDIT_BIN) + " --frobnicate");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--frobnicate"), std::string::npos) << r.err;
+}
+
+TEST(AuditCli, BadBudgetValueExits2)
+{
+    for (const char *bad : {"0", "abc", "-3"}) {
+        auto r =
+            run(std::string(MBP_AUDIT_BIN) + " --budget " + bad);
+        EXPECT_EQ(r.exit_code, 2) << "--budget " << bad;
+        EXPECT_NE(r.err.find("--budget"), std::string::npos) << r.err;
+    }
 }

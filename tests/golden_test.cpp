@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "mbp/audit/audit.hpp"
 #include "mbp/json/json.hpp"
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sim/simulator.hpp"
@@ -91,11 +92,11 @@ measureAll()
 }
 
 json_t
-loadGolden(std::string &error)
+loadGoldenFile(const char *path, std::string &error)
 {
-    std::ifstream in(MBP_GOLDEN_FILE);
+    std::ifstream in(path);
     if (!in) {
-        error = "cannot open golden file " MBP_GOLDEN_FILE
+        error = std::string("cannot open golden file ") + path +
                 " — run ./tests/golden_test --update-golden to create it";
         return json_t();
     }
@@ -103,6 +104,30 @@ loadGolden(std::string &error)
     text << in.rdbuf();
     auto parsed = json::Value::parse(text.str(), &error);
     return parsed ? *parsed : json_t();
+}
+
+json_t
+loadGolden(std::string &error)
+{
+    return loadGoldenFile(MBP_GOLDEN_FILE, error);
+}
+
+/**
+ * The roster storage-budget report (mbp_audit --json --no-components),
+ * minus the tool/version metadata that would churn the golden file on
+ * every release: the regression surface is the budget numbers and the
+ * audit statuses themselves.
+ */
+json_t
+auditGoldenDocument()
+{
+    audit::Options options;
+    options.include_components = false;
+    json_t document = audit::report(audit::auditRoster(), options);
+    return json_t::object({
+        {"predictors", *document.find("predictors")},
+        {"summary", *document.find("summary")},
+    });
 }
 
 } // namespace
@@ -140,6 +165,17 @@ TEST(Golden, RosterMatchesRecordedNumbers)
     }
 }
 
+TEST(Golden, AuditBudgetReportMatchesRecorded)
+{
+    std::string error;
+    json_t golden = loadGoldenFile(MBP_AUDIT_GOLDEN_FILE, error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(golden.dump(2), auditGoldenDocument().dump(2))
+        << "the roster storage-budget report changed; if the table "
+           "geometry move is intended, run ./tests/golden_test "
+           "--update-golden and commit the diff";
+}
+
 int
 main(int argc, char **argv)
 {
@@ -157,6 +193,15 @@ main(int argc, char **argv)
             }
             out << golden.dump(2) << "\n";
             std::printf("wrote %s\n", MBP_GOLDEN_FILE);
+
+            std::ofstream audit_out(MBP_AUDIT_GOLDEN_FILE);
+            if (!audit_out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             MBP_AUDIT_GOLDEN_FILE);
+                return 1;
+            }
+            audit_out << auditGoldenDocument().dump(2) << "\n";
+            std::printf("wrote %s\n", MBP_AUDIT_GOLDEN_FILE);
             return 0;
         }
     }

@@ -364,6 +364,37 @@ TEST(Simulate, MissingTraceReportsError)
     EXPECT_FALSE(result.contains("metrics"));
 }
 
+TEST(Simulate, StorageBitsDistinguishesUnreportedFromZeroCost)
+{
+    auto path = writeTrace("storage.sbbt", {{cond(0x1000, true), 1}});
+    SimArgs args;
+    args.trace_path = path;
+
+    // ScriptedPredictor keeps the silent base-class default: the report
+    // says so with an explicit null, not a fake 0.
+    ScriptedPredictor unreported({true});
+    json_t result = simulate(unreported, args);
+    EXPECT_TRUE(result["metadata"]["predictor"]["storage_bits"].isNull());
+
+    // A declared-empty inventory is a genuine 0-bit design.
+    class ZeroCost : public ScriptedPredictor
+    {
+      public:
+        ZeroCost() : ScriptedPredictor({true}) {}
+        std::optional<ComponentInfo>
+        storage_components() const override
+        {
+            return ComponentInfo::composite("zero", {});
+        }
+    };
+    ZeroCost zero_cost;
+    json_t zero_result = simulate(zero_cost, args);
+    json_t &bits = zero_result["metadata"]["predictor"]["storage_bits"];
+    EXPECT_FALSE(bits.isNull());
+    EXPECT_EQ(bits.asUint(), 0u);
+    std::remove(path.c_str());
+}
+
 TEST(Simulate, OutputIsValidJson)
 {
     auto path = writeTrace("jsonok.sbbt", {{cond(0x1000, true), 5}});
