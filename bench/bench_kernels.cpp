@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Machine-readable tracking benchmark for the fused simulation kernels.
+ *
+ * Replays one arena-resident trace through representative roster
+ * predictors twice per configuration — the virtual simulate() versus the
+ * fused compile-time kernel (mbp::simulateFused, via the roster's fused
+ * registry) — and writes `BENCH_kernels.json` (path from argv[1],
+ * default ./BENCH_kernels.json) with branches/second for both paths,
+ * with and without per-branch collection, so the devirtualization
+ * speedup is a diffable artifact of every CI run.
+ *
+ * Functional checks, enforced with exit code 1:
+ *   - both paths produce identical misprediction counts and measured
+ *     instruction windows per configuration (the byte-level document
+ *     identity is pinned by arena_conformance_test);
+ *   - the fused path is not meaningfully slower than the virtual one
+ *     (>= kSanityRatio of its throughput). The ratio is a loose sanity
+ *     floor, not the headline target, because this also runs under
+ *     sanitizer builds where absolute numbers are meaningless; the
+ *     real speedups are reported in the JSON for trend tracking.
+ */
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mbp/predictors/roster.hpp"
+#include "mbp/sbbt/mem_trace.hpp"
+#include "mbp/sim/simulator.hpp"
+#include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/generator.hpp"
+
+namespace
+{
+
+/** Loose fail-if-slower floor; see the file comment. */
+constexpr double kSanityRatio = 0.6;
+
+constexpr int kReps = 5;
+
+struct Measurement
+{
+    double bps = 0.0; // best of kReps
+    std::uint64_t mispredictions = 0;
+    std::uint64_t simulation_instr = 0;
+    bool failed = false;
+};
+
+Measurement
+measure(const std::string &name, const mbp::SimArgs &args, bool fused)
+{
+    Measurement m;
+    for (int rep = 0; rep < kReps; ++rep) {
+        mbp::json_t result;
+        if (fused) {
+            result = mbp::pred::fusedRunnerByName(name)(args);
+        } else {
+            auto predictor = mbp::pred::makeByName(name);
+            result = mbp::simulate(*predictor, args);
+        }
+        if (result.contains("error")) {
+            std::fprintf(stderr, "%s (%s): %s\n", name.c_str(),
+                         fused ? "fused" : "virtual",
+                         result.find("error")->asString().c_str());
+            m.failed = true;
+            return m;
+        }
+        const mbp::json_t &metrics = *result.find("metrics");
+        m.bps = std::max(
+            m.bps, metrics.find("branches_per_second")->asDouble());
+        m.mispredictions = metrics.find("mispredictions")->asUint();
+        m.simulation_instr = result.find("metadata")
+                                 ->find("simulation_instr")
+                                 ->asUint();
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mbp;
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_kernels.json";
+
+    tracegen::WorkloadSpec spec;
+    spec.name = "bench-kernels";
+    spec.seed = 13;
+    spec.num_instr = 8'000'000;
+    tools::CorpusFormats formats;
+    formats.sbbt_flz = true;
+    auto entries = tools::materialize(bench::corpusDir(), {spec}, formats);
+
+    // The cheap end of the Table III cost range is where devirtualization
+    // matters (predict is a handful of instructions, so dispatch overhead
+    // dominated); batage anchors the expensive end, where the win is
+    // bounded by the predictor itself.
+    const std::vector<std::string> roster = {"bimodal", "gshare",
+                                             "batage"};
+
+    std::string load_error;
+    auto arena = sbbt::MemTrace::load(entries[0].sbbt_flz, {}, &load_error);
+    if (arena == nullptr) {
+        std::fprintf(stderr, "cannot load %s: %s\n",
+                     entries[0].sbbt_flz.c_str(), load_error.c_str());
+        return 1;
+    }
+
+    bool ok = true;
+    json_t rows = json_t::array();
+    for (const std::string &name : roster) {
+        for (const bool collect : {true, false}) {
+            SimArgs args;
+            args.trace_path = entries[0].sbbt_flz;
+            args.preloaded = arena;
+            args.collect_most_failed = collect;
+            const Measurement virt = measure(name, args, false);
+            const Measurement fused = measure(name, args, true);
+            if (virt.failed || fused.failed) {
+                ok = false;
+                continue;
+            }
+            if (virt.mispredictions != fused.mispredictions ||
+                virt.simulation_instr != fused.simulation_instr) {
+                std::fprintf(
+                    stderr,
+                    "%s (collect=%d): fused/virtual mismatch "
+                    "(mispredictions %llu vs %llu, instr %llu vs %llu)\n",
+                    name.c_str(), collect ? 1 : 0,
+                    (unsigned long long)virt.mispredictions,
+                    (unsigned long long)fused.mispredictions,
+                    (unsigned long long)virt.simulation_instr,
+                    (unsigned long long)fused.simulation_instr);
+                ok = false;
+            }
+            const double speedup =
+                virt.bps > 0.0 ? fused.bps / virt.bps : 0.0;
+            if (speedup < kSanityRatio) {
+                std::fprintf(stderr,
+                             "%s (collect=%d): fused kernel slower than "
+                             "virtual (%.2fx < %.2fx floor)\n",
+                             name.c_str(), collect ? 1 : 0, speedup,
+                             kSanityRatio);
+                ok = false;
+            }
+            std::printf("%-10s collect=%d  virtual %12.0f b/s   fused "
+                        "%12.0f b/s   %5.2fx\n",
+                        name.c_str(), collect ? 1 : 0, virt.bps,
+                        fused.bps, speedup);
+            rows.push_back(json_t::object({
+                {"predictor", name},
+                {"collect_most_failed", collect},
+                {"virtual_branches_per_second", virt.bps},
+                {"fused_branches_per_second", fused.bps},
+                {"speedup", speedup},
+                {"mispredictions", virt.mispredictions},
+            }));
+        }
+    }
+
+    json_t doc = json_t::object({
+        {"bench", "fused kernels vs virtual arena simulation"},
+        {"version", kMbpVersion},
+        {"workload", json_t::object({
+                         {"name", spec.name},
+                         {"seed", spec.seed},
+                         {"num_instr", spec.num_instr},
+                         {"branches", std::uint64_t(arena->size())},
+                     })},
+        {"reps", std::uint64_t(kReps)},
+        {"sanity_ratio", kSanityRatio},
+        {"rows", std::move(rows)},
+        {"checks_passed", ok},
+    });
+
+    std::FILE *out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::string text = doc.dump(2) + "\n";
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+    return ok ? 0 : 1;
+}

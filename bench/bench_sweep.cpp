@@ -44,8 +44,11 @@ main(int argc, char **argv)
 
     sweep::Campaign campaign;
     for (const std::string &name : roster)
+        // Deliberately no fused runner: this bench tracks the *virtual*
+        // pipeline's arena-vs-streaming gap; bench_kernels owns the
+        // fused-vs-virtual comparison.
         campaign.predictors.push_back(
-            {name, [name] { return pred::makeByName(name); }});
+            {name, [name] { return pred::makeByName(name); }, {}});
     campaign.traces.push_back(entries[0].sbbt_flz);
     const unsigned jobs = bench::jobCount();
 

@@ -60,7 +60,7 @@ main()
     // MBPlib side: both predictor columns as one sweep campaign.
     sweep::Campaign campaign;
     for (const auto &config : configs)
-        campaign.predictors.push_back({config.name, config.make});
+        campaign.predictors.push_back({config.name, config.make, {}});
     for (const auto &entry : entries)
         campaign.traces.push_back(entry.sbbt_flz);
     json_t grid = sweep::run(campaign, jobs);

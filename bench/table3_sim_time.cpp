@@ -53,7 +53,7 @@ main()
     // Table III gradient is measured on every run.
     sweep::Campaign campaign;
     for (const auto &pred : predictors)
-        campaign.predictors.push_back({pred.name, pred.make});
+        campaign.predictors.push_back({pred.name, pred.make, {}});
     for (const auto &entry : entries)
         campaign.traces.push_back(entry.sbbt_flz);
     json_t grid = sweep::run(campaign, jobs);

@@ -48,6 +48,53 @@ struct Bimodal : Predictor
 
     void track(const Branch &) override {}
 
+    /**
+     * Fused per-conditional-branch step for the simulation kernels
+     * (mbp::KernelFusedStep): exactly predict(), train(), track(), with
+     * the counter slot computed once (track is a no-op here).
+     */
+    bool
+    fusedStep(std::uint64_t ip, bool taken)
+    {
+        SatCounter<B> &counter = table[hash(ip)];
+        const bool guess = counter >= 0;
+        counter.sumOrSub(taken);
+        return guess;
+    }
+
+    /**
+     * Per-site memoized index for the fused kernels
+     * (mbp::KernelSiteFold): the bimodal slot is a pure function of the
+     * address, so the kernel hashes each static site once and the hot
+     * loop indexes the table directly.
+     */
+    std::uint64_t
+    siteFold(std::uint64_t ip) const
+    {
+        return hash(ip);
+    }
+
+    /** fusedStep() with the slot already computed by siteFold(). */
+    bool
+    fusedStepFolded(std::uint64_t slot, bool taken)
+    {
+        SatCounter<B> &counter = table[slot];
+        const bool guess = counter >= 0;
+        counter.sumOrSub(taken);
+        return guess;
+    }
+
+    /**
+     * Counter line a lookup for @p ip will touch — the bimodal index
+     * depends only on the address, so the fused-kernel prefetch
+     * (mbp::KernelPrefetchable) is exact.
+     */
+    const void *
+    prefetchHint(std::uint64_t ip) const
+    {
+        return &table[hash(ip)];
+    }
+
     std::uint64_t
     storageBits() const override
     {

@@ -57,6 +57,67 @@ struct Gshare : Predictor
         ghist[0] = b.isTaken();
     }
 
+    /**
+     * Fused per-conditional-branch step for the simulation kernels
+     * (mbp::KernelFusedStep): exactly predict(), train(), track().
+     * Predict and train both hash with the pre-track history, so
+     * computing the counter slot once is identical; the history shift
+     * then matches track().
+     */
+    bool
+    fusedStep(std::uint64_t ip, bool taken)
+    {
+        i2 &counter = table[hash(ip)];
+        const bool guess = counter >= 0;
+        counter.sumOrSub(taken);
+        ghist <<= 1;
+        ghist[0] = taken;
+        return guess;
+    }
+
+    /**
+     * Per-site address fold for the fused kernels (mbp::KernelSiteFold).
+     * XorFold distributes over XOR — every chunk of a^b is
+     * chunk(a)^chunk(b) — so XorFold(ip ^ ghist, T) ==
+     * XorFold(ip, T) ^ XorFold(ghist, T); and with H <= T the history
+     * fits one fold chunk, so XorFold(ghist, T) is just ghist. The
+     * address fold is therefore a pure per-site value, and the hot loop
+     * XORs it with the live history (fusedStepFolded) — bit-identical to
+     * hash(ip), with no per-branch folding.
+     */
+    std::uint64_t
+    siteFold(std::uint64_t ip) const
+        requires(H <= T)
+    {
+        return XorFold(ip, T);
+    }
+
+    /** fusedStep() with the address already folded by siteFold(). */
+    bool
+    fusedStepFolded(std::uint64_t folded, bool taken)
+        requires(H <= T)
+    {
+        i2 &counter = table[folded ^ ghist.to_ullong()];
+        const bool guess = counter >= 0;
+        counter.sumOrSub(taken);
+        ghist <<= 1;
+        ghist[0] = taken;
+        return guess;
+    }
+
+    /**
+     * Likely counter line of a future lookup for @p ip, hashed with the
+     * *current* history — approximate on purpose (the history will have
+     * shifted by lookup time), which is fine for a prefetch hint
+     * (mbp::KernelPrefetchable): nearby history values land on nearby
+     * table lines often enough to hide the counter-array miss.
+     */
+    const void *
+    prefetchHint(std::uint64_t ip) const
+    {
+        return &table[hash(ip)];
+    }
+
     std::uint64_t
     storageBits() const override
     {

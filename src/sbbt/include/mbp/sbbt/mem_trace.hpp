@@ -50,8 +50,14 @@ namespace mbp::sbbt
 class MemTrace
 {
   public:
-    /** Arena bytes consumed per branch (ip + target + instr number + meta). */
-    static constexpr std::uint64_t kBytesPerBranch = 8 + 8 + 8 + 1;
+    /**
+     * Arena bytes consumed per branch (ip + target + instr number + meta
+     * + dense site index). The site-index column is what lets the fused
+     * simulation kernels (mbp/sim/kernels.hpp) replace every per-branch
+     * hash lookup with an array access: the hashing is paid once here, at
+     * decode, instead of once per (branch x predictor x run).
+     */
+    static constexpr std::uint64_t kBytesPerBranch = 8 + 8 + 8 + 1 + 4;
 
     /**
      * Decodes the whole trace at @p path in one streaming pass.
@@ -110,6 +116,52 @@ class MemTrace
     /** 1-based instruction number of branch @p i (SbbtReader convention). */
     std::uint64_t instrNumber(std::size_t i) const { return instr_nums_[i]; }
 
+    /** @return Distinct branch sites (unique ips, any opcode) in the arena. */
+    std::uint32_t numSites() const { return num_sites_; }
+
+    /**
+     * Dense index of branch @p i 's site, assigned in first-seen order
+     * (0 .. numSites()-1). Lets per-site accounting use a plain array
+     * where a streaming consumer needs a hash map.
+     */
+    std::uint32_t siteIndex(std::size_t i) const { return site_index_[i]; }
+
+    /**
+     * @return Distinct branch sites among the first @p count branches —
+     * the `num_branch_instructions` a simulation stopping after
+     * @p count branches observes. O(count/64) via a first-seen bitmap.
+     */
+    std::uint64_t staticSitesInPrefix(std::size_t count) const;
+
+    /** @return Instruction address of site @p s (s < numSites()). */
+    std::uint64_t siteIp(std::uint32_t s) const { return site_ips_[s]; }
+
+    /**
+     * Conditional executions of site @p s over the whole trace —
+     * precomputed at decode, so a full-trace collect_most_failed run
+     * reads its per-site occurrence totals instead of counting them
+     * branch by branch in the simulation loop.
+     */
+    std::uint64_t
+    siteCondOccurrences(std::uint32_t s) const
+    {
+        return site_cond_occ_[s];
+    }
+
+    // Raw column pointers for the fused block kernels
+    // (mbp/sim/kernels.hpp), which bulk-read the struct-of-arrays
+    // columns instead of materializing per-branch packets.
+    const std::uint64_t *ipData() const { return ips_.data(); }
+    const std::uint64_t *targetData() const { return targets_.data(); }
+    const std::uint64_t *instrNumData() const { return instr_nums_.data(); }
+    const std::uint8_t *metaData() const { return meta_.data(); }
+    const std::uint32_t *siteIndexData() const { return site_index_.data(); }
+    const std::uint64_t *siteIpData() const { return site_ips_.data(); }
+    const std::uint64_t *siteCondOccData() const
+    {
+        return site_cond_occ_.data();
+    }
+
   private:
     friend class MemTraceCursor;
 
@@ -120,6 +172,11 @@ class MemTrace
     std::vector<std::uint64_t> targets_;
     std::vector<std::uint64_t> instr_nums_; // cumulative, 1-based
     std::vector<std::uint8_t> meta_;        // bits 0-3 opcode, bit 4 outcome
+    std::vector<std::uint32_t> site_index_; // dense site id, first-seen order
+    std::vector<std::uint64_t> first_seen_; // bit i: branch i is a new site
+    std::vector<std::uint64_t> site_ips_;   // site id -> instruction address
+    std::vector<std::uint64_t> site_cond_occ_; // whole-trace cond. counts
+    std::uint32_t num_sites_ = 0;
     std::uint64_t decompressed_bytes_ = 0;
     double load_seconds_ = 0.0;
 };

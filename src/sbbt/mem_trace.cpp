@@ -1,7 +1,12 @@
 #include "mbp/sbbt/mem_trace.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
+#include <limits>
 #include <utility>
+
+#include "mbp/utils/flat_hash_map.hpp"
 
 namespace mbp::sbbt
 {
@@ -27,6 +32,14 @@ MemTrace::load(const std::string &path, const ReaderOptions &options,
     trace->targets_.reserve(hint);
     trace->instr_nums_.reserve(hint);
     trace->meta_.reserve(hint);
+    trace->site_index_.reserve(hint);
+    trace->first_seen_.reserve((hint + 63) / 64);
+
+    // Site ids are assigned in first-seen order; the map stores id+1 so
+    // FlatHashMap's default-constructed 0 means "not seen yet".
+    util::FlatHashMap<std::uint32_t> site_of;
+    constexpr std::uint32_t kMaxSites =
+        std::numeric_limits<std::uint32_t>::max();
 
     PacketData p;
     while (reader.next(p)) {
@@ -35,6 +48,30 @@ MemTrace::load(const std::string &path, const ReaderOptions &options,
         trace->instr_nums_.push_back(reader.instrNumber());
         trace->meta_.push_back(static_cast<std::uint8_t>(
             p.branch.opcode().bits() | (p.branch.isTaken() ? 0x10 : 0)));
+
+        std::uint32_t &slot = site_of[p.branch.ip()];
+        const std::size_t i = trace->site_index_.size();
+        if ((i & 63) == 0)
+            trace->first_seen_.push_back(0);
+        if (slot == 0) {
+            if (trace->num_sites_ == kMaxSites) {
+                if (error != nullptr)
+                    *error = "trace has 2^32-1 or more distinct branch "
+                             "sites; site index would overflow";
+                return nullptr;
+            }
+            slot = ++trace->num_sites_;
+            trace->first_seen_.back() |= std::uint64_t{1} << (i & 63);
+            trace->site_ips_.push_back(p.branch.ip());
+            trace->site_cond_occ_.push_back(0);
+        }
+        trace->site_index_.push_back(slot - 1);
+        // Predictor-independent accounting, paid once at decode: the
+        // per-site conditional-execution totals every full-trace
+        // collect_most_failed run needs (the fused kernels then only
+        // count mispredictions in their hot loop).
+        if (p.branch.isConditional())
+            ++trace->site_cond_occ_[slot - 1];
     }
     if (!reader.error().empty()) {
         if (error != nullptr)
@@ -47,6 +84,23 @@ MemTrace::load(const std::string &path, const ReaderOptions &options,
                                       start)
             .count();
     return trace;
+}
+
+std::uint64_t
+MemTrace::staticSitesInPrefix(std::size_t count) const
+{
+    count = std::min(count, site_index_.size());
+    std::uint64_t sites = 0;
+    const std::size_t full_words = count / 64;
+    for (std::size_t w = 0; w < full_words; ++w)
+        sites += static_cast<std::uint64_t>(std::popcount(first_seen_[w]));
+    const std::size_t rem = count % 64;
+    if (rem != 0) {
+        const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+        sites += static_cast<std::uint64_t>(
+            std::popcount(first_seen_[full_words] & mask));
+    }
+    return sites;
 }
 
 std::uint64_t
@@ -68,7 +122,11 @@ MemTrace::memoryBytes() const
            ips_.capacity() * sizeof(std::uint64_t) +
            targets_.capacity() * sizeof(std::uint64_t) +
            instr_nums_.capacity() * sizeof(std::uint64_t) +
-           meta_.capacity() * sizeof(std::uint8_t);
+           meta_.capacity() * sizeof(std::uint8_t) +
+           site_index_.capacity() * sizeof(std::uint32_t) +
+           first_seen_.capacity() * sizeof(std::uint64_t) +
+           site_ips_.capacity() * sizeof(std::uint64_t) +
+           site_cond_occ_.capacity() * sizeof(std::uint64_t);
 }
 
 } // namespace mbp::sbbt

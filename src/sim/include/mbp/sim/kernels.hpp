@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Fused batched simulation kernels over the decode-once arena.
+ *
+ * The virtual simulators (mbp/sim/simulator.hpp) spend most of a cheap
+ * predictor's run on per-branch overhead: the cursor call, three virtual
+ * dispatches (predict/train/track) and two hash probes (site census +
+ * per-branch ranking). The kernels in this header remove all of it for
+ * predictors whose concrete type is known at compile time
+ * (mbp::PredictorLike, no vtable required):
+ *
+ *  - the sbbt::MemTrace struct-of-arrays columns are bulk-read directly,
+ *    in fixed-size blocks, instead of materializing per-branch packets;
+ *  - predict/train/track are inlined into the loop body (template
+ *    dispatch, zero virtual calls on the single-predictor path and one
+ *    per block-x-predictor on the N-predictor path);
+ *  - the per-site hash probes become array indexing through the arena's
+ *    precomputed dense site ids (MemTrace::siteIndex), the hashing having
+ *    been paid once at decode;
+ *  - predictors whose address hash factors into a pure per-site value
+ *    (KernelSiteFold) get it memoized once per static site, so the
+ *    single-predictor hot loop does no address hashing at all and never
+ *    touches the 8-byte ip column;
+ *  - warmup and instruction-limit checks leave the loop entirely: the
+ *    branch columns are pre-partitioned into [unmeasured) [measured)
+ *    ranges by binary search, and each range runs a loop specialized on
+ *    its measurement flag;
+ *  - on the N-predictor block driver, predictors exposing a
+ *    `prefetchHint(ip)` address (KernelPrefetchable) get their counter
+ *    lines software-prefetched a fixed distance ahead, covering the
+ *    re-warm misses caused by N predictors evicting each other between
+ *    blocks. (The single-predictor loop deliberately does not prefetch:
+ *    its counter lines stay resident on their own, and the extra hint
+ *    computation measurably slows the loop.)
+ *
+ * Results are bit-identical to the virtual arena path — same prediction
+ * stream, same output document modulo the timing fields; the conformance
+ * suite pins this for the whole roster. When SimArgs resolves to the
+ * streaming reader instead of an arena (in_memory unset, or mem_budget
+ * exceeded), these entry points transparently run the shared streaming
+ * core with devirtualized predictor calls, so callers never need a
+ * fallback of their own.
+ *
+ * @code
+ *   Gshare<15, 17> predictor;
+ *   mbp::SimArgs args;
+ *   args.trace_path = "traces/SHORT_SERVER-1.sbbt.flz";
+ *   args.in_memory = true;
+ *   mbp::json_t result = mbp::simulateFused(predictor, args);
+ * @endcode
+ */
+#ifndef MBP_SIM_KERNELS_HPP
+#define MBP_SIM_KERNELS_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sbbt/mem_trace.hpp"
+#include "mbp/sim/concepts.hpp"
+#include "mbp/sim/detail/sim_core.hpp"
+#include "mbp/sim/simulator.hpp"
+
+namespace mbp
+{
+
+/**
+ * Branches per kernel block. Large enough to amortize the one virtual
+ * runBlock() call per (block x predictor) on the N-predictor path into
+ * noise, small enough that a block's three hot columns (ip + meta +
+ * guesses, 10 B/branch) stay resident in L1d between the predict pass
+ * and the accounting pass.
+ */
+inline constexpr std::size_t kKernelBlockBranches = 4096;
+
+/**
+ * Branches of lookahead for the software counter-line prefetch. Far
+ * enough ahead to cover a memory access at a few ns per branch of loop
+ * work, near enough that the line is not evicted again before use.
+ */
+inline constexpr std::size_t kKernelPrefetchDistance = 16;
+
+/**
+ * A predictor that can name the counter line a future lookup for @p ip
+ * will touch, so the kernels can software-prefetch it ahead of the loop.
+ * The address only steers a prefetch: it may be approximate (e.g. Gshare
+ * hashes with the *current* history, not the one at lookup time) —
+ * correctness never depends on it.
+ */
+template <typename P>
+concept KernelPrefetchable = requires(const P &predictor, std::uint64_t ip) {
+    { predictor.prefetchHint(ip) } -> std::convertible_to<const void *>;
+};
+
+/**
+ * A predictor whose whole per-conditional-branch sequence can run as a
+ * single step. `fusedStep(ip, taken)` must be *exactly* equivalent to
+ * `predict(ip)`, then `train(b)`, then `track(b)` for a conditional
+ * branch b at @p ip with outcome @p taken — so only predictors whose
+ * train/track consult nothing but the address and the outcome may offer
+ * it. For table predictors this halves the hot loop's hash and index
+ * work (the counter slot is computed once) and skips materializing the
+ * Branch packet entirely on the conditional path.
+ *
+ * The single-predictor kernel substitutes the fused step only when no
+ * prediction hook is installed, because a hook is entitled to observe
+ * the predictor between the calls; the N-predictor block driver always
+ * may, since its hooks are replayed from recorded guesses after the
+ * block runs.
+ */
+template <typename P>
+concept KernelFusedStep = requires(P &p, std::uint64_t ip, bool taken) {
+    { p.fusedStep(ip, taken) } -> std::convertible_to<bool>;
+};
+
+/**
+ * A fused-step predictor whose address hash factors into a pure per-site
+ * component: `siteFold(ip)` must depend on nothing but @p ip, and
+ * `fusedStepFolded(siteFold(ip), taken)` must be *exactly*
+ * `fusedStep(ip, taken)`. The single-predictor kernel then evaluates
+ * `siteFold` once per static branch site (through the arena's dense site
+ * ids) instead of once per dynamic branch — for table predictors this
+ * removes the whole address hash from the hot loop, which stops reading
+ * the 8-byte ip column entirely and indexes a tiny per-site fold table
+ * instead.
+ */
+template <typename P>
+concept KernelSiteFold =
+    KernelFusedStep<P> &&
+    requires(const P &cp, P &p, std::uint64_t ip, std::uint64_t folded,
+             bool taken) {
+        { cp.siteFold(ip) } -> std::convertible_to<std::uint64_t>;
+        { p.fusedStepFolded(folded, taken) } -> std::convertible_to<bool>;
+    };
+
+namespace detail
+{
+
+/** Best-effort read prefetch of the cache line holding @p address. */
+inline void
+prefetchLine(const void *address)
+{
+#if defined(__GNUC__)
+    __builtin_prefetch(address, 0, 3);
+#else
+    (void)address;
+#endif
+}
+
+/** Accumulated state of a single-predictor fused run. */
+struct FusedRunState
+{
+    std::uint64_t dynamic_cond = 0;
+    std::uint64_t mispredictions = 0;
+    // Per-site misprediction counters indexed directly by the arena's
+    // dense site id — the only per-site quantity that depends on the
+    // predictor. Occurrence totals and site addresses come from the
+    // arena's decode-time site tables, so the loop's collect work is a
+    // single counter add per measured conditional.
+    std::vector<std::uint64_t> site_mis;
+};
+
+/**
+ * The fused single-predictor loop over arena branches [begin, end), all
+ * sharing one measurement flag. kHook/kCollect/kMeasured specialize the
+ * body at compile time: the default fast configuration is pure
+ * predict/train/track plus two counter increments per branch.
+ *
+ * Deliberately no software prefetch here: a single predictor's counter
+ * lines stay cache-resident between touches of the same site, so an
+ * extra per-branch hint computation only slows the loop down (measured
+ * ~+1 ns/branch); the N-predictor block driver, where predictors evict
+ * each other between blocks, is where prefetch pays (FusedKernel).
+ */
+template <typename P, bool kHook, bool kCollect, bool kMeasured>
+inline void
+fusedRange(P &predictor, const SimArgs &args, const sbbt::MemTrace &trace,
+           std::size_t begin, std::size_t end, FusedRunState &state)
+{
+    const std::uint64_t *ips = trace.ipData();
+    const std::uint64_t *targets = trace.targetData();
+    const std::uint64_t *instr = trace.instrNumData();
+    const std::uint8_t *meta = trace.metaData();
+    const std::uint32_t *sites = trace.siteIndexData();
+    // A hook may observe the predictor between predict and train, so the
+    // fused substitutions only apply on hook-free runs.
+    constexpr bool kFusedStep = KernelFusedStep<P> && !kHook;
+    constexpr bool kSiteFold = KernelSiteFold<P> && !kHook;
+    // Per-site address folds, evaluated once per static site instead of
+    // once per dynamic branch (KernelSiteFold): a few hundred hashes up
+    // front buy a hot loop with no address hashing at all.
+    std::vector<std::uint64_t> fold;
+    const std::uint64_t *site_fold = nullptr;
+    if constexpr (kSiteFold) {
+        if (begin != end) {
+            const std::uint32_t n = trace.numSites();
+            const std::uint64_t *site_ips = trace.siteIpData();
+            fold.resize(n);
+            for (std::uint32_t s = 0; s < n; ++s)
+                fold[s] = predictor.siteFold(site_ips[s]);
+            site_fold = fold.data();
+        }
+    }
+    // Locals, not state members: the counter stores below would
+    // otherwise force the compiler to reload them every iteration.
+    std::uint64_t dynamic_cond = 0;
+    std::uint64_t total_miss = 0;
+    std::uint64_t *site_mis = state.site_mis.data();
+    const bool track_all = !args.track_only_conditional;
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint8_t m = meta[i];
+        if ((m & 0x01) != 0) { // conditional
+            const bool taken = (m & 0x10) != 0;
+            bool guess;
+            if constexpr (kSiteFold)
+                guess = predictor.fusedStepFolded(site_fold[sites[i]],
+                                                  taken);
+            else if constexpr (kFusedStep)
+                guess = predictor.fusedStep(ips[i], taken);
+            else
+                guess = detail::boundPredict(predictor, ips[i]);
+            if constexpr (kHook) {
+                const Branch b{ips[i], targets[i], OpCode(m & 0x0f),
+                               taken};
+                args.prediction_hook(b, guess, instr[i], kMeasured, 0);
+            }
+            if constexpr (kMeasured) {
+                ++dynamic_cond;
+                const bool miss = guess != taken;
+                total_miss += miss ? 1 : 0;
+                if constexpr (kCollect)
+                    site_mis[sites[i]] += miss ? 1 : 0;
+            }
+            if constexpr (!kFusedStep) {
+                const Branch b{ips[i], targets[i], OpCode(m & 0x0f),
+                               taken};
+                detail::boundTrain(predictor, b);
+                detail::boundTrack(predictor, b); // conditionals: always
+            }
+        } else if (track_all) {
+            const Branch b{ips[i], targets[i], OpCode(m & 0x0f),
+                           (m & 0x10) != 0};
+            detail::boundTrack(predictor, b);
+        }
+    }
+    state.dynamic_cond += dynamic_cond;
+    state.mispredictions += total_miss;
+}
+
+template <typename P, bool kHook, bool kCollect>
+inline void
+fusedRun(P &predictor, const SimArgs &args, const sbbt::MemTrace &trace,
+         std::size_t mid, std::size_t stop, FusedRunState &state)
+{
+    fusedRange<P, kHook, kCollect, false>(predictor, args, trace, 0, mid,
+                                          state);
+    fusedRange<P, kHook, kCollect, true>(predictor, args, trace, mid,
+                                         stop, state);
+}
+
+/** The fused simulate() over a resolved arena: loop plus report. */
+template <typename P>
+json_t
+fusedArenaSimulate(const char *kName, P &predictor, const SimArgs &args,
+                   const std::shared_ptr<const sbbt::MemTrace> &trace,
+                   double load_seconds)
+{
+    const sbbt::MemTrace &t = *trace;
+    const std::size_t total = t.size();
+    const std::uint64_t limit = instrLimit(args);
+    const std::uint64_t *instr = t.instrNumData();
+
+    // Pre-partition the run: branches [0, stop) fall inside the
+    // instruction limit, branches [mid, stop) inside the measured
+    // window. The loops then carry no per-branch limit or warmup check.
+    const std::size_t stop = static_cast<std::size_t>(
+        std::upper_bound(instr, instr + total, limit) - instr);
+    const std::size_t mid = static_cast<std::size_t>(
+        std::upper_bound(instr, instr + stop, args.warmup_instr) - instr);
+
+    FusedRunState state;
+    if (args.collect_most_failed)
+        state.site_mis.assign(static_cast<std::size_t>(t.numSites()), 0);
+    const bool hook = static_cast<bool>(args.prediction_hook);
+
+    auto start_time = std::chrono::steady_clock::now();
+    if (hook) {
+        if (args.collect_most_failed)
+            fusedRun<P, true, true>(predictor, args, t, mid, stop, state);
+        else
+            fusedRun<P, true, false>(predictor, args, t, mid, stop, state);
+    } else {
+        if (args.collect_most_failed)
+            fusedRun<P, false, true>(predictor, args, t, mid, stop, state);
+        else
+            fusedRun<P, false, false>(predictor, args, t, mid, stop,
+                                      state);
+    }
+    // Per-site occurrence totals for the ranking rows. A full-trace run
+    // (the default SimArgs) reads the arena's decode-time totals; a
+    // windowed run re-counts its [mid, stop) slice — predictor-free
+    // column work, kept inside the timed region because the virtual
+    // path pays its equivalent inside the loop.
+    std::vector<std::uint64_t> window_occ;
+    const std::uint64_t *site_occ = nullptr;
+    if (args.collect_most_failed) {
+        if (mid == 0 && stop == total) {
+            site_occ = t.siteCondOccData();
+        } else {
+            window_occ.assign(static_cast<std::size_t>(t.numSites()), 0);
+            const std::uint32_t *sites = t.siteIndexData();
+            const std::uint8_t *meta = t.metaData();
+            for (std::size_t i = mid; i < stop; ++i)
+                window_occ[sites[i]] += meta[i] & 0x01;
+            site_occ = window_occ.data();
+        }
+    }
+    auto end_time = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(end_time - start_time).count();
+
+    // Window accounting mirrors the cursor path exactly: a limit-stopped
+    // run's "last seen" branch is the first one past the limit (the
+    // virtual loop reads it before breaking), an exhausted run's is the
+    // final branch of the trace.
+    const bool exhausted = stop == total;
+    const std::uint64_t last_instr =
+        stop < total ? instr[stop] : (total > 0 ? instr[total - 1] : 0);
+    const std::uint64_t simulation_instr =
+        measuredInstr(args, t.header().instruction_count, exhausted,
+                      last_instr, limit);
+
+    std::vector<std::pair<std::uint64_t, BranchStat>> rows;
+    if (args.collect_most_failed) {
+        for (std::uint32_t s = 0; s < t.numSites(); ++s) {
+            if (state.site_mis[s] > 0)
+                rows.emplace_back(t.siteIp(s),
+                                  BranchStat{site_occ[s],
+                                             state.site_mis[s], 0});
+        }
+    }
+    Throughput tp{seconds, t.decompressedBytes(), 0.0, load_seconds};
+    return buildSimulateDoc(kName, predictor, args, simulation_instr,
+                            exhausted, t.staticSitesInPrefix(stop),
+                            state.dynamic_cond, stop,
+                            state.mispredictions, std::move(rows), tp);
+}
+
+} // namespace detail
+
+/**
+ * Fused drop-in for simulate(): same SimArgs contract, same output
+ * document (modulo timing fields), but with @p predictor's concrete type
+ * known at compile time so the hot loop carries no virtual dispatch, no
+ * packet materialization and no hash probes. P must be the most-derived
+ * type of @p predictor: the loop binds predict/train/track at compile
+ * time (detail::boundPredict), which would skip overriders in a class
+ * further derived from P. When the run resolves to
+ * the streaming reader instead of an arena (SimArgs::in_memory unset,
+ * or mem_budget exceeded), the shared streaming core runs with
+ * devirtualized predictor calls — still a speedup, just without the
+ * arena-only batching.
+ */
+template <PredictorLike P>
+json_t
+simulateFused(P &predictor, const SimArgs &args)
+{
+    const char *kName = detail::kStdSimulatorName;
+    if (detail::wantsArena(args)) {
+        detail::ArenaHandle arena = detail::resolveArena(args);
+        if (arena.trace == nullptr)
+            return detail::errorResult(kName, args, arena.error);
+        return detail::fusedArenaSimulate(kName, predictor, args,
+                                          arena.trace,
+                                          arena.load_seconds);
+    }
+    sbbt::SbbtReader reader(args.trace_path, detail::readerOptions(args));
+    if (!reader.ok())
+        return detail::errorResult(kName, args, reader.error());
+    return detail::simulateCore(kName, predictor, args, reader, 0.0);
+}
+
+/**
+ * Type-erased handle to a fused predictor for the N-predictor kernels:
+ * where the virtual simulators pay three dispatches per branch, a
+ * BlockKernel pays one — runBlock(), which runs a whole arena block
+ * (kKernelBlockBranches branches) through the concrete predictor's
+ * inlined predict/train/track and records the prediction bits for the
+ * shared accounting pass.
+ *
+ * The per-branch virtuals exist so the same object can drive the shared
+ * streaming core when a run falls back off the arena, and so the report
+ * builders can query metadata; deliberately *not* a mbp::Predictor (no
+ * storage_components), so the fused and virtual entry points can never
+ * be confused by overload resolution.
+ */
+class BlockKernel
+{
+  public:
+    BlockKernel() = default;
+    BlockKernel(const BlockKernel &) = delete;
+    BlockKernel &operator=(const BlockKernel &) = delete;
+    virtual ~BlockKernel() = default;
+
+    virtual bool predict(std::uint64_t ip) = 0;
+    virtual void train(const Branch &branch) = 0;
+    virtual void track(const Branch &branch) = 0;
+    virtual json_t metadata_stats() const = 0;
+    virtual json_t execution_stats() const = 0;
+    virtual std::uint64_t storageBits() const = 0;
+    virtual bool reportsStorage() const = 0;
+
+    /**
+     * Runs arena branches [begin, end) through the predictor —
+     * predict + train on conditionals, track per @p track_all — and
+     * writes each branch's prediction (0/1; 0 for unconditionals) to
+     * @p guesses[i - begin]. @p guesses must hold end - begin bytes.
+     */
+    virtual void runBlock(const sbbt::MemTrace &trace, std::size_t begin,
+                          std::size_t end, bool track_all,
+                          std::uint8_t *guesses) = 0;
+};
+
+/** The one BlockKernel implementation: fuses a concrete PredictorLike. */
+template <PredictorLike P>
+class FusedKernel final : public BlockKernel
+{
+  public:
+    /** Wraps a caller-owned predictor (must outlive the kernel). */
+    explicit FusedKernel(P &predictor) : predictor_(&predictor) {}
+
+    /** Wraps and owns a predictor. */
+    explicit FusedKernel(std::unique_ptr<P> predictor)
+        : owned_(std::move(predictor)), predictor_(owned_.get())
+    {
+    }
+
+    bool predict(std::uint64_t ip) override
+    {
+        return predictor_->predict(ip);
+    }
+    void train(const Branch &branch) override
+    {
+        predictor_->train(branch);
+    }
+    void track(const Branch &branch) override
+    {
+        predictor_->track(branch);
+    }
+    json_t metadata_stats() const override
+    {
+        return predictor_->metadata_stats();
+    }
+    json_t execution_stats() const override
+    {
+        return predictor_->execution_stats();
+    }
+    std::uint64_t storageBits() const override
+    {
+        return predictor_->storageBits();
+    }
+    bool reportsStorage() const override
+    {
+        return detail::reportsStorageOf(*predictor_);
+    }
+
+    void
+    runBlock(const sbbt::MemTrace &trace, std::size_t begin,
+             std::size_t end, bool track_all,
+             std::uint8_t *guesses) override
+    {
+        P &p = *predictor_;
+        const std::uint64_t *ips = trace.ipData();
+        const std::uint64_t *targets = trace.targetData();
+        const std::uint8_t *meta = trace.metaData();
+        for (std::size_t i = begin; i < end; ++i) {
+            if constexpr (KernelPrefetchable<P>) {
+                const std::size_t ahead = i + kKernelPrefetchDistance;
+                if (ahead < end)
+                    detail::prefetchLine(p.prefetchHint(ips[ahead]));
+            }
+            const std::uint8_t m = meta[i];
+            if ((m & 0x01) != 0) {
+                const bool taken = (m & 0x10) != 0;
+                bool guess;
+                if constexpr (KernelFusedStep<P>) {
+                    guess = p.fusedStep(ips[i], taken);
+                } else {
+                    guess = detail::boundPredict(p, ips[i]);
+                    const Branch b{ips[i], targets[i], OpCode(m & 0x0f),
+                                   taken};
+                    detail::boundTrain(p, b);
+                    detail::boundTrack(p, b);
+                }
+                guesses[i - begin] = guess ? 1 : 0;
+            } else {
+                guesses[i - begin] = 0;
+                if (track_all) {
+                    const Branch b{ips[i], targets[i], OpCode(m & 0x0f),
+                                   (m & 0x10) != 0};
+                    detail::boundTrack(p, b);
+                }
+            }
+        }
+    }
+
+  private:
+    std::unique_ptr<P> owned_; // empty in the borrowing mode
+    P *predictor_;
+};
+
+/** Heap-builds a fused kernel owning a fresh @p P (factory helper). */
+template <PredictorLike P, typename... Args>
+std::unique_ptr<BlockKernel>
+makeFusedKernel(Args &&...args)
+{
+    return std::make_unique<FusedKernel<P>>(
+        std::make_unique<P>(std::forward<Args>(args)...));
+}
+
+/**
+ * Fused drop-in for simulateMany() over pre-built kernels: one pass over
+ * the trace feeds all predictors block by block, interleaved so each
+ * block's columns are read once while hot. Same output document as
+ * simulateMany() (modulo timing fields); streaming runs fall back to the
+ * shared core driven through the kernels' per-branch interface.
+ */
+json_t simulateManyFused(const std::vector<BlockKernel *> &kernels,
+                         const SimArgs &args);
+
+/** Fused drop-in for compare() over pre-built kernels. */
+json_t compareFused(BlockKernel &a, BlockKernel &b, const SimArgs &args);
+
+/**
+ * Fused simulateMany() over concrete predictors: wraps each in a
+ * FusedKernel on the stack and runs the block driver.
+ */
+template <PredictorLike... Ps>
+json_t
+simulateManyFused(const SimArgs &args, Ps &...predictors)
+{
+    // Direct-initialization through the tuple's converting constructor:
+    // kernels are neither copyable nor movable, so each element must be
+    // built in place from its predictor reference.
+    std::tuple<FusedKernel<Ps>...> kernels(predictors...);
+    std::vector<BlockKernel *> pointers;
+    pointers.reserve(sizeof...(Ps));
+    std::apply([&](auto &...kernel) { (pointers.push_back(&kernel), ...); },
+               kernels);
+    return simulateManyFused(pointers, args);
+}
+
+/** Fused compare() over two concrete predictors. */
+template <PredictorLike A, PredictorLike B>
+json_t
+compareFused(A &a, B &b, const SimArgs &args)
+{
+    FusedKernel<A> kernel_a(a);
+    FusedKernel<B> kernel_b(b);
+    return compareFused(kernel_a, kernel_b, args);
+}
+
+} // namespace mbp
+
+#endif // MBP_SIM_KERNELS_HPP

@@ -17,11 +17,14 @@
 #ifndef MBP_SIM_SIMULATOR_HPP
 #define MBP_SIM_SIMULATOR_HPP
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mbp/json/json.hpp"
@@ -32,7 +35,69 @@ namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.10.0";
+inline constexpr const char *kMbpVersion = "v0.11.0";
+
+/**
+ * Branch-level observation callback of a simulation run.
+ *
+ * The canonical signature receives five arguments:
+ *
+ *   (branch, predicted, instr_number, measured, predictor_index)
+ *
+ * where `predictor_index` identifies which predictor of a
+ * compare()/simulateMany() roster made the prediction (always 0 in
+ * simulate()). Callables taking only the first four arguments — the
+ * pre-v0.11 signature — convert implicitly and see every stream with the
+ * index dropped, so existing hooks keep working unchanged.
+ */
+class PredictionHook
+{
+  public:
+    PredictionHook() = default;
+
+    /** Canonical 5-argument hooks (with predictor index). */
+    template <typename F>
+        requires(!std::same_as<std::remove_cvref_t<F>, PredictionHook> &&
+                 std::invocable<F &, const Branch &, bool, std::uint64_t,
+                                bool, std::size_t>)
+    PredictionHook(F &&fn) // NOLINT(*-explicit-*): adapter by design
+        : fn_(std::forward<F>(fn))
+    {
+    }
+
+    /** Legacy 4-argument hooks (no predictor index). */
+    template <typename F>
+        requires(!std::same_as<std::remove_cvref_t<F>, PredictionHook> &&
+                 !std::invocable<F &, const Branch &, bool, std::uint64_t,
+                                 bool, std::size_t> &&
+                 std::invocable<F &, const Branch &, bool, std::uint64_t,
+                                bool>)
+    PredictionHook(F &&fn) // NOLINT(*-explicit-*): adapter by design
+        : fn_([inner = std::forward<F>(fn)](
+                  const Branch &branch, bool predicted,
+                  std::uint64_t instr_number, bool measured,
+                  std::size_t /*predictor_index*/) mutable {
+              inner(branch, predicted, instr_number, measured);
+          })
+    {
+    }
+
+    /** @return Whether a callable is installed. */
+    explicit operator bool() const { return static_cast<bool>(fn_); }
+
+    void
+    operator()(const Branch &branch, bool predicted,
+               std::uint64_t instr_number, bool measured,
+               std::size_t predictor_index) const
+    {
+        fn_(branch, predicted, instr_number, measured, predictor_index);
+    }
+
+  private:
+    std::function<void(const Branch &, bool, std::uint64_t, bool,
+                       std::size_t)>
+        fn_;
+};
 
 /** Parameters of a simulation run. */
 struct SimArgs
@@ -117,16 +182,18 @@ struct SimArgs
     /**
      * Branch-level observation hook: invoked for every conditional branch
      * with the prediction just made (before train/track), the 1-based
-     * instruction number of the branch, and whether the branch falls in
-     * the measured (post-warmup) window. Lets external checkers run in
-     * lockstep with the simulation — the conformance tests capture the
-     * exact prediction stream through it, and mbp::testkit's metamorphic
-     * oracles rebuild per-window misprediction counts from it. Leave
-     * empty (the default) for zero overhead beyond one branch per event.
+     * instruction number of the branch, whether the branch falls in the
+     * measured (post-warmup) window, and the index of the predictor that
+     * made the prediction (0 in simulate(); 0..N-1 per branch in
+     * compare()/simulateMany(), in roster order). Lets external checkers
+     * run in lockstep with the simulation — the conformance tests capture
+     * the exact prediction stream through it, and mbp::testkit's
+     * metamorphic oracles rebuild per-window misprediction counts from
+     * it. Accepts both the canonical 5-argument signature and the legacy
+     * 4-argument one (see PredictionHook). Leave empty (the default) for
+     * zero overhead beyond one branch per event.
      */
-    std::function<void(const Branch &branch, bool predicted,
-                       std::uint64_t instr_number, bool measured)>
-        prediction_hook;
+    PredictionHook prediction_hook;
 };
 
 /**
@@ -161,9 +228,11 @@ json_t compare(Predictor &a, Predictor &b, const SimArgs &args);
  * `mispredictions_i` / `accuracy_i`, and `most_failed` ranks branches by
  * `mpki_spread` (max − min misprediction MPKI across predictors; for
  * N == 2 the field is the signed `mpki_diff`, as in compare()). Each
- * predictor trains and tracks independently; like compare(), the
- * per-branch ranking is always collected and `prediction_hook` is not
- * invoked.
+ * predictor trains and tracks independently. Like simulate(),
+ * `SimArgs::collect_most_failed` gates the per-branch ranking (when
+ * disabled, `most_failed` and `num_most_failed_branches` are omitted)
+ * and `SimArgs::prediction_hook` fires for every (conditional branch ×
+ * predictor) pair with the predictor's roster index.
  */
 json_t simulateMany(const std::vector<Predictor *> &predictors,
                     const SimArgs &args);

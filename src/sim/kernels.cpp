@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The N-predictor fused block driver behind simulateManyFused() and
+ * compareFused().
+ *
+ * Per arena block of kKernelBlockBranches branches, each kernel runs the
+ * block through its inlined predict/train/track (one virtual runBlock
+ * call per block x predictor) and records its prediction bits; a shared
+ * accounting pass then consumes the guess rows — misprediction totals,
+ * per-site ranking rows through the arena's dense site ids, and the
+ * prediction hook in the exact order the virtual loop fires it
+ * (branch-major, predictor index ascending).
+ */
+#include "mbp/sim/kernels.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mbp/sbbt/mem_trace.hpp"
+#include "mbp/sbbt/reader.hpp"
+#include "mbp/sim/detail/sim_core.hpp"
+
+namespace mbp
+{
+
+namespace
+{
+
+/** Accumulated state of an N-predictor fused run. */
+struct FusedManyState
+{
+    std::uint64_t dynamic_cond = 0;
+    std::vector<std::uint64_t> mispredictions;
+    // Lazy flat ranking rows, stride 1 + n, addressed through the dense
+    // site ids (same layout detail::buildManyDoc consumes).
+    std::vector<std::uint32_t> site_row; // value = row index + 1
+    std::vector<std::uint64_t> rows;
+    std::vector<std::uint64_t> row_ips;
+};
+
+/**
+ * The accounting pass over one block's guess rows. kHook/kCollect
+ * specialize the body like the core loops do; @p mid is the global index
+ * of the first measured branch.
+ */
+template <bool kHook, bool kCollect>
+void
+accountBlock(const sbbt::MemTrace &trace, std::size_t begin,
+             std::size_t end, std::size_t mid, std::size_t n,
+             const SimArgs &args,
+             const std::vector<std::vector<std::uint8_t>> &guesses,
+             FusedManyState &state)
+{
+    const std::uint64_t *ips = trace.ipData();
+    const std::uint64_t *targets = trace.targetData();
+    const std::uint64_t *instr = trace.instrNumData();
+    const std::uint8_t *meta = trace.metaData();
+    const std::uint32_t *sites = trace.siteIndexData();
+    const std::size_t stride = 1 + n;
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint8_t m = meta[i];
+        if ((m & 0x01) == 0)
+            continue;
+        const bool measured = i >= mid;
+        if constexpr (kHook) {
+            const Branch b{ips[i], targets[i], OpCode(m & 0x0f),
+                           (m & 0x10) != 0};
+            for (std::size_t k = 0; k < n; ++k)
+                args.prediction_hook(b, guesses[k][i - begin] != 0,
+                                     instr[i], measured, k);
+        }
+        if (!measured)
+            continue;
+        ++state.dynamic_cond;
+        const std::uint8_t taken = (m & 0x10) != 0 ? 1 : 0;
+        if constexpr (kCollect) {
+            std::uint32_t &slot = state.site_row[sites[i]];
+            if (slot == 0) {
+                state.row_ips.push_back(ips[i]);
+                state.rows.resize(state.rows.size() + stride, 0);
+                slot = static_cast<std::uint32_t>(state.row_ips.size());
+            }
+            std::uint64_t *row =
+                state.rows.data() + std::size_t(slot - 1) * stride;
+            ++row[0];
+            for (std::size_t k = 0; k < n; ++k) {
+                if (guesses[k][i - begin] != taken) {
+                    ++row[1 + k];
+                    ++state.mispredictions[k];
+                }
+            }
+        } else {
+            for (std::size_t k = 0; k < n; ++k) {
+                if (guesses[k][i - begin] != taken)
+                    ++state.mispredictions[k];
+            }
+        }
+    }
+}
+
+json_t
+fusedArenaMany(const char *kName,
+               const std::vector<BlockKernel *> &kernels,
+               const SimArgs &args,
+               const std::shared_ptr<const sbbt::MemTrace> &trace,
+               double load_seconds)
+{
+    const sbbt::MemTrace &t = *trace;
+    const std::size_t n = kernels.size();
+    const std::size_t total = t.size();
+    const std::uint64_t limit = detail::instrLimit(args);
+    const std::uint64_t *instr = t.instrNumData();
+
+    // Same pre-partitioning as the single-predictor kernel: [0, stop)
+    // inside the instruction limit, [mid, stop) measured.
+    const std::size_t stop = static_cast<std::size_t>(
+        std::upper_bound(instr, instr + total, limit) - instr);
+    const std::size_t mid = static_cast<std::size_t>(
+        std::upper_bound(instr, instr + stop, args.warmup_instr) - instr);
+
+    FusedManyState state;
+    state.mispredictions.assign(n, 0);
+    if (args.collect_most_failed)
+        state.site_row.assign(t.numSites(), 0);
+    const bool hook = static_cast<bool>(args.prediction_hook);
+    const bool track_all = !args.track_only_conditional;
+
+    std::vector<std::vector<std::uint8_t>> guesses(
+        n, std::vector<std::uint8_t>(kKernelBlockBranches, 0));
+
+    auto start_time = std::chrono::steady_clock::now();
+    for (std::size_t begin = 0; begin < stop;
+         begin += kKernelBlockBranches) {
+        const std::size_t end =
+            std::min(begin + kKernelBlockBranches, stop);
+        for (std::size_t k = 0; k < n; ++k)
+            kernels[k]->runBlock(t, begin, end, track_all,
+                                 guesses[k].data());
+        if (hook) {
+            if (args.collect_most_failed)
+                accountBlock<true, true>(t, begin, end, mid, n, args,
+                                         guesses, state);
+            else
+                accountBlock<true, false>(t, begin, end, mid, n, args,
+                                          guesses, state);
+        } else {
+            if (args.collect_most_failed)
+                accountBlock<false, true>(t, begin, end, mid, n, args,
+                                          guesses, state);
+            else
+                accountBlock<false, false>(t, begin, end, mid, n, args,
+                                           guesses, state);
+        }
+    }
+    auto end_time = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(end_time - start_time).count();
+
+    const bool exhausted = stop == total;
+    const std::uint64_t last_instr =
+        stop < total ? instr[stop] : (total > 0 ? instr[total - 1] : 0);
+    const std::uint64_t simulation_instr =
+        detail::measuredInstr(args, t.header().instruction_count,
+                              exhausted, last_instr, limit);
+
+    detail::Throughput tp{seconds, t.decompressedBytes(), 0.0,
+                          load_seconds};
+    return detail::buildManyDoc(kName, kernels, args, simulation_instr,
+                                exhausted, t.staticSitesInPrefix(stop),
+                                state.dynamic_cond, stop,
+                                state.mispredictions, state.rows,
+                                state.row_ips, tp);
+}
+
+json_t
+runFusedMany(const char *kName, const std::vector<BlockKernel *> &kernels,
+             const SimArgs &args)
+{
+    if (kernels.empty())
+        return detail::errorResult(kName, args,
+                                   "no predictors to simulate");
+    for (const BlockKernel *kernel : kernels) {
+        if (kernel == nullptr)
+            return detail::errorResult(kName, args, "null predictor");
+    }
+    if (detail::wantsArena(args)) {
+        detail::ArenaHandle arena = detail::resolveArena(args);
+        if (arena.trace == nullptr)
+            return detail::errorResult(kName, args, arena.error);
+        return fusedArenaMany(kName, kernels, args, arena.trace,
+                              arena.load_seconds);
+    }
+    // Streaming fallback: the shared core drives the kernels through
+    // their per-branch interface — devirtualized within each call, same
+    // document either way.
+    sbbt::SbbtReader reader(args.trace_path, detail::readerOptions(args));
+    if (!reader.ok())
+        return detail::errorResult(kName, args, reader.error());
+    return detail::simulateManyCore(kName, kernels, args, reader, 0.0);
+}
+
+} // namespace
+
+json_t
+simulateManyFused(const std::vector<BlockKernel *> &kernels,
+                  const SimArgs &args)
+{
+    return runFusedMany(detail::kMultiSimulatorName, kernels, args);
+}
+
+json_t
+compareFused(BlockKernel &a, BlockKernel &b, const SimArgs &args)
+{
+    return runFusedMany(detail::kCompareSimulatorName, {&a, &b}, args);
+}
+
+} // namespace mbp

@@ -3,19 +3,18 @@
  * Implementation of the standard, comparison and multi-predictor
  * simulators.
  *
- * The hot loops are templated over the mbp::TraceSource concept — the
- * SbbtReader consumption surface (next/instrNumber/header/exhausted/
- * error/decompressedBytes/prefetchStallSeconds) — so the streaming reader
- * and the decode-once in-memory arena (sbbt::MemTraceCursor) share one
- * accounting implementation and cannot drift apart. The concept (declared
- * in mbp/sim/concepts.hpp) turns a wrong source shape into a one-line
- * diagnostic instead of a template backtrace.
+ * The hot loops live in mbp/sim/detail/sim_core.hpp, templated over the
+ * mbp::TraceSource concept — the SbbtReader consumption surface
+ * (next/instrNumber/header/exhausted/error/decompressedBytes/
+ * prefetchStallSeconds) — so the streaming reader and the decode-once
+ * in-memory arena (sbbt::MemTraceCursor) share one accounting
+ * implementation and cannot drift apart. The same header powers the
+ * fused compile-time kernels (mbp/sim/kernels.hpp); this translation
+ * unit instantiates the loops for the virtual mbp::Predictor base.
  */
 #include "mbp/sim/simulator.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -23,7 +22,7 @@
 #include "mbp/sbbt/mem_trace.hpp"
 #include "mbp/sbbt/reader.hpp"
 #include "mbp/sim/concepts.hpp"
-#include "mbp/utils/flat_hash_map.hpp"
+#include "mbp/sim/detail/sim_core.hpp"
 
 namespace mbp
 {
@@ -36,504 +35,29 @@ static_assert(TraceSource<sbbt::MemTraceCursor>);
 namespace
 {
 
-/** Per-static-branch accounting for the most_failed ranking. */
-struct BranchStat
-{
-    std::uint64_t occurrences = 0;  // measured conditional executions
-    std::uint64_t mispredictions_a = 0;
-    std::uint64_t mispredictions_b = 0; // unused by simulate()
-};
-
-/** Branch-site bookkeeping shared by every simulator flavor. */
-struct SiteAccounting
-{
-    std::uint64_t static_branches = 0; // distinct branch IPs (any opcode)
-    std::uint64_t dynamic_cond = 0;    // measured conditional executions
-    std::uint64_t dynamic_branches = 0;
-
-    // Tracks uniqueness of *all* branch sites, including unconditional
-    // ones, which never get a per-branch stats entry otherwise.
-    util::FlatHashMap<char> seen_ips;
-
-    void
-    noteBranchSite(std::uint64_t ip)
-    {
-        char &mark = seen_ips[ip];
-        if (mark == 0) {
-            mark = 1;
-            ++static_branches;
-        }
-    }
-};
-
-/** State of a single-predictor simulate() run. */
-struct RunAccounting : SiteAccounting
-{
-    util::FlatHashMap<BranchStat> per_branch;
-    std::uint64_t mispredictions_a = 0;
-};
-
-json_t
-makeMetadata(const char *simulator_name, const SimArgs &args,
-             std::uint64_t simulation_instr, bool exhausted,
-             const SiteAccounting &acc)
-{
-    return json_t::object({
-        {"simulator", simulator_name},
-        {"version", kMbpVersion},
-        {"trace", args.trace_path},
-        {"warmup_instr", args.warmup_instr},
-        {"simulation_instr", simulation_instr},
-        {"exhausted_trace", exhausted},
-        {"num_conditional_branches", acc.dynamic_cond},
-        {"num_branch_instructions", acc.static_branches},
-        {"track_only_conditional", args.track_only_conditional},
-    });
-}
-
-json_t
-errorResult(const char *simulator_name, const SimArgs &args,
-            const std::string &message)
-{
-    return json_t::object({
-        {"metadata", json_t::object({{"simulator", simulator_name},
-                                     {"version", kMbpVersion},
-                                     {"trace", args.trace_path}})},
-        {"error", message},
-    });
-}
-
-double
-mpkiOf(std::uint64_t mispredictions, std::uint64_t instructions)
-{
-    return instructions == 0
-               ? 0.0
-               : static_cast<double>(mispredictions) /
-                     (static_cast<double>(instructions) / 1000.0);
-}
-
-double
-accuracyOf(std::uint64_t mispredictions, std::uint64_t executions)
-{
-    return executions == 0
-               ? 1.0
-               : 1.0 - static_cast<double>(mispredictions) /
-                           static_cast<double>(executions);
-}
-
-sbbt::ReaderOptions
-readerOptions(const SimArgs &args)
-{
-    sbbt::ReaderOptions options;
-    options.block_packets = args.reader_block_packets;
-    options.prefetch = args.prefetch;
-    return options;
-}
-
-/**
- * Instruction number (inclusive) at which a run stops: warmup plus the
- * simulation budget, saturating so sim_instr = "unlimited" never wraps.
- * Shared by all simulator flavors so their measurement windows cannot
- * drift apart.
- */
-std::uint64_t
-instrLimit(const SimArgs &args)
-{
-    return args.sim_instr >= std::numeric_limits<std::uint64_t>::max() -
-                                 args.warmup_instr
-               ? std::numeric_limits<std::uint64_t>::max()
-               : args.warmup_instr + args.sim_instr;
-}
-
-/**
- * Measured (post-warmup) instruction count of a finished run. An
- * exhausted trace is credited with its full header instruction count
- * (the tail after the last branch has no packet of its own); a
- * limit-stopped run is clamped to the limit.
- */
-std::uint64_t
-measuredInstr(const SimArgs &args, std::uint64_t header_instr,
-              bool exhausted, std::uint64_t last_instr,
-              std::uint64_t limit)
-{
-    std::uint64_t end_instr = exhausted
-                                  ? std::max(header_instr, last_instr)
-                                  : std::min(last_instr, limit);
-    return end_instr > args.warmup_instr ? end_instr - args.warmup_instr
-                                         : 0;
-}
-
-/**
- * Appends the per-run throughput observability fields shared by all
- * simulator flavors to @p metrics. `trace_load_seconds` is the one-time
- * arena decode cost (0 when streaming, or when the arena arrived
- * pre-decoded via SimArgs::preloaded); it is deliberately kept outside
- * `simulation_time` so branches_per_second measures the predict loop.
- */
-template <TraceSource Source>
-void
-addThroughputMetrics(json_t &metrics, const SiteAccounting &acc,
-                     double seconds, const Source &source,
-                     double load_seconds)
-{
-    metrics["simulation_time"] = seconds;
-    metrics["branches_per_second"] =
-        seconds > 0.0 ? static_cast<double>(acc.dynamic_branches) / seconds
-                      : 0.0;
-    metrics["decompressed_bytes"] = source.decompressedBytes();
-    metrics["prefetch_stall_seconds"] = source.prefetchStallSeconds();
-    metrics["trace_load_seconds"] = load_seconds;
-}
-
-/** Sorted (by primary misprediction count) snapshot of per-branch stats. */
-std::vector<std::pair<std::uint64_t, BranchStat>>
-sortedByMispredictions(const RunAccounting &acc)
-{
-    std::vector<std::pair<std::uint64_t, BranchStat>> rows;
-    rows.reserve(acc.per_branch.size());
-    acc.per_branch.forEach([&](std::uint64_t ip, const BranchStat &stat) {
-        if (stat.mispredictions_a > 0)
-            rows.emplace_back(ip, stat);
-    });
-    std::sort(rows.begin(), rows.end(), [](const auto &x, const auto &y) {
-        if (x.second.mispredictions_a != y.second.mispredictions_a)
-            return x.second.mispredictions_a > y.second.mispredictions_a;
-        return x.first < y.first; // deterministic tie break
-    });
-    return rows;
-}
-
-/**
- * How a run obtains its branches: the streaming reader, or a decode-once
- * arena (requested via in_memory/preloaded, subject to mem_budget).
- */
-bool
-wantsArena(const SimArgs &args)
-{
-    if (args.preloaded != nullptr)
-        return true;
-    if (!args.in_memory)
-        return false;
-    if (args.mem_budget > 0 &&
-        sbbt::MemTrace::estimateFileBytes(args.trace_path) >
-            args.mem_budget)
-        return false; // streaming fallback, never a failure
-    return true;
-}
-
-/** A resolved arena: the trace, its decode cost, or the load error. */
-struct ArenaHandle
-{
-    std::shared_ptr<const sbbt::MemTrace> trace;
-    double load_seconds = 0.0;
-    std::string error;
-};
-
-ArenaHandle
-resolveArena(const SimArgs &args)
-{
-    ArenaHandle handle;
-    if (args.preloaded != nullptr) {
-        handle.trace = args.preloaded;
-        return handle; // decode already paid for elsewhere
-    }
-    handle.trace =
-        sbbt::MemTrace::load(args.trace_path, readerOptions(args),
-                             &handle.error);
-    if (handle.trace != nullptr)
-        handle.load_seconds = handle.trace->loadSeconds();
-    return handle;
-}
-
-/** The simulate() hot loop and report, over any trace source. */
-template <TraceSource Source>
-json_t
-simulateCore(const char *kName, Predictor &predictor, const SimArgs &args,
-             Source &reader, double load_seconds)
-{
-    RunAccounting acc;
-    const std::uint64_t limit = instrLimit(args);
-
-    auto start_time = std::chrono::steady_clock::now();
-    sbbt::PacketData packet;
-    std::uint64_t last_instr = 0;
-    while (reader.next(packet)) {
-        const Branch &b = packet.branch;
-        last_instr = reader.instrNumber();
-        if (last_instr > limit)
-            break;
-        const bool measured = last_instr > args.warmup_instr;
-        acc.noteBranchSite(b.ip());
-        ++acc.dynamic_branches;
-        if (b.isConditional()) {
-            bool guess = predictor.predict(b.ip());
-            if (args.prediction_hook)
-                args.prediction_hook(b, guess, last_instr, measured);
-            if (measured) {
-                ++acc.dynamic_cond;
-                if (guess != b.isTaken())
-                    ++acc.mispredictions_a;
-                if (args.collect_most_failed) {
-                    BranchStat &stat = acc.per_branch[b.ip()];
-                    ++stat.occurrences;
-                    if (guess != b.isTaken())
-                        ++stat.mispredictions_a;
-                }
-            }
-            predictor.train(b);
-        }
-        if (!args.track_only_conditional || b.isConditional())
-            predictor.track(b);
-    }
-    auto end_time = std::chrono::steady_clock::now();
-    double seconds = std::chrono::duration<double>(end_time - start_time)
-                         .count();
-
-    if (!reader.error().empty())
-        return errorResult(kName, args, reader.error());
-
-    const bool exhausted = reader.exhausted();
-    std::uint64_t simulation_instr =
-        measuredInstr(args, reader.header().instruction_count, exhausted,
-                      last_instr, limit);
-
-    json_t result = json_t::object();
-    result["metadata"] =
-        makeMetadata(kName, args, simulation_instr, exhausted, acc);
-    result["metadata"]["predictor"] = predictor.metadata_stats();
-    // Budget accounting: a design that reports its storage — via a
-    // non-zero storageBits() or a declared (possibly zero-total)
-    // component tree — gets the number, including a true 0 for
-    // storage-free designs; one that reports nothing gets an explicit
-    // null so "unreported" can never be mistaken for "zero-cost".
-    if (predictor.reportsStorage())
-        result["metadata"]["predictor"]["storage_bits"] =
-            predictor.storageBits();
-    else
-        result["metadata"]["predictor"]["storage_bits"] = nullptr;
-    json_t metrics = json_t::object({
-        {"mpki", mpkiOf(acc.mispredictions_a, simulation_instr)},
-        {"mispredictions", acc.mispredictions_a},
-        {"accuracy", accuracyOf(acc.mispredictions_a, acc.dynamic_cond)},
-    });
-
-    // Rank branches; num_most_failed_branches is the minimum number of
-    // branches that account, on their own, for half of the mispredictions.
-    // Without per-branch collection the ranking has no data, so both the
-    // metric and the most_failed section are omitted entirely rather than
-    // reported as a misleading hard zero.
-    json_t most_failed = json_t::array();
-    if (args.collect_most_failed) {
-        auto rows = sortedByMispredictions(acc);
-        std::uint64_t half = (acc.mispredictions_a + 1) / 2;
-        std::uint64_t running = 0;
-        std::size_t num_most_failed = 0;
-        while (num_most_failed < rows.size() && running < half)
-            running += rows[num_most_failed++].second.mispredictions_a;
-        for (std::size_t i = 0;
-             i < std::min(num_most_failed, args.most_failed_cap); ++i) {
-            const auto &[ip, stat] = rows[i];
-            most_failed.push_back(json_t::object({
-                {"ip", ip},
-                {"occurrences", stat.occurrences},
-                {"mpki", mpkiOf(stat.mispredictions_a, simulation_instr)},
-                {"accuracy",
-                 accuracyOf(stat.mispredictions_a, stat.occurrences)},
-            }));
-        }
-        metrics["num_most_failed_branches"] = std::uint64_t(num_most_failed);
-    }
-
-    addThroughputMetrics(metrics, acc, seconds, reader, load_seconds);
-    result["metrics"] = std::move(metrics);
-    result["predictor_statistics"] = predictor.execution_stats();
-    if (args.collect_most_failed)
-        result["most_failed"] = std::move(most_failed);
-    return result;
-}
-
-/**
- * The N-predictor hot loop and report, over any trace source. compare()
- * is this with N == 2 and its historical simulator name; the document
- * layout is compare()'s, generalized.
- */
-template <TraceSource Source>
-json_t
-simulateManyCore(const char *kName,
-                 const std::vector<Predictor *> &predictors,
-                 const SimArgs &args, Source &reader, double load_seconds)
-{
-    const std::size_t n = predictors.size();
-    SiteAccounting acc;
-    std::vector<std::uint64_t> mispredictions(n, 0);
-
-    // Per-branch stats live in one flat array (stride = 1 + n:
-    // occurrences then one misprediction counter per predictor) indexed
-    // through an ip -> row map, so N predictors cost one hash lookup per
-    // measured branch, same as compare() always did.
-    util::FlatHashMap<std::uint32_t> row_of; // value = row index + 1
-    std::vector<std::uint64_t> rows;
-    std::vector<std::uint64_t> row_ips;
-    const std::size_t stride = 1 + n;
-
-    std::vector<char> guesses(n, 0);
-    const std::uint64_t limit = instrLimit(args);
-
-    auto start_time = std::chrono::steady_clock::now();
-    sbbt::PacketData packet;
-    std::uint64_t last_instr = 0;
-    while (reader.next(packet)) {
-        const Branch &branch = packet.branch;
-        last_instr = reader.instrNumber();
-        if (last_instr > limit)
-            break;
-        const bool measured = last_instr > args.warmup_instr;
-        acc.noteBranchSite(branch.ip());
-        ++acc.dynamic_branches;
-        if (branch.isConditional()) {
-            for (std::size_t k = 0; k < n; ++k)
-                guesses[k] = predictors[k]->predict(branch.ip());
-            if (measured) {
-                ++acc.dynamic_cond;
-                std::uint32_t &slot = row_of[branch.ip()];
-                if (slot == 0) {
-                    row_ips.push_back(branch.ip());
-                    rows.resize(rows.size() + stride, 0);
-                    slot = static_cast<std::uint32_t>(row_ips.size());
-                }
-                std::uint64_t *row = rows.data() + (slot - 1) * stride;
-                ++row[0];
-                const char taken = branch.isTaken() ? 1 : 0;
-                for (std::size_t k = 0; k < n; ++k) {
-                    if (guesses[k] != taken) {
-                        ++row[1 + k];
-                        ++mispredictions[k];
-                    }
-                }
-            }
-            for (std::size_t k = 0; k < n; ++k)
-                predictors[k]->train(branch);
-        }
-        if (!args.track_only_conditional || branch.isConditional()) {
-            for (std::size_t k = 0; k < n; ++k)
-                predictors[k]->track(branch);
-        }
-    }
-    auto end_time = std::chrono::steady_clock::now();
-    double seconds = std::chrono::duration<double>(end_time - start_time)
-                         .count();
-
-    if (!reader.error().empty())
-        return errorResult(kName, args, reader.error());
-
-    const bool exhausted = reader.exhausted();
-    std::uint64_t simulation_instr =
-        measuredInstr(args, reader.header().instruction_count, exhausted,
-                      last_instr, limit);
-
-    // Rank by the spread in mispredictions (max − min across predictors):
-    // the branches whose predictability changed the most between designs.
-    // For two predictors this is exactly compare()'s absolute difference.
-    auto spreadOf = [&](const std::uint64_t *row) {
-        std::uint64_t lo = row[1], hi = row[1];
-        for (std::size_t k = 1; k < n; ++k) {
-            lo = std::min(lo, row[1 + k]);
-            hi = std::max(hi, row[1 + k]);
-        }
-        return hi - lo;
-    };
-    std::vector<std::uint32_t> ranked;
-    ranked.reserve(row_ips.size());
-    for (std::uint32_t r = 0; r < row_ips.size(); ++r) {
-        if (spreadOf(rows.data() + std::size_t(r) * stride) > 0)
-            ranked.push_back(r);
-    }
-    std::sort(ranked.begin(), ranked.end(),
-              [&](std::uint32_t x, std::uint32_t y) {
-                  std::uint64_t dx =
-                      spreadOf(rows.data() + std::size_t(x) * stride);
-                  std::uint64_t dy =
-                      spreadOf(rows.data() + std::size_t(y) * stride);
-                  if (dx != dy)
-                      return dx > dy;
-                  return row_ips[x] < row_ips[y];
-              });
-
-    json_t most_failed = json_t::array();
-    for (std::size_t i = 0;
-         i < std::min(ranked.size(), args.most_failed_cap); ++i) {
-        const std::uint64_t *row =
-            rows.data() + std::size_t(ranked[i]) * stride;
-        json_t entry = json_t::object({
-            {"ip", row_ips[ranked[i]]},
-            {"occurrences", row[0]},
-        });
-        for (std::size_t k = 0; k < n; ++k)
-            entry["mpki_" + std::to_string(k)] =
-                mpkiOf(row[1 + k], simulation_instr);
-        if (n == 2) {
-            entry["mpki_diff"] = mpkiOf(row[1], simulation_instr) -
-                                 mpkiOf(row[2], simulation_instr);
-        } else {
-            entry["mpki_spread"] =
-                mpkiOf(spreadOf(row), simulation_instr);
-        }
-        most_failed.push_back(std::move(entry));
-    }
-
-    json_t result = json_t::object();
-    result["metadata"] =
-        makeMetadata(kName, args, simulation_instr, exhausted, acc);
-    for (std::size_t k = 0; k < n; ++k) {
-        json_t md = predictors[k]->metadata_stats();
-        // Same unreported-vs-zero-cost distinction as simulate().
-        if (predictors[k]->reportsStorage())
-            md["storage_bits"] = predictors[k]->storageBits();
-        else
-            md["storage_bits"] = nullptr;
-        result["metadata"]["predictor_" + std::to_string(k)] =
-            std::move(md);
-    }
-    json_t metrics = json_t::object();
-    for (std::size_t k = 0; k < n; ++k)
-        metrics["mpki_" + std::to_string(k)] =
-            mpkiOf(mispredictions[k], simulation_instr);
-    for (std::size_t k = 0; k < n; ++k)
-        metrics["mispredictions_" + std::to_string(k)] = mispredictions[k];
-    for (std::size_t k = 0; k < n; ++k)
-        metrics["accuracy_" + std::to_string(k)] =
-            accuracyOf(mispredictions[k], acc.dynamic_cond);
-    addThroughputMetrics(metrics, acc, seconds, reader, load_seconds);
-    result["metrics"] = std::move(metrics);
-    for (std::size_t k = 0; k < n; ++k)
-        result["predictor_statistics_" + std::to_string(k)] =
-            predictors[k]->execution_stats();
-    result["most_failed"] = std::move(most_failed);
-    return result;
-}
-
 json_t
 runManyNamed(const char *kName, const std::vector<Predictor *> &predictors,
              const SimArgs &args)
 {
     if (predictors.empty())
-        return errorResult(kName, args, "no predictors to simulate");
+        return detail::errorResult(kName, args,
+                                   "no predictors to simulate");
     for (const Predictor *p : predictors) {
         if (p == nullptr)
-            return errorResult(kName, args, "null predictor");
+            return detail::errorResult(kName, args, "null predictor");
     }
-    if (wantsArena(args)) {
-        ArenaHandle arena = resolveArena(args);
+    if (detail::wantsArena(args)) {
+        detail::ArenaHandle arena = detail::resolveArena(args);
         if (arena.trace == nullptr)
-            return errorResult(kName, args, arena.error);
+            return detail::errorResult(kName, args, arena.error);
         sbbt::MemTraceCursor cursor(std::move(arena.trace));
-        return simulateManyCore(kName, predictors, args, cursor,
-                                arena.load_seconds);
+        return detail::simulateManyCore(kName, predictors, args, cursor,
+                                        arena.load_seconds);
     }
-    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
+    sbbt::SbbtReader reader(args.trace_path, detail::readerOptions(args));
     if (!reader.ok())
-        return errorResult(kName, args, reader.error());
-    return simulateManyCore(kName, predictors, args, reader, 0.0);
+        return detail::errorResult(kName, args, reader.error());
+    return detail::simulateManyCore(kName, predictors, args, reader, 0.0);
 }
 
 } // namespace
@@ -541,32 +65,32 @@ runManyNamed(const char *kName, const std::vector<Predictor *> &predictors,
 json_t
 simulate(Predictor &predictor, const SimArgs &args)
 {
-    constexpr const char *kName = "MBPlib std simulator";
-    if (wantsArena(args)) {
-        ArenaHandle arena = resolveArena(args);
+    const char *kName = detail::kStdSimulatorName;
+    if (detail::wantsArena(args)) {
+        detail::ArenaHandle arena = detail::resolveArena(args);
         if (arena.trace == nullptr)
-            return errorResult(kName, args, arena.error);
+            return detail::errorResult(kName, args, arena.error);
         sbbt::MemTraceCursor cursor(std::move(arena.trace));
-        return simulateCore(kName, predictor, args, cursor,
-                            arena.load_seconds);
+        return detail::simulateCore(kName, predictor, args, cursor,
+                                    arena.load_seconds);
     }
-    sbbt::SbbtReader reader(args.trace_path, readerOptions(args));
+    sbbt::SbbtReader reader(args.trace_path, detail::readerOptions(args));
     if (!reader.ok())
-        return errorResult(kName, args, reader.error());
-    return simulateCore(kName, predictor, args, reader, 0.0);
+        return detail::errorResult(kName, args, reader.error());
+    return detail::simulateCore(kName, predictor, args, reader, 0.0);
 }
 
 json_t
 compare(Predictor &a, Predictor &b, const SimArgs &args)
 {
-    return runManyNamed("MBPlib comparison simulator", {&a, &b}, args);
+    return runManyNamed(detail::kCompareSimulatorName, {&a, &b}, args);
 }
 
 json_t
 simulateMany(const std::vector<Predictor *> &predictors,
              const SimArgs &args)
 {
-    return runManyNamed("MBPlib multi simulator", predictors, args);
+    return runManyNamed(detail::kMultiSimulatorName, predictors, args);
 }
 
 namespace

@@ -35,6 +35,7 @@
 
 #include "mbp/json/json.hpp"
 #include "mbp/sim/concepts.hpp"
+#include "mbp/sim/kernels.hpp"
 #include "mbp/sim/simulator.hpp"
 #include "mbp/sweep/trace_cache.hpp"
 
@@ -88,6 +89,17 @@ struct PredictorSpec
      * error, mirroring the CLI's roster lookup.
      */
     std::function<std::unique_ptr<Predictor>()> make;
+    /**
+     * Optional fused runner: a complete simulateFused() run
+     * (mbp/sim/kernels.hpp) over a fresh instance of the same
+     * configuration `make` builds. When present — makeSpec() and the
+     * roster-name campaign parser always set it — run() uses it instead
+     * of the virtual simulate() unless Campaign::fused is disabled, so
+     * cells run through the devirtualized compile-time kernel. Results
+     * are bit-identical either way (the conformance suite pins this);
+     * only throughput changes.
+     */
+    std::function<json_t(const SimArgs &)> run_fused;
 };
 
 /**
@@ -114,6 +126,10 @@ makeSpec(std::string name, Args... args)
     PredictorSpec spec;
     spec.name = std::move(name);
     spec.make = [args...] { return std::make_unique<P>(args...); };
+    spec.run_fused = [args...](const SimArgs &sim_args) {
+        auto predictor = std::make_unique<P>(args...);
+        return simulateFused(*predictor, sim_args);
+    };
     return spec;
 }
 
@@ -144,6 +160,14 @@ struct Campaign
      * because of the budget.
      */
     std::uint64_t mem_budget = kDefaultMemBudget;
+    /**
+     * Run cells through the fused compile-time kernels
+     * (PredictorSpec::run_fused) when available, the default. Disable
+     * (`--no-fused`, or `"fused": false` in the JSON spec) to force the
+     * virtual simulate() everywhere — useful for A/B measurement; the
+     * results themselves are bit-identical.
+     */
+    bool fused = true;
 };
 
 /**

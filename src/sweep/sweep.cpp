@@ -79,7 +79,8 @@ campaignFromJson(const json_t &spec, Campaign &out, std::string &error)
         std::string roster_name = name.asString();
         campaign.predictors.push_back(
             {roster_name,
-             [roster_name] { return pred::makeByName(roster_name); }});
+             [roster_name] { return pred::makeByName(roster_name); },
+             pred::fusedRunnerByName(roster_name)});
     }
     for (const json_t &path : traces->elements()) {
         if (!path.isString()) {
@@ -128,6 +129,13 @@ campaignFromJson(const json_t &spec, Campaign &out, std::string &error)
             return false;
         }
         campaign.in_memory = v->asBool();
+    }
+    if (const json_t *v = spec.find("fused")) {
+        if (!v->isBool()) {
+            error = "\"fused\" must be a bool";
+            return false;
+        }
+        campaign.fused = v->asBool();
     }
     if (!uintField("mem_budget", campaign.mem_budget))
         return false;
@@ -188,9 +196,10 @@ run(const Campaign &campaign, unsigned jobs)
         args.in_memory = false;
         args.preloaded = nullptr;
         json_t result;
+        const bool use_fused = campaign.fused && spec.run_fused != nullptr;
         std::unique_ptr<Predictor> instance =
-            spec.make ? spec.make() : nullptr;
-        if (instance == nullptr) {
+            use_fused ? nullptr : (spec.make ? spec.make() : nullptr);
+        if (!use_fused && instance == nullptr) {
             result = errorCell("unknown predictor '" + spec.name + "'");
         } else {
             if (campaign.in_memory) {
@@ -200,7 +209,8 @@ run(const Campaign &campaign, unsigned jobs)
                 args.preloaded = cache.acquire(trace, decode_options);
             }
             try {
-                result = simulate(*instance, args);
+                result = use_fused ? spec.run_fused(args)
+                                   : simulate(*instance, args);
             } catch (const std::exception &e) {
                 result = errorCell(std::string("exception: ") + e.what());
             }

@@ -17,12 +17,18 @@
  *   --streaming        stream packets from disk (the default)
  *   --mem-budget N     with --in-memory, fall back to streaming when the
  *                      arena would exceed N bytes (0 = unlimited)
+ *   --no-fused         run the virtual simulators instead of the fused
+ *                      compile-time kernels (mbp/sim/kernels.hpp). The
+ *                      kernels are the default; results are bit-identical
+ *                      either way, only throughput differs.
  */
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "mbp/predictors/roster.hpp"
+#include "mbp/sim/kernels.hpp"
 #include "mbp/sim/simulator.hpp"
 #include "mbp/tools/cli.hpp"
 
@@ -38,7 +44,8 @@ usage(const char *prog)
         "       %s [flags] compare <pred_a> <pred_b> <trace> [warmup_instr] "
         "[sim_instr]\n"
         "       %s list\n"
-        "flags: --in-memory | --streaming | --mem-budget <bytes>\n",
+        "flags: --in-memory | --streaming | --mem-budget <bytes>"
+        " | --no-fused\n",
         prog, prog, prog);
     return 2;
 }
@@ -70,6 +77,7 @@ main(int argc, char **argv)
 {
     // Split flags from positionals so the flags may appear anywhere.
     mbp::SimArgs args;
+    bool fused = true;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--in-memory") == 0) {
@@ -82,6 +90,10 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "invalid --mem-budget value\n");
                 return usage(argv[0]);
             }
+        } else if (std::strcmp(argv[i], "--no-fused") == 0) {
+            fused = false;
+        } else if (std::strcmp(argv[i], "--fused") == 0) {
+            fused = true;
         } else if (argv[i][0] == '-' && argv[i][1] == '-') {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return usage(argv[0]);
@@ -98,13 +110,6 @@ main(int argc, char **argv)
     if (!pos.empty() && std::strcmp(pos[0], "compare") == 0) {
         if (pos.size() < 4 || pos.size() > 6)
             return usage(argv[0]);
-        auto a = mbp::pred::makeByName(pos[1]);
-        auto b = mbp::pred::makeByName(pos[2]);
-        if (!a || !b) {
-            std::fprintf(stderr, "unknown predictor (try '%s list')\n",
-                         argv[0]);
-            return 2;
-        }
         args.trace_path = pos[3];
         if (!mbp::tools::fileReadable(args.trace_path)) {
             std::fprintf(stderr, "cannot read trace '%s'\n", pos[3]);
@@ -112,18 +117,31 @@ main(int argc, char **argv)
         }
         if (!parseLimits(pos, 4, args))
             return usage(argv[0]);
-        mbp::json_t result = mbp::compare(*a, *b, args);
+        mbp::json_t result;
+        if (fused) {
+            auto a = mbp::pred::fusedKernelByName(pos[1]);
+            auto b = mbp::pred::fusedKernelByName(pos[2]);
+            if (!a || !b) {
+                std::fprintf(stderr, "unknown predictor (try '%s list')\n",
+                             argv[0]);
+                return 2;
+            }
+            result = mbp::compareFused(*a, *b, args);
+        } else {
+            auto a = mbp::pred::makeByName(pos[1]);
+            auto b = mbp::pred::makeByName(pos[2]);
+            if (!a || !b) {
+                std::fprintf(stderr, "unknown predictor (try '%s list')\n",
+                             argv[0]);
+                return 2;
+            }
+            result = mbp::compare(*a, *b, args);
+        }
         std::printf("%s\n", result.dump(2).c_str());
         return result.contains("error") ? 1 : 0;
     }
     if (pos.size() < 2 || pos.size() > 4)
         return usage(argv[0]);
-    auto predictor = mbp::pred::makeByName(pos[0]);
-    if (!predictor) {
-        std::fprintf(stderr, "unknown predictor '%s' (try '%s list')\n",
-                     pos[0], argv[0]);
-        return 2;
-    }
     args.trace_path = pos[1];
     if (!mbp::tools::fileReadable(args.trace_path)) {
         std::fprintf(stderr, "cannot read trace '%s'\n", pos[1]);
@@ -131,7 +149,27 @@ main(int argc, char **argv)
     }
     if (!parseLimits(pos, 2, args))
         return usage(argv[0]);
-    mbp::json_t result = mbp::simulate(*predictor, args);
+    mbp::json_t result;
+    if (fused) {
+        mbp::pred::FusedRunner runner =
+            mbp::pred::fusedRunnerByName(pos[0]);
+        if (!runner) {
+            std::fprintf(stderr,
+                         "unknown predictor '%s' (try '%s list')\n",
+                         pos[0], argv[0]);
+            return 2;
+        }
+        result = runner(args);
+    } else {
+        auto predictor = mbp::pred::makeByName(pos[0]);
+        if (!predictor) {
+            std::fprintf(stderr,
+                         "unknown predictor '%s' (try '%s list')\n",
+                         pos[0], argv[0]);
+            return 2;
+        }
+        result = mbp::simulate(*predictor, args);
+    }
     std::printf("%s\n", result.dump(2).c_str());
     return result.contains("error") ? 1 : 0;
 }

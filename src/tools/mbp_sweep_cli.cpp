@@ -9,6 +9,7 @@
  *   mbp_sweep --predictors <a,b,...> --traces <t1,t2,...>
  *             [--warmup N] [--sim-instr N] [--jobs N] [--csv] [--out FILE]
  *             [--in-memory | --streaming] [--mem-budget BYTES]
+ *             [--no-fused]
  *   mbp_sweep --spec campaign.json [--jobs N] [--csv] [--out FILE]
  *   mbp_sweep list
  *
@@ -17,10 +18,15 @@
  * previous releases, and --mem-budget caps the arena cache (oversized
  * traces stream instead — the campaign never fails on budget).
  *
+ * Roster predictors run through the fused compile-time kernels
+ * (mbp/sim/kernels.hpp) by default; --no-fused forces the virtual
+ * simulate() everywhere for A/B measurement. Results are bit-identical
+ * either way.
+ *
  * The campaign JSON spec (see README "Parallel sweeps"):
  *   {"predictors": ["gshare", ...], "traces": ["a.sbbt.flz", ...],
  *    "warmup_instr": 0, "sim_instr": 10000000, "jobs": 8,
- *    "in_memory": true, "mem_budget": 1073741824}
+ *    "in_memory": true, "mem_budget": 1073741824, "fused": true}
  */
 #include <cstdio>
 #include <cstring>
@@ -43,7 +49,8 @@ usage(const char *prog)
         "usage: %s --predictors <a,b,...> --traces <t1,t2,...>\n"
         "          [--warmup N] [--sim-instr N] [--jobs N] [--csv]"
         " [--out FILE]\n"
-        "          [--in-memory | --streaming] [--mem-budget BYTES]\n"
+        "          [--in-memory | --streaming] [--mem-budget BYTES]"
+        " [--no-fused]\n"
         "       %s --spec campaign.json [--jobs N] [--csv] [--out FILE]\n"
         "       %s list\n",
         prog, prog, prog);
@@ -83,6 +90,7 @@ main(int argc, char **argv)
     bool in_memory = true, have_in_memory = false;
     std::uint64_t mem_budget = 0;
     bool have_mem_budget = false;
+    bool fused = true, have_fused = false;
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
@@ -140,6 +148,12 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             }
             have_mem_budget = true;
+        } else if (std::strcmp(argv[i], "--no-fused") == 0) {
+            fused = false;
+            have_fused = true;
+        } else if (std::strcmp(argv[i], "--fused") == 0) {
+            fused = true;
+            have_fused = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             csv = true;
         } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -190,7 +204,8 @@ main(int argc, char **argv)
                 return 2;
             }
             campaign.predictors.push_back(
-                {name, [name] { return pred::makeByName(name); }});
+                {name, [name] { return pred::makeByName(name); },
+                 pred::fusedRunnerByName(name)});
         }
         campaign.traces = tools::splitCommaList(traces_arg);
         if (campaign.predictors.empty() || campaign.traces.empty())
@@ -212,6 +227,8 @@ main(int argc, char **argv)
         campaign.in_memory = in_memory;
     if (have_mem_budget)
         campaign.mem_budget = mem_budget;
+    if (have_fused)
+        campaign.fused = fused;
 
     json_t result = sweep::run(campaign, static_cast<unsigned>(jobs));
     std::string text =

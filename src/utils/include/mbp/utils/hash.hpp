@@ -24,11 +24,14 @@ namespace mbp
 constexpr std::uint64_t
 XorFold(std::uint64_t value, int width)
 {
+    // Fixed trip count on purpose: chunks past the top set bit fold in
+    // zeros, so the result matches the natural while-(value) loop, but
+    // the loop fully unrolls (and stays branch-free) whenever width is a
+    // compile-time constant — this hash runs twice per simulated branch,
+    // and a data-dependent exit costs a hard-to-predict branch there.
     std::uint64_t folded = 0;
-    while (value != 0) {
-        folded ^= value & util::maskBits(width);
-        value >>= width;
-    }
+    for (int shift = 0; shift < 64; shift += width)
+        folded ^= (value >> shift) & util::maskBits(width);
     return folded;
 }
 

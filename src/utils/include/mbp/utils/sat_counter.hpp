@@ -11,6 +11,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <type_traits>
 
 namespace mbp
 {
@@ -30,6 +31,15 @@ class SatCounter
 {
     static_assert(Bits >= 1 && Bits <= 31, "unsupported counter width");
 
+    // The narrowest integer that holds [kMin, kMax]: predictor tables
+    // are arrays of these, so a 2-bit counter stored in an int32 would
+    // quadruple every table's cache footprint (a measured slowdown in
+    // the simulation kernels for table sizes past the L2 boundary).
+    using storage_t = std::conditional_t<
+        (Signed ? Bits <= 8 : Bits <= 7), std::int8_t,
+        std::conditional_t<(Signed ? Bits <= 16 : Bits <= 15),
+                           std::int16_t, std::int32_t>>;
+
   public:
     /** Smallest representable value. */
     static constexpr std::int32_t kMin =
@@ -40,7 +50,10 @@ class SatCounter
                : (std::int32_t(1) << Bits) - 1;
 
     constexpr SatCounter() noexcept = default;
-    constexpr SatCounter(std::int32_t v) noexcept : value_(clamp(v)) {}
+    constexpr SatCounter(std::int32_t v) noexcept
+        : value_(static_cast<storage_t>(clamp(v)))
+    {
+    }
 
     /** @return The current value. */
     constexpr std::int32_t value() const noexcept { return value_; }
@@ -50,7 +63,8 @@ class SatCounter
     constexpr SatCounter &
     operator+=(std::int32_t delta) noexcept
     {
-        value_ = clamp(static_cast<std::int64_t>(value_) + delta);
+        value_ = static_cast<storage_t>(
+            clamp(static_cast<std::int64_t>(value_) + delta));
         return *this;
     }
     /** Saturating subtract. */
@@ -77,7 +91,11 @@ class SatCounter
     constexpr SatCounter &
     sumOrSub(bool up) noexcept
     {
-        return up ? ++*this : --*this;
+        // Single += with a selected delta, not `up ? ++ : --`: the
+        // outcome bit is data-dependent and close to 50/50 on hard
+        // branches, so two code paths would cost a host-side branch
+        // misprediction per update in the simulation loops.
+        return *this += (up ? 1 : -1);
     }
 
     /** Moves the value one step towards zero (used by decay policies). */
@@ -111,7 +129,11 @@ class SatCounter
     }
 
     /** Sets the value, clamping to the representable range. */
-    constexpr void set(std::int32_t v) noexcept { value_ = clamp(v); }
+    constexpr void
+    set(std::int32_t v) noexcept
+    {
+        value_ = static_cast<storage_t>(clamp(v));
+    }
 
     // Comparisons go through the implicit std::int32_t conversion; defining
     // them here as well would make `counter >= 0` ambiguous.
@@ -127,7 +149,7 @@ class SatCounter
         return static_cast<std::int32_t>(v);
     }
 
-    std::int32_t value_ = 0;
+    storage_t value_ = 0;
 };
 
 // The short aliases the paper uses: iN is a signed N-bit saturating counter,

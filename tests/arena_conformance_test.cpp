@@ -9,16 +9,26 @@
  * only place the pipelines are allowed to differ. The same holds for the
  * N-ary simulateMany()/compare() path and for the memory-budget fallback,
  * which silently streams instead of failing.
+ *
+ * The fused kernels (mbp/sim/kernels.hpp) are held to the same bar
+ * against the virtual arena path: per roster predictor, byte-identical
+ * prediction streams and identical documents modulo timing — both with a
+ * hook installed (which forces the kernels onto the separate
+ * predict/train/track calls) and hook-free (which engages the fused-step
+ * and per-site-fold fast paths, pinned through the misprediction totals
+ * and per-site ranking rows of the document).
  */
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sbbt/mem_trace.hpp"
 #include "mbp/sbbt/writer.hpp"
+#include "mbp/sim/kernels.hpp"
 #include "mbp/sim/simulator.hpp"
 #include "mbp/tracegen/generator.hpp"
 
@@ -108,6 +118,38 @@ class ArenaConformanceTest : public testing::Test
         json_t result = simulate(predictor, args);
         EXPECT_FALSE(result.contains("error")) << result.dump(2);
         return result;
+    }
+
+    /** Fused run of roster entry @p name capturing the same stream. */
+    static json_t
+    runFused(const std::string &name, SimArgs args, std::string &stream)
+    {
+        stream.clear();
+        args.prediction_hook = [&stream](const Branch &, bool predicted,
+                                         std::uint64_t, bool) {
+            stream.push_back(predicted ? 'T' : 'N');
+        };
+        pred::FusedRunner runner = pred::fusedRunnerByName(name);
+        EXPECT_TRUE(static_cast<bool>(runner)) << name;
+        json_t result = runner(args);
+        EXPECT_FALSE(result.contains("error")) << result.dump(2);
+        return result;
+    }
+
+    /**
+     * N-ary stream: one record per (branch x predictor), in hook firing
+     * order, carrying the predictor index so stream interleaving is
+     * pinned too.
+     */
+    static PredictionHook
+    manyHook(std::string &stream)
+    {
+        return [&stream](const Branch &, bool predicted, std::uint64_t,
+                         bool measured, std::size_t index) {
+            stream.push_back(static_cast<char>('0' + index));
+            stream.push_back(predicted ? 'T' : 'N');
+            stream.push_back(measured ? 'm' : 'w');
+        };
     }
 
     static std::string *trace_path_;
@@ -271,4 +313,131 @@ TEST_F(ArenaConformanceTest, InstructionLimitCutsBothSourcesIdentically)
                   ->find("simulation_instr")
                   ->asUint(),
               arena.find("metadata")->find("simulation_instr")->asUint());
+}
+
+TEST_F(ArenaConformanceTest, EveryRosterPredictorFusedMatchesVirtual)
+{
+    // With a hook installed the kernels take the separate
+    // predict/train/track calls, so this pins the fused loop structure
+    // (partitioning, measurement flags, branch ordering) byte by byte.
+    for (const std::string &name : pred::rosterNames()) {
+        auto virtual_pred = pred::makeByName(name);
+        ASSERT_NE(virtual_pred, nullptr) << name;
+
+        SimArgs args = baseArgs();
+        args.in_memory = true;
+
+        std::string virtual_bytes, fused_bytes;
+        json_t virtual_doc = run(*virtual_pred, args, virtual_bytes);
+        json_t fused_doc = runFused(name, args, fused_bytes);
+
+        EXPECT_GT(virtual_bytes.size(), 0u) << name;
+        EXPECT_EQ(virtual_bytes, fused_bytes)
+            << name << ": prediction streams diverge fused vs virtual";
+        EXPECT_EQ(scrubTiming(virtual_doc).dump(2),
+                  scrubTiming(fused_doc).dump(2))
+            << name;
+    }
+}
+
+TEST_F(ArenaConformanceTest, EveryRosterPredictorFusedHookFreeJsonMatches)
+{
+    // Hook-free is the configuration the fused-step and per-site-fold
+    // fast paths actually run in; the document's misprediction totals
+    // and per-site ranking rows then pin the whole prediction stream
+    // (any divergent guess changes a per-site misprediction count).
+    for (const std::string &name : pred::rosterNames()) {
+        auto virtual_pred = pred::makeByName(name);
+        ASSERT_NE(virtual_pred, nullptr) << name;
+        pred::FusedRunner runner = pred::fusedRunnerByName(name);
+        ASSERT_TRUE(static_cast<bool>(runner)) << name;
+
+        SimArgs args = baseArgs();
+        args.in_memory = true;
+
+        json_t virtual_doc = simulate(*virtual_pred, args);
+        json_t fused_doc = runner(args);
+        ASSERT_FALSE(virtual_doc.contains("error")) << virtual_doc.dump(2);
+        ASSERT_FALSE(fused_doc.contains("error")) << fused_doc.dump(2);
+        EXPECT_EQ(scrubTiming(virtual_doc).dump(2),
+                  scrubTiming(fused_doc).dump(2))
+            << name;
+    }
+}
+
+TEST_F(ArenaConformanceTest, FusedManyMatchesVirtualSimulateMany)
+{
+    const std::vector<std::string> names = {"bimodal", "gshare", "batage"};
+    std::vector<std::unique_ptr<Predictor>> virtual_preds;
+    std::vector<Predictor *> virtual_ptrs;
+    std::vector<std::unique_ptr<BlockKernel>> kernels;
+    std::vector<BlockKernel *> kernel_ptrs;
+    for (const std::string &name : names) {
+        virtual_preds.push_back(pred::makeByName(name));
+        virtual_ptrs.push_back(virtual_preds.back().get());
+        kernels.push_back(pred::fusedKernelByName(name));
+        ASSERT_NE(kernels.back(), nullptr) << name;
+        kernel_ptrs.push_back(kernels.back().get());
+    }
+
+    SimArgs virtual_args = baseArgs();
+    virtual_args.in_memory = true;
+    SimArgs fused_args = virtual_args;
+    std::string virtual_stream, fused_stream;
+    virtual_args.prediction_hook = manyHook(virtual_stream);
+    fused_args.prediction_hook = manyHook(fused_stream);
+
+    json_t virtual_doc = simulateMany(virtual_ptrs, virtual_args);
+    json_t fused_doc = simulateManyFused(kernel_ptrs, fused_args);
+    ASSERT_FALSE(virtual_doc.contains("error")) << virtual_doc.dump(2);
+    ASSERT_FALSE(fused_doc.contains("error")) << fused_doc.dump(2);
+    EXPECT_GT(virtual_stream.size(), 0u);
+    EXPECT_EQ(virtual_stream, fused_stream)
+        << "N-ary streams diverge fused vs virtual";
+    EXPECT_EQ(scrubTiming(virtual_doc).dump(2),
+              scrubTiming(fused_doc).dump(2));
+}
+
+TEST_F(ArenaConformanceTest, FusedCompareMatchesVirtualCompare)
+{
+    auto virtual_a = pred::makeByName("bimodal");
+    auto virtual_b = pred::makeByName("gshare");
+    auto kernel_a = pred::fusedKernelByName("bimodal");
+    auto kernel_b = pred::fusedKernelByName("gshare");
+    ASSERT_NE(kernel_a, nullptr);
+    ASSERT_NE(kernel_b, nullptr);
+
+    SimArgs virtual_args = baseArgs();
+    virtual_args.in_memory = true;
+    SimArgs fused_args = virtual_args;
+    std::string virtual_stream, fused_stream;
+    virtual_args.prediction_hook = manyHook(virtual_stream);
+    fused_args.prediction_hook = manyHook(fused_stream);
+
+    json_t virtual_doc = compare(*virtual_a, *virtual_b, virtual_args);
+    json_t fused_doc = compareFused(*kernel_a, *kernel_b, fused_args);
+    ASSERT_FALSE(virtual_doc.contains("error")) << virtual_doc.dump(2);
+    ASSERT_FALSE(fused_doc.contains("error")) << fused_doc.dump(2);
+    EXPECT_EQ(virtual_stream, fused_stream);
+    EXPECT_EQ(scrubTiming(virtual_doc).dump(2),
+              scrubTiming(fused_doc).dump(2));
+}
+
+TEST_F(ArenaConformanceTest, FusedStreamingFallbackMatchesVirtual)
+{
+    // When the run resolves to the streaming reader the fused entry
+    // points run the shared streaming core; results must still be
+    // identical to the virtual streaming pipeline.
+    auto virtual_pred = pred::makeByName("gshare");
+
+    SimArgs args = baseArgs();
+    args.in_memory = false;
+
+    std::string virtual_bytes, fused_bytes;
+    json_t virtual_doc = run(*virtual_pred, args, virtual_bytes);
+    json_t fused_doc = runFused("gshare", args, fused_bytes);
+
+    EXPECT_EQ(virtual_bytes, fused_bytes);
+    EXPECT_EQ(scrubTiming(virtual_doc).dump(2),
+              scrubTiming(fused_doc).dump(2));
 }

@@ -10,9 +10,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <vector>
 
 #include "mbp/sbbt/writer.hpp"
+#include "mbp/sim/detail/sim_core.hpp"
 
 using namespace mbp;
 
@@ -454,6 +456,168 @@ TEST(Compare, IdenticalPredictorsShowNoDifference)
     EXPECT_DOUBLE_EQ(result.find("metrics")->find("mpki_0")->asDouble(),
                      result.find("metrics")->find("mpki_1")->asDouble());
     std::remove(path.c_str());
+}
+
+TEST(SimulateMany, HonorsCollectMostFailedBothShapes)
+{
+    // The N-ary document must follow the same SimArgs contract as
+    // simulate(): ranking enabled -> a populated most_failed section;
+    // disabled -> the key omitted entirely (not empty). Site 0x1000 is
+    // always taken, so the two scripted predictors disagree there and
+    // the spread ranking has something to report.
+    std::vector<std::pair<Branch, std::uint32_t>> events;
+    for (int i = 0; i < 12; ++i)
+        events.push_back({cond(0x1000 + 16 * (i % 3), i % 3 == 0), 1});
+    auto path = writeTrace("many_collect.sbbt", events);
+    SimArgs args;
+    args.trace_path = path;
+
+    ScriptedPredictor taken_a({true}), not_taken_a({false});
+    std::vector<Predictor *> preds_a{&taken_a, &not_taken_a};
+    json_t enabled = simulateMany(preds_a, args);
+    ASSERT_FALSE(enabled.contains("error")) << enabled.dump(2);
+    ASSERT_TRUE(enabled.contains("most_failed"));
+    EXPECT_GT(enabled.find("most_failed")->size(), 0u);
+
+    args.collect_most_failed = false;
+    ScriptedPredictor taken_b({true}), not_taken_b({false});
+    std::vector<Predictor *> preds_b{&taken_b, &not_taken_b};
+    json_t disabled = simulateMany(preds_b, args);
+    ASSERT_FALSE(disabled.contains("error")) << disabled.dump(2);
+    EXPECT_FALSE(disabled.contains("most_failed"));
+    EXPECT_FALSE(disabled.find("metrics")
+                     ->contains("num_most_failed_branches"));
+    // Everything the ranking does not feed is unaffected by the flag.
+    EXPECT_TRUE(*enabled.find("metrics")->find("mispredictions_0") ==
+                *disabled.find("metrics")->find("mispredictions_0"));
+    EXPECT_TRUE(*enabled.find("metrics")->find("mispredictions_1") ==
+                *disabled.find("metrics")->find("mispredictions_1"));
+    std::remove(path.c_str());
+}
+
+TEST(Compare, HonorsCollectMostFailedBothShapes)
+{
+    std::vector<std::pair<Branch, std::uint32_t>> events;
+    for (int i = 0; i < 10; ++i)
+        events.push_back({cond(0x2000 + 16 * (i % 2), i % 3 == 0), 1});
+    auto path = writeTrace("cmp_collect.sbbt", events);
+    SimArgs args;
+    args.trace_path = path;
+
+    ScriptedPredictor taken_a({true}), not_taken_a({false});
+    json_t enabled = compare(taken_a, not_taken_a, args);
+    ASSERT_FALSE(enabled.contains("error")) << enabled.dump(2);
+    EXPECT_TRUE(enabled.contains("most_failed"));
+
+    args.collect_most_failed = false;
+    ScriptedPredictor taken_b({true}), not_taken_b({false});
+    json_t disabled = compare(taken_b, not_taken_b, args);
+    ASSERT_FALSE(disabled.contains("error")) << disabled.dump(2);
+    EXPECT_FALSE(disabled.contains("most_failed"));
+    EXPECT_FALSE(disabled.find("metrics")
+                     ->contains("num_most_failed_branches"));
+    std::remove(path.c_str());
+}
+
+TEST(SimulateMany, InvokesPredictionHookPerPredictor)
+{
+    // Per conditional branch the hook must fire once per predictor, in
+    // ascending index order, carrying that predictor's own guess.
+    auto path = writeTrace("many_hook.sbbt", {
+        {cond(0x1000, true), 1},
+        {Branch{0x1010, 0x2000, OpCode::jump(), true}, 1},
+        {cond(0x1020, false), 1},
+    });
+    ScriptedPredictor taken({true});
+    ScriptedPredictor not_taken({false});
+    std::vector<Predictor *> preds{&taken, &not_taken};
+
+    std::vector<std::pair<std::size_t, bool>> calls;
+    SimArgs args;
+    args.trace_path = path;
+    args.prediction_hook = [&calls](const Branch &, bool predicted,
+                                    std::uint64_t, bool,
+                                    std::size_t index) {
+        calls.emplace_back(index, predicted);
+    };
+    json_t result = simulateMany(preds, args);
+    ASSERT_FALSE(result.contains("error")) << result.dump(2);
+    // 2 conditionals x 2 predictors; the unconditional jump fires none.
+    ASSERT_EQ(calls.size(), 4u);
+    const std::vector<std::pair<std::size_t, bool>> expected{
+        {0, true}, {1, false}, {0, true}, {1, false}};
+    EXPECT_EQ(calls, expected);
+    std::remove(path.c_str());
+}
+
+TEST(SimulateMany, LegacyFourArgHookSeesEveryStream)
+{
+    auto path = writeTrace("many_hook4.sbbt", {
+        {cond(0x1000, true), 1},
+        {cond(0x1020, false), 1},
+        {cond(0x1040, true), 1},
+    });
+    ScriptedPredictor taken({true});
+    ScriptedPredictor not_taken({false});
+    std::vector<Predictor *> preds{&taken, &not_taken};
+
+    std::size_t count = 0;
+    SimArgs args;
+    args.trace_path = path;
+    args.prediction_hook = [&count](const Branch &, bool, std::uint64_t,
+                                    bool) { ++count; };
+    json_t result = simulateMany(preds, args);
+    ASSERT_FALSE(result.contains("error")) << result.dump(2);
+    EXPECT_EQ(count, 6u) << "3 conditionals x 2 predictors";
+    std::remove(path.c_str());
+}
+
+TEST(PredictionHookAdapter, AdaptsBothSignatures)
+{
+    PredictionHook empty;
+    EXPECT_FALSE(static_cast<bool>(empty));
+
+    std::size_t seen_index = 99;
+    PredictionHook canonical = [&seen_index](const Branch &, bool,
+                                             std::uint64_t, bool,
+                                             std::size_t index) {
+        seen_index = index;
+    };
+    ASSERT_TRUE(static_cast<bool>(canonical));
+    canonical(cond(0x1000, true), true, 1, true, 7);
+    EXPECT_EQ(seen_index, 7u);
+
+    bool legacy_called = false;
+    PredictionHook legacy = [&legacy_called](const Branch &, bool,
+                                             std::uint64_t, bool) {
+        legacy_called = true;
+    };
+    ASSERT_TRUE(static_cast<bool>(legacy));
+    legacy(cond(0x1000, true), true, 1, true, 3);
+    EXPECT_TRUE(legacy_called);
+}
+
+// The most_failed ranking keys rows by a 32-bit slot; a trace with
+// 2^32-1 distinct measured sites must fail the run loudly instead of
+// wrapping. The guard predicates are constexpr so the boundary is
+// pinned at compile time (the full condition cannot be built in a
+// test: it needs four billion distinct branch addresses).
+static_assert(detail::rowIndexWouldOverflow(detail::kMaxRankedSites));
+static_assert(detail::rowIndexWouldOverflow(detail::kMaxRankedSites + 1));
+static_assert(!detail::rowIndexWouldOverflow(detail::kMaxRankedSites - 1));
+static_assert(!detail::rowIndexWouldOverflow(0));
+static_assert(detail::rowAllocWouldOverflow(
+    std::numeric_limits<std::size_t>::max() / 4, 8));
+static_assert(!detail::rowAllocWouldOverflow(1'000'000, 8));
+static_assert(!detail::rowAllocWouldOverflow(
+    std::numeric_limits<std::size_t>::max(), 0));
+
+TEST(SimulateMany, SiteOverflowErrorMessageNamesTheRemedy)
+{
+    // The error string callers will see tells them how to proceed.
+    EXPECT_NE(std::string(detail::kSiteOverflowError)
+                  .find("collect_most_failed"),
+              std::string::npos);
 }
 
 TEST(Analytic, PaperMotivationNumbers)

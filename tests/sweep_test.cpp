@@ -49,7 +49,10 @@ writeTrace(const std::string &name, std::uint64_t seed,
 sweep::PredictorSpec
 rosterSpec(const std::string &name)
 {
-    return {name, [name] { return pred::makeByName(name); }};
+    // Match campaignFromJson: both the virtual factory and the fused
+    // runner, so these tests cover the path production campaigns take.
+    return {name, [name] { return pred::makeByName(name); },
+            pred::fusedRunnerByName(name)};
 }
 
 } // namespace
@@ -215,7 +218,7 @@ TEST_F(SweepTest, FailedCellsDoNotAbortTheCampaign)
 {
     sweep::Campaign campaign;
     campaign.predictors = {rosterSpec("bimodal"),
-                           {"bogus", nullptr}}; // null factory
+                           {"bogus", nullptr, {}}}; // null factory
     campaign.traces = {traces_[0], "/nonexistent/missing.sbbt"};
     json_t result = sweep::run(campaign, 4);
 
@@ -314,7 +317,7 @@ TEST(CampaignFromJson, RejectsBadSpecs)
 TEST_F(SweepTest, CsvHasOneRowPerCell)
 {
     sweep::Campaign campaign;
-    campaign.predictors = {rosterSpec("bimodal"), {"bogus", nullptr}};
+    campaign.predictors = {rosterSpec("bimodal"), {"bogus", nullptr, {}}};
     campaign.traces = {traces_[0]};
     json_t result = sweep::run(campaign, 2);
     std::string csv = sweep::toCsv(result);
@@ -395,8 +398,10 @@ TEST(SweepCsv, HostileNamesRoundTripThroughRfc4180)
 
     sweep::Campaign campaign;
     campaign.predictors = {
-        {evil_pred, [] { return std::make_unique<pred::Gshare<15, 17>>(); }},
-        {other_pred, [] { return std::make_unique<pred::Bimodal<16>>(); }},
+        {evil_pred, [] { return std::make_unique<pred::Gshare<15, 17>>(); },
+         {}},
+        {other_pred, [] { return std::make_unique<pred::Bimodal<16>>(); },
+         {}},
     };
     campaign.traces = {evil_trace};
     json_t result = sweep::run(campaign, 2);
@@ -422,7 +427,7 @@ TEST(SweepCsv, HostileNamesRoundTripThroughRfc4180)
 TEST(SweepCsv, ErrorMessagesAreQuotedToo)
 {
     sweep::Campaign campaign;
-    campaign.predictors = {{"has, comma", nullptr}};
+    campaign.predictors = {{"has, comma", nullptr, {}}};
     campaign.traces = {"/no/such/trace.sbbt"};
     json_t result = sweep::run(campaign, 1);
     const std::string csv = sweep::toCsv(result);
