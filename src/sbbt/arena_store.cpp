@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Content-addressed arena store implementation.
+ */
+#include "mbp/sbbt/arena_store.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "mbp/sbbt/arena_file.hpp"
+#include "mbp/utils/file_lock.hpp"
+
+namespace mbp::sbbt
+{
+
+namespace
+{
+
+/** mkdir -p: creates @p dir and any missing parents. */
+bool
+ensureDir(const std::string &dir)
+{
+    if (dir.empty())
+        return false;
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0)
+        return S_ISDIR(st.st_mode);
+    for (std::size_t slash = dir.find('/', 1); slash != std::string::npos;
+         slash = dir.find('/', slash + 1))
+        ::mkdir(dir.substr(0, slash).c_str(), 0755); // EEXIST is fine
+    ::mkdir(dir.c_str(), 0755);
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string
+hexHash(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace
+
+std::string
+ArenaStore::resolveDir(const std::string &explicit_dir)
+{
+    if (!explicit_dir.empty())
+        return explicit_dir;
+    if (const char *env = std::getenv(kArenaCacheEnv); env && *env)
+        return env;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+        return std::string(xdg) + "/mbp";
+    if (const char *home = std::getenv("HOME"); home && *home)
+        return std::string(home) + "/.cache/mbp";
+    return "";
+}
+
+ArenaStore::ArenaStore(const std::string &dir)
+    : dir_(resolveDir(dir)), ok_(ensureDir(dir_))
+{
+}
+
+std::string
+ArenaStore::sidecarPathFor(std::uint64_t hash) const
+{
+    return dir_ + "/" + hexHash(hash) + ".sbbta";
+}
+
+std::shared_ptr<const MemTrace>
+ArenaStore::acquire(const std::string &path, const ReaderOptions &options,
+                    std::string *error, Info *info)
+{
+    if (error != nullptr)
+        error->clear();
+    Info local;
+    Info &out = info != nullptr ? *info : local;
+    out = Info{};
+
+    if (!ok_ || !fileContentHash(path, out.content_hash))
+        return MemTrace::load(path, options, error); // store disabled
+
+    out.sidecar = sidecarPathFor(out.content_hash);
+    auto tryMap = [&]() -> std::shared_ptr<const MemTrace> {
+        std::string map_error;
+        std::uint64_t recorded_hash = 0;
+        auto mapped =
+            MemTrace::mapFile(out.sidecar, &map_error, &recorded_hash);
+        if (mapped == nullptr) {
+            out.rejected = map_error;
+            return nullptr;
+        }
+        if (recorded_hash != out.content_hash) {
+            // A hash collision in the sidecar name, or a sidecar written
+            // for a since-rewritten trace; either way it is not ours.
+            out.rejected = "sidecar source hash does not match the trace";
+            return nullptr;
+        }
+        return mapped;
+    };
+
+    // Fast path, no lock: rename() is atomic, so any sidecar observed
+    // here is complete (though possibly corrupt on disk — tryMap's
+    // checksum pass decides, and a rejection falls through to rewrite).
+    struct stat st;
+    if (::stat(out.sidecar.c_str(), &st) == 0) {
+        if (auto mapped = tryMap()) {
+            out.mapped = true;
+            return mapped;
+        }
+    } else {
+        out.rejected.clear(); // plain absence is not a rejection
+    }
+
+    util::ScopedFileLock lock(dir_ + "/." + hexHash(out.content_hash) +
+                              ".lock");
+    // Another process may have materialized while we waited on the lock.
+    if (lock.locked() && ::stat(out.sidecar.c_str(), &st) == 0) {
+        if (auto mapped = tryMap()) {
+            out.mapped = true;
+            return mapped;
+        }
+    }
+
+    auto decoded = MemTrace::load(path, options, error);
+    if (decoded == nullptr)
+        return nullptr; // the trace itself is bad; nothing to persist
+    // Temp name in the store directory so the final rename() is atomic;
+    // the pid suffix keeps an unlocked (lock-file-creation-failed)
+    // writer from colliding with a locked one.
+    const std::string tmp = dir_ + "/.tmp-" + hexHash(out.content_hash) +
+                            "-" + std::to_string(::getpid()) + ".sbbta";
+    std::string write_error;
+    if (decoded->writeArena(tmp, out.content_hash, &write_error) &&
+        std::rename(tmp.c_str(), out.sidecar.c_str()) == 0) {
+        out.materialized = true;
+    } else {
+        std::remove(tmp.c_str());
+        if (out.rejected.empty())
+            out.rejected = write_error.empty()
+                               ? "cannot move sidecar into place"
+                               : write_error;
+    }
+    return decoded;
+}
+
+} // namespace mbp::sbbt

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Content-addressed persistent store of SBBT-A arena sidecars.
+ *
+ * The in-memory TraceCache kills re-decode *within* a process; the store
+ * kills it *across* processes and campaigns. The first acquire() of a
+ * trace anywhere on the machine decodes it once and materializes the
+ * SBBT-A sidecar under the store directory; every later acquire — any
+ * process, any job count — maps that sidecar in O(page-fault) and skips
+ * the decode entirely.
+ *
+ * Addressing is by content: the sidecar's name is the content hash of
+ * the *source trace bytes*, so aliased paths (`./t.sbbt` vs its absolute
+ * form), renamed files and byte-identical copies all resolve to one
+ * cached arena, and a rewritten trace automatically misses its stale
+ * sidecar instead of serving wrong data. Stale or corrupt sidecars are
+ * detected (header + payload checksums, recorded source hash) and fall
+ * back to a fresh decode that rewrites them — never an error, never a
+ * crash.
+ *
+ * Concurrency follows the corpus-materialization recipe
+ * (mbp/utils/file_lock.hpp): writers serialize on a per-hash flock,
+ * write to a hidden temp name and rename() into place atomically, so
+ * racing processes produce exactly one sidecar and readers only ever
+ * observe absent or complete files.
+ *
+ * Store directory resolution (first match wins):
+ *   1. an explicit directory handed to the constructor;
+ *   2. $MBP_ARENA_CACHE;
+ *   3. $XDG_CACHE_HOME/mbp;
+ *   4. $HOME/.cache/mbp.
+ */
+#ifndef MBP_SBBT_ARENA_STORE_HPP
+#define MBP_SBBT_ARENA_STORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mbp/sbbt/mem_trace.hpp"
+
+namespace mbp::sbbt
+{
+
+/** Environment variable naming (and enabling) the default store dir. */
+inline constexpr const char *kArenaCacheEnv = "MBP_ARENA_CACHE";
+
+class ArenaStore
+{
+  public:
+    /** How an acquire() was served; for stats and tests. */
+    struct Info
+    {
+        /** Content hash of the source trace (0 when unhashable). */
+        std::uint64_t content_hash = 0;
+        /** Sidecar path used or created ("" when none was involved). */
+        std::string sidecar;
+        /** Served zero-decode from a mapped sidecar. */
+        bool mapped = false;
+        /** This call decoded the trace and wrote the sidecar. */
+        bool materialized = false;
+        /** Why a present sidecar was rejected ("" when none was). */
+        std::string rejected;
+    };
+
+    /**
+     * Opens (creating if needed) the store at @p dir, resolving "" via
+     * the directory rules above. Check ok(): a store whose directory
+     * cannot be resolved or created still acquire()s correctly, it just
+     * decodes every time without persisting anything.
+     */
+    explicit ArenaStore(const std::string &dir = "");
+
+    /** @return The resolved store directory ("" when unresolvable). */
+    const std::string &dir() const { return dir_; }
+
+    /** @return Whether the store directory exists and is usable. */
+    bool ok() const { return ok_; }
+
+    /** Applies the directory resolution rules to @p explicit_dir. */
+    static std::string resolveDir(const std::string &explicit_dir = "");
+
+    /**
+     * Returns the arena for the trace at @p path: mapped zero-copy from
+     * its sidecar when a valid one exists, otherwise decoded once (with
+     * @p options) and materialized for every future caller.
+     *
+     * @param path    Source trace file (possibly compressed).
+     * @param options Decode knobs for the materializing pass.
+     * @param error   Receives the failure description (optional). Set
+     *                only when the trace itself cannot be decoded; store
+     *                problems (unwritable dir, corrupt sidecar) degrade
+     *                to decoding, they do not fail the acquire.
+     * @param info    Receives how the call was served (optional).
+     * @return The shared arena, or nullptr when the trace is unreadable
+     *         or corrupt.
+     */
+    std::shared_ptr<const MemTrace>
+    acquire(const std::string &path, const ReaderOptions &options = {},
+            std::string *error = nullptr, Info *info = nullptr);
+
+    /** @return The sidecar path for content hash @p hash (16 lowercase
+     *          hex digits + ".sbbta" under the store directory). */
+    std::string sidecarPathFor(std::uint64_t hash) const;
+
+  private:
+    std::string dir_;
+    bool ok_ = false;
+};
+
+} // namespace mbp::sbbt
+
+#endif // MBP_SBBT_ARENA_STORE_HPP

@@ -44,6 +44,12 @@ namespace mbp::sbbt
  * from consecutive instruction numbers — so the arena costs
  * kBytesPerBranch per branch regardless of the on-disk codec.
  *
+ * The columns are exposed as raw pointers and owned in one of two ways:
+ * load() decodes the trace into heap vectors, while mapFile() borrows
+ * them zero-copy from a read-only mmap of an SBBT-A sidecar
+ * (mbp/sbbt/arena_file.hpp) — same accessors, same cursors, same fused
+ * kernels over either backing.
+ *
  * Thread safety: a loaded MemTrace is never mutated, so any number of
  * threads may iterate it concurrently, each through its own cursor.
  */
@@ -93,11 +99,50 @@ class MemTrace
      */
     static std::uint64_t estimateFileBytes(const std::string &path);
 
+    /**
+     * Maps the SBBT-A sidecar at @p path read-only and borrows its
+     * columns with zero copies (mbp/sbbt/arena_file.hpp). The header is
+     * validated (magic, version, checksums, column bounds) and the
+     * payload checksum verified before any column is trusted; corrupt,
+     * truncated or version-mismatched files fail the map — callers fall
+     * back to load() on the source trace.
+     *
+     * @param path        SBBT-A file to map.
+     * @param error       Receives the failure description (optional).
+     * @param source_hash Receives the content hash of the source trace
+     *                    recorded at write time (optional; 0 = unknown).
+     * @return The shared arena, or nullptr on any validation failure.
+     */
+    static std::shared_ptr<const MemTrace>
+    mapFile(const std::string &path, std::string *error = nullptr,
+            std::uint64_t *source_hash = nullptr);
+
+    /**
+     * Serializes this arena as an SBBT-A file at @p path (overwriting),
+     * 64-byte-aligned so mapFile() can borrow it. Works for decoded and
+     * mapped arenas alike. The write is NOT atomic — materialize through
+     * a temp name + rename (sbbt::ArenaStore does) when other processes
+     * may be reading the path.
+     *
+     * @param path        Destination file.
+     * @param source_hash Content hash of the source trace file, recorded
+     *                    in the header so readers can pair sidecar and
+     *                    source (0 = unknown).
+     * @param error       Receives the failure description (optional).
+     * @return Whether the file was completely written and closed.
+     */
+    bool writeArena(const std::string &path, std::uint64_t source_hash = 0,
+                    std::string *error = nullptr) const;
+
+    /** @return Whether the columns are borrowed from an mmap (mapFile())
+     *          rather than owned by heap vectors (load()). */
+    bool mapped() const { return mapping_ != nullptr; }
+
     /** @return The trace header. */
     const Header &header() const { return header_; }
 
     /** @return Branches in the arena. */
-    std::size_t size() const { return ips_.size(); }
+    std::size_t size() const { return size_; }
 
     /** @return Actual resident footprint of the arena in bytes. */
     std::uint64_t memoryBytes() const;
@@ -109,12 +154,15 @@ class MemTrace
     double loadSeconds() const { return load_seconds_; }
 
     // Per-branch row accessors (i < size()).
-    std::uint64_t ip(std::size_t i) const { return ips_[i]; }
-    std::uint64_t target(std::size_t i) const { return targets_[i]; }
-    OpCode opcode(std::size_t i) const { return OpCode(meta_[i] & 0xf); }
-    bool taken(std::size_t i) const { return (meta_[i] & 0x10) != 0; }
+    std::uint64_t ip(std::size_t i) const { return ips_p_[i]; }
+    std::uint64_t target(std::size_t i) const { return targets_p_[i]; }
+    OpCode opcode(std::size_t i) const { return OpCode(meta_p_[i] & 0xf); }
+    bool taken(std::size_t i) const { return (meta_p_[i] & 0x10) != 0; }
     /** 1-based instruction number of branch @p i (SbbtReader convention). */
-    std::uint64_t instrNumber(std::size_t i) const { return instr_nums_[i]; }
+    std::uint64_t instrNumber(std::size_t i) const
+    {
+        return instr_nums_p_[i];
+    }
 
     /** @return Distinct branch sites (unique ips, any opcode) in the arena. */
     std::uint32_t numSites() const { return num_sites_; }
@@ -124,7 +172,7 @@ class MemTrace
      * (0 .. numSites()-1). Lets per-site accounting use a plain array
      * where a streaming consumer needs a hash map.
      */
-    std::uint32_t siteIndex(std::size_t i) const { return site_index_[i]; }
+    std::uint32_t siteIndex(std::size_t i) const { return site_index_p_[i]; }
 
     /**
      * @return Distinct branch sites among the first @p count branches —
@@ -134,7 +182,7 @@ class MemTrace
     std::uint64_t staticSitesInPrefix(std::size_t count) const;
 
     /** @return Instruction address of site @p s (s < numSites()). */
-    std::uint64_t siteIp(std::uint32_t s) const { return site_ips_[s]; }
+    std::uint64_t siteIp(std::uint32_t s) const { return site_ips_p_[s]; }
 
     /**
      * Conditional executions of site @p s over the whole trace —
@@ -145,38 +193,65 @@ class MemTrace
     std::uint64_t
     siteCondOccurrences(std::uint32_t s) const
     {
-        return site_cond_occ_[s];
+        return site_cond_occ_p_[s];
     }
 
     // Raw column pointers for the fused block kernels
     // (mbp/sim/kernels.hpp), which bulk-read the struct-of-arrays
     // columns instead of materializing per-branch packets.
-    const std::uint64_t *ipData() const { return ips_.data(); }
-    const std::uint64_t *targetData() const { return targets_.data(); }
-    const std::uint64_t *instrNumData() const { return instr_nums_.data(); }
-    const std::uint8_t *metaData() const { return meta_.data(); }
-    const std::uint32_t *siteIndexData() const { return site_index_.data(); }
-    const std::uint64_t *siteIpData() const { return site_ips_.data(); }
+    const std::uint64_t *ipData() const { return ips_p_; }
+    const std::uint64_t *targetData() const { return targets_p_; }
+    const std::uint64_t *instrNumData() const { return instr_nums_p_; }
+    const std::uint8_t *metaData() const { return meta_p_; }
+    const std::uint32_t *siteIndexData() const { return site_index_p_; }
+    const std::uint64_t *siteIpData() const { return site_ips_p_; }
     const std::uint64_t *siteCondOccData() const
     {
-        return site_cond_occ_.data();
+        return site_cond_occ_p_;
     }
 
   private:
     friend class MemTraceCursor;
 
+    /** Read-only mmap of an SBBT-A file, unmapped on destruction; keeps
+     *  the borrowed columns of a mapped arena alive. */
+    class ArenaMapping;
+
     MemTrace() = default;
 
+    /** Points the column views at the owned vectors (decode path). */
+    void adoptOwnedColumns();
+
     Header header_;
+
+    // Column views — the only pointers the accessors, cursors and fused
+    // kernels read. They alias either the owned vectors below (load())
+    // or an ArenaMapping (mapFile()).
+    const std::uint64_t *ips_p_ = nullptr;
+    const std::uint64_t *targets_p_ = nullptr;
+    const std::uint64_t *instr_nums_p_ = nullptr; // cumulative, 1-based
+    const std::uint8_t *meta_p_ = nullptr; // bits 0-3 opcode, bit 4 outcome
+    const std::uint32_t *site_index_p_ = nullptr; // dense first-seen ids
+    const std::uint64_t *first_seen_p_ = nullptr; // new-site bitmap
+    const std::uint64_t *site_ips_p_ = nullptr;   // site id -> address
+    const std::uint64_t *site_cond_occ_p_ = nullptr; // cond. counts
+    std::size_t size_ = 0;
+    std::uint32_t num_sites_ = 0;
+
+    // Decode-path ownership (empty for a mapped arena).
     std::vector<std::uint64_t> ips_;
     std::vector<std::uint64_t> targets_;
-    std::vector<std::uint64_t> instr_nums_; // cumulative, 1-based
-    std::vector<std::uint8_t> meta_;        // bits 0-3 opcode, bit 4 outcome
-    std::vector<std::uint32_t> site_index_; // dense site id, first-seen order
-    std::vector<std::uint64_t> first_seen_; // bit i: branch i is a new site
-    std::vector<std::uint64_t> site_ips_;   // site id -> instruction address
-    std::vector<std::uint64_t> site_cond_occ_; // whole-trace cond. counts
-    std::uint32_t num_sites_ = 0;
+    std::vector<std::uint64_t> instr_nums_;
+    std::vector<std::uint8_t> meta_;
+    std::vector<std::uint32_t> site_index_;
+    std::vector<std::uint64_t> first_seen_;
+    std::vector<std::uint64_t> site_ips_;
+    std::vector<std::uint64_t> site_cond_occ_;
+
+    // Map-path ownership (null for a decoded arena).
+    std::shared_ptr<const ArenaMapping> mapping_;
+    std::uint64_t mapped_bytes_ = 0; //!< file size backing the mapping
+
     std::uint64_t decompressed_bytes_ = 0;
     double load_seconds_ = 0.0;
 };
@@ -220,10 +295,10 @@ class MemTraceCursor
             return false;
         }
         const MemTrace &t = *trace_;
-        out.branch = Branch{t.ips_[pos_], t.targets_[pos_],
-                            OpCode(t.meta_[pos_] & 0xf),
-                            (t.meta_[pos_] & 0x10) != 0};
-        const std::uint64_t n = t.instr_nums_[pos_];
+        out.branch = Branch{t.ips_p_[pos_], t.targets_p_[pos_],
+                            OpCode(t.meta_p_[pos_] & 0xf),
+                            (t.meta_p_[pos_] & 0x10) != 0};
+        const std::uint64_t n = t.instr_nums_p_[pos_];
         out.instr_gap = static_cast<std::uint32_t>(n - instr_number_ - 1);
         instr_number_ = n;
         ++pos_;

@@ -78,6 +78,7 @@ MemTrace::load(const std::string &path, const ReaderOptions &options,
             *error = reader.error();
         return nullptr;
     }
+    trace->adoptOwnedColumns();
     trace->decompressed_bytes_ = reader.decompressedBytes();
     trace->load_seconds_ =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -86,19 +87,34 @@ MemTrace::load(const std::string &path, const ReaderOptions &options,
     return trace;
 }
 
+void
+MemTrace::adoptOwnedColumns()
+{
+    ips_p_ = ips_.data();
+    targets_p_ = targets_.data();
+    instr_nums_p_ = instr_nums_.data();
+    meta_p_ = meta_.data();
+    site_index_p_ = site_index_.data();
+    first_seen_p_ = first_seen_.data();
+    site_ips_p_ = site_ips_.data();
+    site_cond_occ_p_ = site_cond_occ_.data();
+    size_ = ips_.size();
+}
+
 std::uint64_t
 MemTrace::staticSitesInPrefix(std::size_t count) const
 {
-    count = std::min(count, site_index_.size());
+    count = std::min(count, size_);
     std::uint64_t sites = 0;
     const std::size_t full_words = count / 64;
     for (std::size_t w = 0; w < full_words; ++w)
-        sites += static_cast<std::uint64_t>(std::popcount(first_seen_[w]));
+        sites +=
+            static_cast<std::uint64_t>(std::popcount(first_seen_p_[w]));
     const std::size_t rem = count % 64;
     if (rem != 0) {
         const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
         sites += static_cast<std::uint64_t>(
-            std::popcount(first_seen_[full_words] & mask));
+            std::popcount(first_seen_p_[full_words] & mask));
     }
     return sites;
 }
@@ -118,6 +134,10 @@ MemTrace::estimateFileBytes(const std::string &path)
 std::uint64_t
 MemTrace::memoryBytes() const
 {
+    // A mapped arena's footprint is the mapped file: at most that many
+    // bytes of page cache, shared with every other process mapping it.
+    if (mapping_ != nullptr)
+        return sizeof(MemTrace) + mapped_bytes_;
     return sizeof(MemTrace) +
            ips_.capacity() * sizeof(std::uint64_t) +
            targets_.capacity() * sizeof(std::uint64_t) +

@@ -168,6 +168,19 @@ struct Campaign
      * results themselves are bit-identical.
      */
     bool fused = true;
+    /**
+     * Consult (and populate) the persistent SBBT-A arena store
+     * (sbbt::ArenaStore) on trace-cache misses: the first campaign ever
+     * to touch a trace decodes it and leaves a sidecar behind; later
+     * campaigns map it zero-decode. Off by default — the CLI enables it
+     * via `--arena-cache[=DIR]` or a non-empty $MBP_ARENA_CACHE. Only
+     * meaningful with in_memory. Results are bit-identical either way
+     * (the conformance suite pins this).
+     */
+    bool arena_cache = false;
+    /** Explicit store directory; "" defers to ArenaStore::resolveDir
+     *  ($MBP_ARENA_CACHE, then the user cache directory). */
+    std::string arena_cache_dir;
 };
 
 /**
@@ -183,7 +196,9 @@ struct Campaign
  *     "collect_most_failed": true,                 // optional
  *     "jobs": 8,                                   // optional
  *     "in_memory": true,                           // optional
- *     "mem_budget": 1073741824                     // optional, bytes
+ *     "mem_budget": 1073741824,                    // optional, bytes
+ *     "arena_cache": false,                        // optional
+ *     "arena_cache_dir": "/path/to/store"          // optional
  *   }
  * @endcode
  *
@@ -209,8 +224,9 @@ bool campaignFromJson(const json_t &spec, Campaign &out,
  *     pool, failed-cell count, per-predictor rollups (arithmetic
  *     mean MPKI over the traces, total mispredictions) — the Table III
  *     summary form — and a "trace_cache" block ({hits, misses,
- *     evictions, resident_bytes, streamed_fallbacks}) reporting how the
- *     decode-once cache behaved (all zero when in_memory is off).
+ *     evictions, resident_bytes, streamed_fallbacks, failed_waits,
+ *     mapped_loads}) reporting how the decode-once cache behaved (all
+ *     zero when in_memory is off).
  *
  * Cells are *scheduled* trace-major so every predictor of a trace runs
  * while its arena is resident, but *reported* in the same

@@ -137,6 +137,20 @@ campaignFromJson(const json_t &spec, Campaign &out, std::string &error)
         }
         campaign.fused = v->asBool();
     }
+    if (const json_t *v = spec.find("arena_cache")) {
+        if (!v->isBool()) {
+            error = "\"arena_cache\" must be a bool";
+            return false;
+        }
+        campaign.arena_cache = v->asBool();
+    }
+    if (const json_t *v = spec.find("arena_cache_dir")) {
+        if (!v->isString()) {
+            error = "\"arena_cache_dir\" must be a string";
+            return false;
+        }
+        campaign.arena_cache_dir = v->asString();
+    }
     if (!uintField("mem_budget", campaign.mem_budget))
         return false;
     out = std::move(campaign);
@@ -175,7 +189,11 @@ run(const Campaign &campaign, unsigned jobs)
     if (num_cells > 0 && used_jobs > num_cells)
         used_jobs = static_cast<unsigned>(num_cells);
 
-    TraceCache cache(campaign.in_memory ? campaign.mem_budget : 0);
+    std::shared_ptr<sbbt::ArenaStore> store;
+    if (campaign.in_memory && campaign.arena_cache)
+        store = std::make_shared<sbbt::ArenaStore>(campaign.arena_cache_dir);
+    TraceCache cache(campaign.in_memory ? campaign.mem_budget : 0,
+                     store);
     sbbt::ReaderOptions decode_options;
     decode_options.block_packets = campaign.base_args.reader_block_packets;
     decode_options.prefetch = campaign.base_args.prefetch;
@@ -261,6 +279,7 @@ run(const Campaign &campaign, unsigned jobs)
         {"sim_instr", campaign.base_args.sim_instr},
         {"in_memory", campaign.in_memory},
         {"mem_budget", campaign.mem_budget},
+        {"arena_cache", store != nullptr},
     });
     json_t cells = json_t::array();
     for (json_t &cell : cell_results)
@@ -291,6 +310,8 @@ run(const Campaign &campaign, unsigned jobs)
              {"evictions", cache_stats.evictions},
              {"resident_bytes", cache_stats.resident_bytes},
              {"streamed_fallbacks", cache_stats.streamed_fallbacks},
+             {"failed_waits", cache_stats.failed_waits},
+             {"mapped_loads", cache_stats.mapped_loads},
          })},
         {"per_predictor", std::move(per_predictor)},
     });

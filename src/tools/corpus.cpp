@@ -13,13 +13,9 @@
  */
 #include "mbp/tools/corpus.hpp"
 
-#include <fcntl.h>
-#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -27,6 +23,7 @@
 #include "cbp5/trace.hpp"
 #include "champsim/trace_synth.hpp"
 #include "mbp/sbbt/writer.hpp"
+#include "mbp/utils/file_lock.hpp"
 
 namespace mbp::tools
 {
@@ -46,50 +43,6 @@ ensureDir(const std::string &dir)
 {
     ::mkdir(dir.c_str(), 0755); // EEXIST is fine
 }
-
-/**
- * Exclusive advisory lock on @p path (created if absent), released on
- * destruction. flock() locks the open file description, so it excludes
- * both other processes and other threads of this process (each holder
- * opens its own descriptor), and a crashed holder releases implicitly.
- */
-class ScopedFileLock
-{
-  public:
-    explicit ScopedFileLock(const std::string &path)
-    {
-        fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
-        if (fd_ < 0)
-            return;
-        while (::flock(fd_, LOCK_EX) != 0) {
-            if (errno != EINTR) {
-                ::close(fd_);
-                fd_ = -1;
-                return;
-            }
-        }
-    }
-
-    ~ScopedFileLock()
-    {
-        if (fd_ >= 0) {
-            ::flock(fd_, LOCK_UN);
-            ::close(fd_);
-        }
-    }
-
-    ScopedFileLock(const ScopedFileLock &) = delete;
-    ScopedFileLock &operator=(const ScopedFileLock &) = delete;
-
-    bool
-    locked() const
-    {
-        return fd_ >= 0;
-    }
-
-  private:
-    int fd_ = -1;
-};
 
 /** Counts instructions/branches (needed up front for compressed SBBT). */
 sbbt::Header
@@ -273,7 +226,7 @@ materialize(const std::string &dir,
             continue;
         }
 
-        ScopedFileLock lock(dir + "/." + spec.name + ".lock");
+        util::ScopedFileLock lock(dir + "/." + spec.name + ".lock");
         if (!lock.locked())
             std::fprintf(stderr, "corpus: cannot lock %s (continuing "
                          "unguarded)\n", spec.name.c_str());

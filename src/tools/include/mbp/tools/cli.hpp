@@ -12,8 +12,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "mbp/sbbt/arena_store.hpp"
 
 namespace mbp::tools
 {
@@ -57,6 +60,51 @@ fileReadable(const std::string &path)
     std::fclose(file);
     return true;
 }
+
+/**
+ * The `--arena-cache[=DIR]` / `--no-arena-cache` tri-state shared by
+ * mbp_sim and mbp_sweep (see sbbt::ArenaStore). The default comes from
+ * the environment — a non-empty $MBP_ARENA_CACHE opts every run on the
+ * machine into the persistent store — and an explicit flag always wins
+ * over it, in either direction.
+ */
+struct ArenaCacheFlag
+{
+    /** Whether the persistent arena store should be consulted. */
+    bool enabled;
+    /** Explicit store directory; "" defers to ArenaStore::resolveDir. */
+    std::string dir;
+    /** Whether a flag was actually given (vs. the env default). */
+    bool explicit_flag = false;
+
+    ArenaCacheFlag()
+    {
+        const char *env = std::getenv(sbbt::kArenaCacheEnv);
+        enabled = env != nullptr && *env != '\0';
+    }
+
+    /** @return Whether @p arg was an arena-cache flag (now absorbed). */
+    bool consume(const char *arg)
+    {
+        constexpr const char *kWithDir = "--arena-cache=";
+        if (std::strcmp(arg, "--arena-cache") == 0) {
+            enabled = true;
+            explicit_flag = true;
+        } else if (std::strncmp(arg, kWithDir, std::strlen(kWithDir)) ==
+                   0) {
+            enabled = true;
+            explicit_flag = true;
+            dir = arg + std::strlen(kWithDir);
+        } else if (std::strcmp(arg, "--no-arena-cache") == 0) {
+            enabled = false;
+            explicit_flag = true;
+            dir.clear();
+        } else {
+            return false;
+        }
+        return true;
+    }
+};
 
 /** Splits a comma-separated list; empty items are dropped. */
 inline std::vector<std::string>

@@ -21,6 +21,12 @@
  *                      compile-time kernels (mbp/sim/kernels.hpp). The
  *                      kernels are the default; results are bit-identical
  *                      either way, only throughput differs.
+ *   --arena-cache[=DIR]  load the trace through the persistent SBBT-A
+ *                      arena store (DIR, or $MBP_ARENA_CACHE, or
+ *                      ~/.cache/mbp): the first run decodes and leaves a
+ *                      sidecar, later runs map it zero-decode. Implies
+ *                      --in-memory. A non-empty $MBP_ARENA_CACHE enables
+ *                      this by default; --no-arena-cache opts out.
  */
 #include <cstdio>
 #include <cstring>
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "mbp/predictors/roster.hpp"
+#include "mbp/sbbt/arena_store.hpp"
 #include "mbp/sim/kernels.hpp"
 #include "mbp/sim/simulator.hpp"
 #include "mbp/tools/cli.hpp"
@@ -45,7 +52,8 @@ usage(const char *prog)
         "[sim_instr]\n"
         "       %s list\n"
         "flags: --in-memory | --streaming | --mem-budget <bytes>"
-        " | --no-fused\n",
+        " | --no-fused\n"
+        "       --arena-cache[=DIR] | --no-arena-cache\n",
         prog, prog, prog);
     return 2;
 }
@@ -78,9 +86,12 @@ main(int argc, char **argv)
     // Split flags from positionals so the flags may appear anywhere.
     mbp::SimArgs args;
     bool fused = true;
+    mbp::tools::ArenaCacheFlag arena;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--in-memory") == 0) {
+        if (arena.consume(argv[i])) {
+            // handled
+        } else if (std::strcmp(argv[i], "--in-memory") == 0) {
             args.in_memory = true;
         } else if (std::strcmp(argv[i], "--streaming") == 0) {
             args.in_memory = false;
@@ -107,6 +118,22 @@ main(int argc, char **argv)
             std::printf("%s\n", name.c_str());
         return 0;
     }
+    // With the arena store enabled, acquire the trace through it (mapped
+    // zero-decode when a sidecar exists, decoded-and-materialized
+    // otherwise) and hand the arena to the simulator. Store failures
+    // fall through silently: the normal pipeline then reports the real
+    // error (or just streams), never a cache artifact.
+    auto preloadArena = [&arena](mbp::SimArgs &a) {
+        if (!arena.enabled)
+            return;
+        mbp::sbbt::ArenaStore store(arena.dir);
+        mbp::sbbt::ReaderOptions options;
+        options.block_packets = a.reader_block_packets;
+        options.prefetch = a.prefetch;
+        a.preloaded = store.acquire(a.trace_path, options);
+        if (a.preloaded != nullptr)
+            a.in_memory = true;
+    };
     if (!pos.empty() && std::strcmp(pos[0], "compare") == 0) {
         if (pos.size() < 4 || pos.size() > 6)
             return usage(argv[0]);
@@ -117,6 +144,7 @@ main(int argc, char **argv)
         }
         if (!parseLimits(pos, 4, args))
             return usage(argv[0]);
+        preloadArena(args);
         mbp::json_t result;
         if (fused) {
             auto a = mbp::pred::fusedKernelByName(pos[1]);
@@ -149,6 +177,7 @@ main(int argc, char **argv)
     }
     if (!parseLimits(pos, 2, args))
         return usage(argv[0]);
+    preloadArena(args);
     mbp::json_t result;
     if (fused) {
         mbp::pred::FusedRunner runner =

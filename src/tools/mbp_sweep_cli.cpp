@@ -9,7 +9,7 @@
  *   mbp_sweep --predictors <a,b,...> --traces <t1,t2,...>
  *             [--warmup N] [--sim-instr N] [--jobs N] [--csv] [--out FILE]
  *             [--in-memory | --streaming] [--mem-budget BYTES]
- *             [--no-fused]
+ *             [--no-fused] [--arena-cache[=DIR] | --no-arena-cache]
  *   mbp_sweep --spec campaign.json [--jobs N] [--csv] [--out FILE]
  *   mbp_sweep list
  *
@@ -17,6 +17,12 @@
  * (--in-memory); --streaming restores the per-cell streaming reader of
  * previous releases, and --mem-budget caps the arena cache (oversized
  * traces stream instead — the campaign never fails on budget).
+ *
+ * --arena-cache[=DIR] additionally persists each decoded arena as an
+ * SBBT-A sidecar in a content-addressed store (DIR, or $MBP_ARENA_CACHE,
+ * or ~/.cache/mbp), so later runs map it zero-decode; a non-empty
+ * $MBP_ARENA_CACHE enables this by default and --no-arena-cache opts
+ * out. See README "Persistent arena cache" and the mbp_arena tool.
  *
  * Roster predictors run through the fused compile-time kernels
  * (mbp/sim/kernels.hpp) by default; --no-fused forces the virtual
@@ -51,6 +57,7 @@ usage(const char *prog)
         " [--out FILE]\n"
         "          [--in-memory | --streaming] [--mem-budget BYTES]"
         " [--no-fused]\n"
+        "          [--arena-cache[=DIR] | --no-arena-cache]\n"
         "       %s --spec campaign.json [--jobs N] [--csv] [--out FILE]\n"
         "       %s list\n",
         prog, prog, prog);
@@ -91,7 +98,10 @@ main(int argc, char **argv)
     std::uint64_t mem_budget = 0;
     bool have_mem_budget = false;
     bool fused = true, have_fused = false;
+    tools::ArenaCacheFlag arena;
     for (int i = 1; i < argc; ++i) {
+        if (arena.consume(argv[i]))
+            continue;
         auto value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", flag);
@@ -229,6 +239,13 @@ main(int argc, char **argv)
         campaign.mem_budget = mem_budget;
     if (have_fused)
         campaign.fused = fused;
+    // Precedence: explicit flag > spec field > $MBP_ARENA_CACHE default.
+    if (arena.explicit_flag) {
+        campaign.arena_cache = arena.enabled;
+        campaign.arena_cache_dir = arena.dir;
+    } else if (arena.enabled) {
+        campaign.arena_cache = true;
+    }
 
     json_t result = sweep::run(campaign, static_cast<unsigned>(jobs));
     std::string text =

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cross-process exclusive file lock (flock) shared by every on-disk
+ * materialization path: the corpus generator (mbp/tools/corpus.hpp) and
+ * the SBBT-A persistent arena store (mbp/sbbt/arena_store.hpp) both
+ * follow the same recipe — take an exclusive lock on a per-artifact lock
+ * file, write to a hidden temporary name, and rename() into place — so
+ * concurrent writers serialize and readers only ever observe absent or
+ * complete files.
+ */
+#ifndef MBP_UTILS_FILE_LOCK_HPP
+#define MBP_UTILS_FILE_LOCK_HPP
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+namespace mbp::util
+{
+
+/**
+ * Exclusive advisory lock on @p path (created if absent), released on
+ * destruction. flock() locks the open file description, so it excludes
+ * both other processes and other threads of this process (each holder
+ * opens its own descriptor), and a crashed holder releases implicitly.
+ */
+class ScopedFileLock
+{
+  public:
+    explicit ScopedFileLock(const std::string &path)
+    {
+        fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            return;
+        while (::flock(fd_, LOCK_EX) != 0) {
+            if (errno != EINTR) {
+                ::close(fd_);
+                fd_ = -1;
+                return;
+            }
+        }
+    }
+
+    ~ScopedFileLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    ScopedFileLock(const ScopedFileLock &) = delete;
+    ScopedFileLock &operator=(const ScopedFileLock &) = delete;
+
+    /** @return Whether the lock was actually taken (lock file creatable).*/
+    bool
+    locked() const
+    {
+        return fd_ >= 0;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace mbp::util
+
+#endif // MBP_UTILS_FILE_LOCK_HPP

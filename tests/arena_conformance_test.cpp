@@ -214,6 +214,48 @@ TEST_F(ArenaConformanceTest, PreloadedArenaMatchesPathLoadedArena)
               0.0);
 }
 
+TEST_F(ArenaConformanceTest, MappedSbbtaArenaIsDecodeInvariantForRoster)
+{
+    // The zero-decode tier: an arena mapped from its SBBT-A sidecar must
+    // be observationally identical to the arena decoded from the SBBT
+    // stream — for every roster predictor, byte-identical prediction
+    // streams and identical documents modulo timing.
+    std::string error;
+    auto decoded = sbbt::MemTrace::load(*trace_path_, {}, &error);
+    ASSERT_NE(decoded, nullptr) << error;
+
+    const std::string sidecar =
+        testing::TempDir() + "/arena_conformance.sbbta";
+    ASSERT_TRUE(decoded->writeArena(sidecar, 0, &error)) << error;
+    auto mapped = sbbt::MemTrace::mapFile(sidecar, &error);
+    ASSERT_NE(mapped, nullptr) << error;
+    ASSERT_TRUE(mapped->mapped());
+
+    for (const std::string &name : pred::rosterNames()) {
+        auto decoded_pred = pred::makeByName(name);
+        auto mapped_pred = pred::makeByName(name);
+        ASSERT_NE(decoded_pred, nullptr) << name;
+
+        SimArgs decoded_args = baseArgs();
+        decoded_args.preloaded = decoded;
+        SimArgs mapped_args = baseArgs();
+        mapped_args.preloaded = mapped;
+
+        std::string decoded_bytes, mapped_bytes;
+        json_t decoded_doc = run(*decoded_pred, decoded_args,
+                                 decoded_bytes);
+        json_t mapped_doc = run(*mapped_pred, mapped_args, mapped_bytes);
+
+        EXPECT_GT(decoded_bytes.size(), 0u) << name;
+        EXPECT_EQ(decoded_bytes, mapped_bytes)
+            << name << ": prediction streams diverge mapped vs decoded";
+        EXPECT_EQ(scrubTiming(decoded_doc).dump(2),
+                  scrubTiming(mapped_doc).dump(2))
+            << name;
+    }
+    std::remove(sidecar.c_str());
+}
+
 TEST_F(ArenaConformanceTest, TinyMemBudgetFallsBackToStreamingSilently)
 {
     auto budget_pred = pred::makeByName("bimodal");

@@ -283,3 +283,53 @@ TEST(AuditCli, BadBudgetValueExits2)
         EXPECT_NE(r.err.find("--budget"), std::string::npos) << r.err;
     }
 }
+
+// ---------------------------------------------------------------------------
+// mbp_arena
+
+TEST(ArenaCli, NoArgumentsIsUsageError)
+{
+    EXPECT_EQ(run(MBP_ARENA_BIN).exit_code, 2);
+}
+
+TEST(ArenaCli, UnknownCommandExits2)
+{
+    EXPECT_EQ(run(std::string(MBP_ARENA_BIN) + " frobnicate").exit_code, 2);
+}
+
+TEST(ArenaCli, UnknownFlagExits2AndNamesIt)
+{
+    auto r = run(std::string(MBP_ARENA_BIN) + " --frobnicate materialize x");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--frobnicate"), std::string::npos) << r.err;
+}
+
+TEST(ArenaCli, MaterializeThenVerifyExits0)
+{
+    const std::string dir =
+        quoted(testing::TempDir() + "/cli-death-arena-store");
+    auto materialize = run(std::string(MBP_ARENA_BIN) + " --dir " + dir +
+                           " materialize " + quoted(validTrace()));
+    EXPECT_EQ(materialize.exit_code, 0) << materialize.err;
+    auto verify = run(std::string(MBP_ARENA_BIN) + " --dir " + dir +
+                      " verify " + quoted(validTrace()));
+    EXPECT_EQ(verify.exit_code, 0) << verify.err;
+}
+
+TEST(ArenaCli, VerifyWithoutSidecarIsUnhealthyExit1)
+{
+    const std::string dir =
+        quoted(testing::TempDir() + "/cli-death-arena-empty");
+    auto r = run(std::string(MBP_ARENA_BIN) + " --dir " + dir + " verify " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 1) << r.err;
+}
+
+TEST(ArenaCli, MaterializeCorruptTraceIsUnhealthyExit1)
+{
+    const std::string dir =
+        quoted(testing::TempDir() + "/cli-death-arena-corrupt");
+    auto r = run(std::string(MBP_ARENA_BIN) + " --dir " + dir +
+                 " materialize " + quoted(corruptTrace()));
+    EXPECT_EQ(r.exit_code, 1) << r.err;
+}

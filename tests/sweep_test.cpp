@@ -13,6 +13,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -21,6 +23,7 @@
 #include "mbp/predictors/bimodal.hpp"
 #include "mbp/predictors/gshare.hpp"
 #include "mbp/predictors/roster.hpp"
+#include "mbp/sbbt/arena_store.hpp"
 #include "mbp/sbbt/writer.hpp"
 #include "mbp/tracegen/generator.hpp"
 
@@ -564,6 +567,186 @@ TEST(TraceCache, FailedLoadsReportErrorsAndRetry)
     const sweep::TraceCache::Stats stats = cache.stats();
     EXPECT_EQ(stats.misses, 3u); // two failed attempts plus the decode
     std::remove(path.c_str());
+}
+
+TEST(TraceCache, AliasedPathsShareOneArena)
+{
+    // Regression: the cache used to key on the verbatim path string, so
+    // `t.sbbt`, `./t.sbbt` and the absolute spelling each decoded their
+    // own arena and triple-counted the budget. Content-hash keying must
+    // collapse them to one resident arena.
+    const std::string path = writeTrace("cache_alias.sbbt", 410, 50'000);
+    const std::size_t slash = path.find_last_of('/');
+    const std::string aliased =
+        path.substr(0, slash) + "/./" + path.substr(slash + 1);
+    const std::string doubled =
+        path.substr(0, slash) + "//" + path.substr(slash + 1);
+
+    sweep::TraceCache cache;
+    std::string error;
+    auto first = cache.acquire(path, {}, &error);
+    ASSERT_NE(first, nullptr) << error;
+    auto second = cache.acquire(aliased, {}, &error);
+    ASSERT_NE(second, nullptr) << error;
+    auto third = cache.acquire(doubled, {}, &error);
+    ASSERT_NE(third, nullptr) << error;
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(third.get(), first.get());
+
+    const sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u) << "aliases must not re-decode";
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.resident_bytes, first->memoryBytes())
+        << "aliases must not multi-count the budget";
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, ContentIdenticalCopiesShareOneArena)
+{
+    // Keying is by content, not by (canonicalized) name: a byte-identical
+    // copy under a different name is the same trace.
+    const std::string path = writeTrace("cache_copy_a.sbbt", 411, 50'000);
+    const std::string copy = testing::TempDir() + "/cache_copy_b.sbbt";
+    {
+        std::ifstream src(path, std::ios::binary);
+        std::ofstream dst(copy, std::ios::binary);
+        dst << src.rdbuf();
+        ASSERT_TRUE(dst.good());
+    }
+    sweep::TraceCache cache;
+    std::string error;
+    auto first = cache.acquire(path, {}, &error);
+    ASSERT_NE(first, nullptr) << error;
+    auto second = cache.acquire(copy, {}, &error);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().resident_bytes, first->memoryBytes());
+    std::remove(path.c_str());
+    std::remove(copy.c_str());
+}
+
+TEST(TraceCache, DecodeOptionsArePartOfTheKey)
+{
+    // Regression: acquire() used to ignore ReaderOptions, so the first
+    // caller's knobs silently decided how everyone's arena was decoded.
+    // Different decode-relevant options must get distinct entries.
+    const std::string path = writeTrace("cache_opts.sbbt", 412, 40'000);
+    sweep::TraceCache cache;
+    std::string error;
+    sbbt::ReaderOptions defaults;
+    sbbt::ReaderOptions packet_at_a_time;
+    packet_at_a_time.block_packets = 1;
+    packet_at_a_time.prefetch = false;
+
+    auto first = cache.acquire(path, defaults, &error);
+    ASSERT_NE(first, nullptr) << error;
+    auto second = cache.acquire(path, packet_at_a_time, &error);
+    ASSERT_NE(second, nullptr) << error;
+    EXPECT_NE(second.get(), first.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    // Same options again is a hit on its own entry.
+    EXPECT_EQ(cache.acquire(path, packet_at_a_time, &error).get(),
+              second.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, WaitersOnFailedLoadsAreNotHits)
+{
+    // Regression (trace_cache.cpp:71): a waiter blocking on an in-flight
+    // decode that then *failed* was counted as a cache hit, inflating the
+    // aggregate. Whatever the interleaving, a failing trace must produce
+    // zero hits — only misses and failed_waits.
+    const std::string path = testing::TempDir() + "/cache_fail_race.sbbt";
+    {
+        // A file that passes the header peek but fails mid-decode keeps
+        // the loading window open as long as possible; a missing file
+        // exercises the instant-failure path. Both must count the same.
+        std::ofstream out(path, std::ios::binary);
+        out << "SBBT";
+        for (int i = 0; i < 1000; ++i)
+            out << "garbage";
+    }
+    sweep::TraceCache cache;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&] {
+            std::string error;
+            EXPECT_EQ(cache.acquire(path, {}, &error), nullptr);
+            EXPECT_NE(error, "") << "failures must carry the error";
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    const sweep::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u) << "no acquire got an arena";
+    EXPECT_EQ(stats.misses + stats.failed_waits, std::uint64_t(kThreads));
+    EXPECT_GE(stats.misses, 1u);
+    EXPECT_EQ(stats.resident_bytes, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, ConsultsThePersistentStoreOnMisses)
+{
+    const std::string path = writeTrace("cache_store.sbbt", 413, 60'000);
+    const std::string dir = testing::TempDir() + "/cache_store_dir";
+    std::filesystem::remove_all(dir);
+    auto store = std::make_shared<sbbt::ArenaStore>(dir);
+    ASSERT_TRUE(store->ok());
+
+    std::string error;
+    {
+        // First cache: cold store — the miss decodes and materializes.
+        sweep::TraceCache cache(sweep::kDefaultMemBudget, store);
+        ASSERT_NE(cache.acquire(path, {}, &error), nullptr) << error;
+        EXPECT_EQ(cache.stats().misses, 1u);
+        EXPECT_EQ(cache.stats().mapped_loads, 0u);
+    }
+    // Second cache (fresh process, same store): the miss maps zero-decode.
+    sweep::TraceCache cache(sweep::kDefaultMemBudget, store);
+    auto arena = cache.acquire(path, {}, &error);
+    ASSERT_NE(arena, nullptr) << error;
+    EXPECT_TRUE(arena->mapped());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().mapped_loads, 1u);
+    std::remove(path.c_str());
+}
+
+TEST_F(SweepTest, ArenaCacheCampaignMapsOnTheSecondRun)
+{
+    const std::string dir = testing::TempDir() + "/sweep_arena_dir";
+    std::filesystem::remove_all(dir);
+    sweep::Campaign campaign;
+    campaign.predictors = {rosterSpec("bimodal"), rosterSpec("gshare")};
+    campaign.traces = traces_;
+    campaign.arena_cache = true;
+    campaign.arena_cache_dir = dir;
+
+    json_t cold = sweep::run(campaign, 4);
+    json_t warm = sweep::run(campaign, 4);
+    const json_t &cold_cache = *cold.find("aggregate")->find("trace_cache");
+    const json_t &warm_cache = *warm.find("aggregate")->find("trace_cache");
+    EXPECT_TRUE(cold.find("metadata")->find("arena_cache")->asBool());
+    EXPECT_EQ(cold_cache.find("mapped_loads")->asUint(), 0u);
+    EXPECT_EQ(warm_cache.find("misses")->asUint(), traces_.size());
+    EXPECT_EQ(warm_cache.find("mapped_loads")->asUint(), traces_.size())
+        << "second campaign must map every trace from the store";
+
+    // And the mapped campaign's results are identical to the cold one's.
+    const json_t &cells_a = *cold.find("cells");
+    const json_t &cells_b = *warm.find("cells");
+    ASSERT_EQ(cells_a.size(), cells_b.size());
+    for (std::size_t i = 0; i < cells_a.size(); ++i) {
+        EXPECT_EQ(*cells_a[i].find("result")->find("metrics")
+                       ->find("mispredictions"),
+                  *cells_b[i].find("result")->find("metrics")
+                       ->find("mispredictions"))
+            << i;
+    }
+    std::filesystem::remove_all(dir);
 }
 
 TEST_F(SweepTest, InMemoryCampaignDecodesEachTraceOnce)
