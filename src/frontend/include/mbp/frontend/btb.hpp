@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Set-associative banked branch target buffer.
+ *
+ * The BTB is the front-end structure that turns "this fetch address is a
+ * taken branch" into "and it goes *there*": a small set-associative cache
+ * of recent branch targets, banked so a wide fetch bundle can probe
+ * several slots per cycle (the organization of bpu.cc-style trace-cache
+ * front ends, see DESIGN.md "Front-end tier"). mbp::frontend::FrontEnd
+ * consults it for every direct branch and as the fallback for indirect
+ * ones; a miss or a stale entry on a taken branch is a target
+ * misprediction — a pipeline flush just as costly as a wrong direction.
+ *
+ * The geometry (banks x sets x ways), the tag width and the replacement
+ * policy are all configurable; every operation is deterministic, so the
+ * naive mbp::testkit::RefBtb oracle can replay it entry for entry.
+ */
+#ifndef MBP_FRONTEND_BTB_HPP
+#define MBP_FRONTEND_BTB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sim/predictor.hpp"
+#include "mbp/utils/hash.hpp"
+
+namespace mbp::frontend
+{
+
+/** How a BTB set picks its victim when full. */
+enum class Replacement : std::uint8_t
+{
+    kLru,  //!< evict the least recently *updated* way
+    kFifo, //!< evict the oldest *inserted* way (insertion order only)
+};
+
+/** Geometry and policy of a Btb instance. */
+struct BtbConfig
+{
+    int log2_sets = 8;  //!< sets per bank (2^log2_sets)
+    int ways = 4;       //!< associativity
+    int log2_banks = 1; //!< banks (2^log2_banks), selected by low ip bits
+    int tag_bits = 16;  //!< partial tag width
+    Replacement replacement = Replacement::kLru;
+
+    /** @return "" when the geometry is usable, else what is wrong. */
+    std::string
+    validate() const
+    {
+        if (log2_sets < 1 || log2_sets > 20)
+            return "btb sets must be 2^1..2^20";
+        if (ways < 1 || ways > 16)
+            return "btb ways must be 1..16";
+        if (log2_banks < 0 || log2_banks > 4)
+            return "btb banks must be 2^0..2^4";
+        if (tag_bits < 1 || tag_bits > 32)
+            return "btb tag bits must be 1..32";
+        return "";
+    }
+};
+
+/**
+ * The branch target buffer. Indexing is word-granular (`ip >> 2`, like
+ * every table in the suite): the bank comes from the lowest word bits,
+ * the set from an XorFold of the remaining bits, and the partial tag
+ * from the bits above the set index — so aliasing (two sites sharing a
+ * set *and* a tag) is possible by construction, exactly what the
+ * adversarial generators probe.
+ */
+class Btb
+{
+  public:
+    /** One observable BTB entry (for tests and the reference oracle). */
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        std::uint64_t stamp = 0; //!< LRU: last update; FIFO: insertion
+    };
+
+    /** Running behavior counters, reported in execution_stats(). */
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t replacements = 0; //!< insertions that evicted
+    };
+
+    explicit Btb(const BtbConfig &config = {})
+        : config_(config),
+          sets_per_bank_(std::uint64_t(1) << config.log2_sets),
+          num_banks_(std::uint64_t(1) << config.log2_banks),
+          entries_(sets_per_bank_ * num_banks_ *
+                   std::uint64_t(config.ways))
+    {
+    }
+
+    const BtbConfig &config() const { return config_; }
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Probes the BTB for @p ip.
+     *
+     * @param target_out Receives the stored target on a hit.
+     * @return Whether a valid entry with a matching tag exists.
+     */
+    bool
+    lookup(std::uint64_t ip, std::uint64_t &target_out)
+    {
+        ++stats_.lookups;
+        const std::uint64_t base = setBase(ip);
+        const std::uint64_t tag = tagOf(ip);
+        for (int w = 0; w < config_.ways; ++w) {
+            const Entry &e = entries_[base + std::uint64_t(w)];
+            if (e.valid && e.tag == tag) {
+                ++stats_.hits;
+                target_out = e.target;
+                return true;
+            }
+        }
+        ++stats_.misses;
+        return false;
+    }
+
+    /**
+     * Records that the branch at @p ip went to @p target. A tag hit
+     * refreshes the entry (and its LRU stamp); a miss inserts, evicting
+     * the policy's victim when the set is full. Way index breaks stamp
+     * ties, so the victim choice is deterministic.
+     */
+    void
+    update(std::uint64_t ip, std::uint64_t target)
+    {
+        const std::uint64_t base = setBase(ip);
+        const std::uint64_t tag = tagOf(ip);
+        ++tick_;
+        int victim = 0;
+        bool have_invalid = false;
+        for (int w = 0; w < config_.ways; ++w) {
+            Entry &e = entries_[base + std::uint64_t(w)];
+            if (e.valid && e.tag == tag) {
+                e.target = target;
+                if (config_.replacement == Replacement::kLru)
+                    e.stamp = tick_;
+                return;
+            }
+            if (!have_invalid) {
+                if (!e.valid) {
+                    victim = w;
+                    have_invalid = true;
+                } else if (e.stamp <
+                           entries_[base + std::uint64_t(victim)].stamp) {
+                    victim = w;
+                }
+            }
+        }
+        Entry &e = entries_[base + std::uint64_t(victim)];
+        ++stats_.insertions;
+        if (e.valid)
+            ++stats_.replacements;
+        e.valid = true;
+        e.tag = tag;
+        e.target = target;
+        e.stamp = tick_; // FIFO stamps at insertion only
+    }
+
+    /** @return The raw entry at (bank, set, way), for tests. */
+    const Entry &
+    entryAt(std::uint64_t bank, std::uint64_t set, int way) const
+    {
+        return entries_[(bank * sets_per_bank_ + set) *
+                            std::uint64_t(config_.ways) +
+                        std::uint64_t(way)];
+    }
+
+    /** Bank selected by @p ip (low word bits). */
+    std::uint64_t
+    bankOf(std::uint64_t ip) const
+    {
+        return (ip >> 2) & (num_banks_ - 1);
+    }
+
+    /** Set within the bank selected by @p ip. */
+    std::uint64_t
+    setOf(std::uint64_t ip) const
+    {
+        return XorFold((ip >> 2) >> config_.log2_banks, config_.log2_sets);
+    }
+
+    /** Partial tag of @p ip. */
+    std::uint64_t
+    tagOf(std::uint64_t ip) const
+    {
+        return XorFold(((ip >> 2) >> config_.log2_banks) >>
+                           config_.log2_sets,
+                       config_.tag_bits);
+    }
+
+    /** Declared storage: valid + tag + 64-bit target per way. */
+    ComponentInfo
+    storageComponents() const
+    {
+        return ComponentInfo::table(
+            "btb", entries_.size(),
+            std::uint64_t(1 + config_.tag_bits + 64));
+    }
+
+    json_t
+    statsJson() const
+    {
+        return json_t::object({
+            {"lookups", stats_.lookups},
+            {"hits", stats_.hits},
+            {"misses", stats_.misses},
+            {"insertions", stats_.insertions},
+            {"replacements", stats_.replacements},
+        });
+    }
+
+  private:
+    std::uint64_t
+    setBase(std::uint64_t ip) const
+    {
+        return (bankOf(ip) * sets_per_bank_ + setOf(ip)) *
+               std::uint64_t(config_.ways);
+    }
+
+    BtbConfig config_;
+    std::uint64_t sets_per_bank_;
+    std::uint64_t num_banks_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    Stats stats_;
+};
+
+} // namespace mbp::frontend
+
+#endif // MBP_FRONTEND_BTB_HPP

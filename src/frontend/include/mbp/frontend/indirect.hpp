@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tagged gshare-style indirect-target predictor.
+ *
+ * Indirect branches (virtual calls, switch dispatch, computed gotos)
+ * defeat the BTB whenever a site is polymorphic: one entry cannot hold
+ * two targets. This predictor disambiguates by *path*: the table is
+ * indexed by ip XOR the global outcome history, so the same call site
+ * reached along different paths uses different entries — the classic
+ * "target cache" (Chang/Hao/Patt) that ITTAGE generalizes. A partial tag
+ * filters aliases; on a tag miss FrontEnd falls back to the BTB.
+ *
+ * Deterministic end to end, mirrored by mbp::testkit::RefIndirect.
+ */
+#ifndef MBP_FRONTEND_INDIRECT_HPP
+#define MBP_FRONTEND_INDIRECT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbp/json/json.hpp"
+#include "mbp/sim/predictor.hpp"
+#include "mbp/utils/hash.hpp"
+
+namespace mbp::frontend
+{
+
+/** Geometry of an IndirectTarget instance. */
+struct IndirectConfig
+{
+    int index_bits = 12;   //!< log2 table entries
+    int tag_bits = 10;     //!< partial tag width
+    int history_bits = 16; //!< global outcome history folded into the index
+
+    /** @return "" when usable, else what is wrong. */
+    std::string
+    validate() const
+    {
+        if (index_bits < 1 || index_bits > 20)
+            return "indirect index bits must be 1..20";
+        if (tag_bits < 1 || tag_bits > 32)
+            return "indirect tag bits must be 1..32";
+        if (history_bits < 0 || history_bits > 63)
+            return "indirect history bits must be 0..63";
+        return "";
+    }
+};
+
+/** The path-indexed, tagged indirect-target table. */
+class IndirectTarget
+{
+  public:
+    /** Running behavior counters, reported in execution_stats(). */
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;   //!< tag matches
+        std::uint64_t misses = 0; //!< no valid entry / tag mismatch
+        std::uint64_t allocations = 0;
+    };
+
+    explicit IndirectTarget(const IndirectConfig &config = {})
+        : config_(config),
+          entries_(std::size_t(1) << config.index_bits),
+          history_mask_(config.history_bits >= 64
+                            ? ~std::uint64_t(0)
+                            : (std::uint64_t(1) << config.history_bits) -
+                                  1)
+    {
+    }
+
+    const IndirectConfig &config() const { return config_; }
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Probes the table for @p ip under the current history.
+     *
+     * @param target_out Receives the stored target on a tag hit.
+     * @return Whether a valid entry with a matching tag exists.
+     */
+    bool
+    lookup(std::uint64_t ip, std::uint64_t &target_out)
+    {
+        ++stats_.lookups;
+        const Entry &e = entries_[std::size_t(indexOf(ip))];
+        if (e.valid && e.tag == tagOf(ip)) {
+            ++stats_.hits;
+            target_out = e.target;
+            return true;
+        }
+        ++stats_.misses;
+        return false;
+    }
+
+    /** Records that the indirect branch at @p ip went to @p target. */
+    void
+    update(std::uint64_t ip, std::uint64_t target)
+    {
+        Entry &e = entries_[std::size_t(indexOf(ip))];
+        const std::uint64_t tag = tagOf(ip);
+        if (!e.valid || e.tag != tag)
+            ++stats_.allocations;
+        e.valid = true;
+        e.tag = tag;
+        e.target = target;
+    }
+
+    /** Shifts the branch outcome @p taken into the path history. The
+     *  FrontEnd feeds it every branch, like a gshare track(). */
+    void
+    trackOutcome(bool taken)
+    {
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+    }
+
+    std::uint64_t history() const { return history_; }
+
+    std::uint64_t
+    indexOf(std::uint64_t ip) const
+    {
+        return XorFold((ip >> 2) ^ history_, config_.index_bits);
+    }
+
+    std::uint64_t
+    tagOf(std::uint64_t ip) const
+    {
+        return XorFold(((ip >> 2) >> config_.index_bits) ^ (history_ * 3),
+                       config_.tag_bits);
+    }
+
+    /** Declared storage: valid + tag + 64-bit target per entry, plus the
+     *  history register. */
+    ComponentInfo
+    storageComponents() const
+    {
+        std::vector<ComponentInfo> children;
+        children.push_back(ComponentInfo::table(
+            "indirect-table", entries_.size(),
+            std::uint64_t(1 + config_.tag_bits + 64)));
+        children.push_back(ComponentInfo::reg(
+            "indirect-history", std::uint64_t(config_.history_bits)));
+        return ComponentInfo::composite("indirect", std::move(children));
+    }
+
+    json_t
+    statsJson() const
+    {
+        return json_t::object({
+            {"lookups", stats_.lookups},
+            {"hits", stats_.hits},
+            {"misses", stats_.misses},
+            {"allocations", stats_.allocations},
+        });
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+    };
+
+    IndirectConfig config_;
+    std::vector<Entry> entries_;
+    std::uint64_t history_mask_;
+    std::uint64_t history_ = 0;
+    Stats stats_;
+};
+
+} // namespace mbp::frontend
+
+#endif // MBP_FRONTEND_INDIRECT_HPP

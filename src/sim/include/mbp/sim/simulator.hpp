@@ -35,7 +35,7 @@ namespace mbp
 {
 
 /** Version string embedded in simulator output. */
-inline constexpr const char *kMbpVersion = "v0.12.0";
+inline constexpr const char *kMbpVersion = "v0.13.0";
 
 /**
  * Branch-level observation callback of a simulation run.

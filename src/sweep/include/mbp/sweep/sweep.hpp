@@ -181,6 +181,20 @@ struct Campaign
     /** Explicit store directory; "" defers to ArenaStore::resolveDir
      *  ($MBP_ARENA_CACHE, then the user cache directory). */
     std::string arena_cache_dir;
+    /**
+     * Compose every predictor into a front end (mbp::frontend): each
+     * cell wraps a fresh conditional-predictor instance into a FrontEnd
+     * configured by frontend_spec and runs frontend::simulate() instead
+     * of the conditional-only pipeline. The fused kernels do not apply
+     * to front-end cells (the FrontEnd drives the virtual Predictor
+     * interface); `fused` is ignored when this is set. Enabled by the
+     * CLI's `--frontend[=SPEC]` or the JSON `"frontend"` key (a spec
+     * string, or `true` for the default configuration).
+     */
+    bool frontend = false;
+    /** parseFrontEndSpec grammar; "" = default configuration. Only read
+     *  when frontend is set. */
+    std::string frontend_spec;
 };
 
 /**

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <thread>
 
+#include "mbp/frontend/frontend.hpp"
 #include "mbp/predictors/roster.hpp"
 
 namespace mbp::sweep
@@ -153,6 +154,26 @@ campaignFromJson(const json_t &spec, Campaign &out, std::string &error)
     }
     if (!uintField("mem_budget", campaign.mem_budget))
         return false;
+    if (const json_t *v = spec.find("frontend")) {
+        if (v->isBool()) {
+            campaign.frontend = v->asBool();
+        } else if (v->isString()) {
+            campaign.frontend = true;
+            campaign.frontend_spec = v->asString();
+        } else {
+            error = "\"frontend\" must be a bool or a spec string";
+            return false;
+        }
+        // Validate the spec at parse time, same as predictor names.
+        frontend::FrontEndConfig config;
+        std::string spec_error;
+        if (campaign.frontend &&
+            !frontend::parseFrontEndSpec(campaign.frontend_spec, config,
+                                         spec_error)) {
+            error = "invalid \"frontend\" spec: " + spec_error;
+            return false;
+        }
+    }
     out = std::move(campaign);
     return true;
 }
@@ -198,6 +219,17 @@ run(const Campaign &campaign, unsigned jobs)
     decode_options.block_packets = campaign.base_args.reader_block_packets;
     decode_options.prefetch = campaign.base_args.prefetch;
 
+    // Campaigns built programmatically bypass campaignFromJson's parse
+    // check; a bad spec then fails every cell rather than the process.
+    frontend::FrontEndConfig frontend_config;
+    std::string frontend_error;
+    if (campaign.frontend) {
+        std::string spec_error;
+        if (!frontend::parseFrontEndSpec(campaign.frontend_spec,
+                                         frontend_config, spec_error))
+            frontend_error = "invalid frontend spec: " + spec_error;
+    }
+
     std::vector<json_t> cell_results(num_cells);
     auto start_time = std::chrono::steady_clock::now();
     // Work indices walk the grid trace-major — all predictor cells of a
@@ -214,11 +246,16 @@ run(const Campaign &campaign, unsigned jobs)
         args.in_memory = false;
         args.preloaded = nullptr;
         json_t result;
-        const bool use_fused = campaign.fused && spec.run_fused != nullptr;
+        // Front-end cells drive the virtual Predictor interface; the
+        // fused conditional-only kernels never apply to them.
+        const bool use_fused = !campaign.frontend && campaign.fused &&
+                               spec.run_fused != nullptr;
         std::unique_ptr<Predictor> instance =
             use_fused ? nullptr : (spec.make ? spec.make() : nullptr);
         if (!use_fused && instance == nullptr) {
             result = errorCell("unknown predictor '" + spec.name + "'");
+        } else if (campaign.frontend && !frontend_error.empty()) {
+            result = errorCell(frontend_error);
         } else {
             if (campaign.in_memory) {
                 // A null arena (budget fallback or decode failure) simply
@@ -227,8 +264,14 @@ run(const Campaign &campaign, unsigned jobs)
                 args.preloaded = cache.acquire(trace, decode_options);
             }
             try {
-                result = use_fused ? spec.run_fused(args)
-                                   : simulate(*instance, args);
+                if (campaign.frontend) {
+                    frontend::FrontEnd front_end(std::move(instance),
+                                                 frontend_config);
+                    result = frontend::simulate(front_end, args);
+                } else {
+                    result = use_fused ? spec.run_fused(args)
+                                       : simulate(*instance, args);
+                }
             } catch (const std::exception &e) {
                 result = errorCell(std::string("exception: ") + e.what());
             }
@@ -280,7 +323,10 @@ run(const Campaign &campaign, unsigned jobs)
         {"in_memory", campaign.in_memory},
         {"mem_budget", campaign.mem_budget},
         {"arena_cache", store != nullptr},
+        {"frontend", campaign.frontend},
     });
+    if (campaign.frontend)
+        out["metadata"]["frontend_spec"] = campaign.frontend_spec;
     json_t cells = json_t::array();
     for (json_t &cell : cell_results)
         cells.push_back(std::move(cell));

@@ -25,7 +25,7 @@ namespace
 
 /** Elementary stream shapes the fuzzer composes (must stay dense: the
  *  stream chooser draws `% kNumSimpleShapes`). */
-constexpr std::uint64_t kNumSimpleShapes = 6;
+constexpr std::uint64_t kNumSimpleShapes = 9;
 
 Events
 makeSimpleStream(std::uint64_t shape, Lfsr &rng, std::size_t num_branches,
@@ -55,6 +55,24 @@ makeSimpleStream(std::uint64_t shape, Lfsr &rng, std::size_t num_branches,
         constexpr std::size_t kPhases[] = {64, 256, 1024};
         return tracegen::phaseFlips(rng.next(), num_branches,
                                     kPhases[rng.next() % 3]);
+    }
+    case 5: {
+        // Target counts straddle the small-config indirect capacity.
+        constexpr int kTargets[] = {2, 7, 31};
+        return tracegen::indirectStorm(rng.next(), num_branches,
+                                       1 + int(rng.next() % 4),
+                                       kTargets[rng.next() % 3]);
+    }
+    case 6: {
+        constexpr int kTargets[] = {4, 16, 40};
+        return tracegen::megamorphicSites(rng.next(), num_branches,
+                                          kTargets[rng.next() % 3]);
+    }
+    case 7: {
+        // Depths straddle both RAS configurations (16 default, 4 small).
+        constexpr int kDepths[] = {3, 17, 70};
+        return tracegen::deepRecursion(rng.next(), num_branches,
+                                       kDepths[rng.next() % 3]);
     }
     default: {
         // A realistic structured program as contrast to the hostile
@@ -125,7 +143,8 @@ makeStream(std::uint64_t seed, std::size_t index, std::size_t max_branches)
 }
 
 json_t
-runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
+runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets,
+        const std::vector<FrontendDiffTarget> &frontend_targets)
 {
     json_t report = json_t::object();
     json_t meta = json_t::object({
@@ -141,6 +160,10 @@ runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
     for (const DiffTarget &t : targets)
         target_names.push_back(t.name);
     meta["targets"] = std::move(target_names);
+    json_t frontend_target_names = json_t::array();
+    for (const FrontendDiffTarget &t : frontend_targets)
+        frontend_target_names.push_back(t.name);
+    meta["frontend_targets"] = std::move(frontend_target_names);
     report["metadata"] = std::move(meta);
 
     const std::string scratch_dir = options.artifact_dir + "/scratch";
@@ -148,10 +171,13 @@ runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
 
     json_t failures = json_t::array();
     std::uint64_t differential_checks = 0, metamorphic_checks = 0;
+    std::uint64_t frontend_differential_checks = 0;
+    std::uint64_t frontend_metamorphic_checks = 0;
 
     // Resolve metamorphic predictors up front so a typo is one clear
     // config failure instead of one per stream.
     std::vector<std::string> metamorphic_names;
+    std::vector<std::string> frontend_names;
     if (options.metamorphic) {
         for (const std::string &name : options.metamorphic_predictors) {
             if (pred::makeByName(name) == nullptr)
@@ -161,6 +187,15 @@ runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
                                     "\" (see mbp::pred::rosterNames)"}}));
             else
                 metamorphic_names.push_back(name);
+        }
+        for (const std::string &name : options.frontend_predictors) {
+            if (pred::makeByName(name) == nullptr)
+                failures.push_back(json_t::object(
+                    {{"type", "config"},
+                     {"detail", "unknown frontend predictor \"" + name +
+                                    "\" (see mbp::pred::rosterNames)"}}));
+            else
+                frontend_names.push_back(name);
         }
     }
 
@@ -194,6 +229,43 @@ runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
                                target.name + ": " + shrunk.describe());
                 failures.push_back(json_t::object({
                     {"type", "differential"},
+                    {"lane", "conditional"},
+                    {"target", target.name},
+                    {"stream", std::uint64_t(i)},
+                    {"detail", shrunk.describe()},
+                    {"original_branches", std::uint64_t(events.size())},
+                    {"shrunk_branches", std::uint64_t(minimal.size())},
+                    {"sbbt", artifact.sbbt_path},
+                    {"stanza", artifact.stanza_path},
+                }));
+            }
+            for (const FrontendDiffTarget &target : frontend_targets) {
+                ++frontend_differential_checks;
+                auto subject = target.subject();
+                auto reference = target.reference();
+                FrontendMismatch mismatch =
+                    runFrontendLockstep(*subject, *reference, events);
+                if (!mismatch.found)
+                    continue;
+                auto stillFails = [&](const Events &candidate) {
+                    auto s = target.subject();
+                    auto r = target.reference();
+                    return runFrontendLockstep(*s, *r, candidate).found;
+                };
+                Events minimal = shrinkStream(events, stillFails);
+                auto s = target.subject();
+                auto r = target.reference();
+                FrontendMismatch shrunk =
+                    runFrontendLockstep(*s, *r, minimal);
+                const std::string name = target.name + "-seed" +
+                                         std::to_string(options.seed) +
+                                         "-stream" + std::to_string(i);
+                ReproArtifact artifact =
+                    writeRepro(options.artifact_dir, name, minimal,
+                               target.name + ": " + shrunk.describe());
+                failures.push_back(json_t::object({
+                    {"type", "differential"},
+                    {"lane", "frontend"},
                     {"target", target.name},
                     {"stream", std::uint64_t(i)},
                     {"detail", shrunk.describe()},
@@ -239,6 +311,33 @@ runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
                          {"stream", std::uint64_t(i)},
                          {"detail", err}}));
             }
+            for (const std::string &name : frontend_names) {
+                FrontEndFactory factory = [&name] {
+                    return std::make_unique<frontend::FrontEnd>(
+                        pred::makeByName(name),
+                        frontend::FrontEndConfig{});
+                };
+                ++frontend_metamorphic_checks;
+                err = checkFrontendWarmupSplit(factory, events,
+                                               scratch + ".sbbt");
+                if (!err.empty())
+                    failures.push_back(json_t::object(
+                        {{"type", "metamorphic"},
+                         {"invariant", "frontend-warmup-split"},
+                         {"predictor", name},
+                         {"stream", std::uint64_t(i)},
+                         {"detail", err}}));
+                ++frontend_metamorphic_checks;
+                err = checkFrontendDeterminism(factory, events,
+                                               scratch + ".sbbt");
+                if (!err.empty())
+                    failures.push_back(json_t::object(
+                        {{"type", "metamorphic"},
+                         {"invariant", "frontend-determinism"},
+                         {"predictor", name},
+                         {"stream", std::uint64_t(i)},
+                         {"detail", err}}));
+            }
         }
     }
 
@@ -246,6 +345,8 @@ runFuzz(const FuzzOptions &options, const std::vector<DiffTarget> &targets)
         {"streams", std::uint64_t(options.num_streams)},
         {"differential_checks", differential_checks},
         {"metamorphic_checks", metamorphic_checks},
+        {"frontend_differential_checks", frontend_differential_checks},
+        {"frontend_metamorphic_checks", frontend_metamorphic_checks},
         {"failures", std::uint64_t(failures.size())},
     });
     report["ok"] = failures.size() == 0;

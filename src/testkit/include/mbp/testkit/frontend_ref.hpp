@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Naive reference models of the mbp::frontend structures.
+ *
+ * Same discipline as reference.hpp: each Ref* class mirrors the
+ * *documented behavior* of a frontend structure while sharing none of its
+ * code — sparse std::map sets instead of flat arrays, division/modulo
+ * instead of shifts and masks, detail::foldChunks instead of
+ * mbp::XorFold, a plain vector instead of a circular buffer. RefFrontEnd
+ * composes them and replays FrontEnd::step()'s documented sequence, so a
+ * branch-for-branch lockstep match over adversarial streams (calls,
+ * returns, indirect storms, deep recursion) is strong evidence both
+ * implementations are right.
+ *
+ * FrontendMutation plants a deliberate bug in the reference; the fuzzer's
+ * self-test must catch it (frontend_oracle.hpp, mbp_fuzz --self-test).
+ */
+#ifndef MBP_TESTKIT_FRONTEND_REF_HPP
+#define MBP_TESTKIT_FRONTEND_REF_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mbp/frontend/frontend.hpp"
+#include "mbp/sim/predictor.hpp"
+#include "mbp/testkit/reference.hpp"
+
+namespace mbp::testkit
+{
+
+/** Deliberate bugs plantable in the reference, for fuzzer self-tests. */
+enum class FrontendMutation : std::uint8_t
+{
+    kNone,
+    /** The BTB stores every target displaced by 4 — any repeated taken
+     *  branch diverges on its second execution. */
+    kBtbStaleTarget,
+};
+
+/** Naive mirror of mbp::frontend::Btb. */
+class RefBtb
+{
+  public:
+    explicit RefBtb(const frontend::BtbConfig &config,
+                    FrontendMutation mutation = FrontendMutation::kNone)
+        : config_(config), mutation_(mutation),
+          num_banks_(std::uint64_t(1) << config.log2_banks),
+          num_sets_(std::uint64_t(1) << config.log2_sets)
+    {}
+
+    bool
+    lookup(std::uint64_t ip, std::uint64_t &target_out) const
+    {
+        auto it = sets_.find(setKey(ip));
+        if (it == sets_.end())
+            return false;
+        const std::uint64_t tag = tagOf(ip);
+        for (const RefEntry &e : it->second) {
+            if (e.used && e.tag == tag) {
+                target_out = e.target;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    update(std::uint64_t ip, std::uint64_t target)
+    {
+        if (mutation_ == FrontendMutation::kBtbStaleTarget)
+            target += 4;
+        ++clock_;
+        std::vector<RefEntry> &ways = sets_[setKey(ip)];
+        if (ways.empty())
+            ways.resize(std::size_t(config_.ways));
+        const std::uint64_t tag = tagOf(ip);
+        for (RefEntry &e : ways) {
+            if (e.used && e.tag == tag) {
+                e.target = target;
+                if (config_.replacement == frontend::Replacement::kLru)
+                    e.stamp = clock_;
+                return;
+            }
+        }
+        // Victim: the first unused way, else the first oldest-stamp way —
+        // the same deterministic choice the subject's scan makes.
+        std::size_t victim = ways.size();
+        for (std::size_t w = 0; w < ways.size(); ++w) {
+            if (!ways[w].used) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == ways.size()) {
+            victim = 0;
+            for (std::size_t w = 1; w < ways.size(); ++w)
+                if (ways[w].stamp < ways[victim].stamp)
+                    victim = w;
+        }
+        ways[victim] = RefEntry{true, tag, target, clock_};
+    }
+
+  private:
+    struct RefEntry
+    {
+        bool used = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint64_t
+    setKey(std::uint64_t ip) const
+    {
+        const std::uint64_t word = ip / 4;
+        const std::uint64_t bank = word % num_banks_;
+        const std::uint64_t set =
+            detail::foldChunks(word / num_banks_, config_.log2_sets);
+        return bank * num_sets_ + set;
+    }
+
+    std::uint64_t
+    tagOf(std::uint64_t ip) const
+    {
+        return detail::foldChunks((ip / 4) / num_banks_ / num_sets_,
+                                  config_.tag_bits);
+    }
+
+    frontend::BtbConfig config_;
+    FrontendMutation mutation_;
+    std::uint64_t num_banks_;
+    std::uint64_t num_sets_;
+    std::map<std::uint64_t, std::vector<RefEntry>> sets_;
+    std::uint64_t clock_ = 0;
+};
+
+/** Naive mirror of mbp::frontend::Ras: a plain vector, newest at back. */
+class RefRas
+{
+  public:
+    explicit RefRas(const frontend::RasConfig &config) : config_(config) {}
+
+    std::uint64_t
+    peek() const
+    {
+        if (stack_.empty())
+            return underflowValue();
+        return stack_.back();
+    }
+
+    void
+    push(std::uint64_t address)
+    {
+        if (stack_.size() == std::size_t(config_.size)) {
+            if (config_.overflow == frontend::RasOverflow::kDiscard)
+                return;
+            stack_.erase(stack_.begin()); // wrap: drop the oldest
+        }
+        stack_.push_back(address);
+    }
+
+    std::uint64_t
+    pop()
+    {
+        if (stack_.empty())
+            return underflowValue();
+        const std::uint64_t value = stack_.back();
+        stack_.pop_back();
+        last_popped_ = value;
+        return value;
+    }
+
+  private:
+    std::uint64_t
+    underflowValue() const
+    {
+        return config_.underflow == frontend::RasUnderflow::kReuse
+                   ? last_popped_
+                   : 0;
+    }
+
+    frontend::RasConfig config_;
+    std::vector<std::uint64_t> stack_;
+    std::uint64_t last_popped_ = 0;
+};
+
+/** Naive mirror of mbp::frontend::IndirectTarget. */
+class RefIndirect
+{
+  public:
+    explicit RefIndirect(const frontend::IndirectConfig &config)
+        : config_(config),
+          history_(std::size_t(config.history_bits), false)
+    {}
+
+    bool
+    lookup(std::uint64_t ip, std::uint64_t &target_out) const
+    {
+        auto it = table_.find(indexOf(ip));
+        if (it == table_.end() || it->second.tag != long(tagOf(ip)))
+            return false;
+        target_out = it->second.target;
+        return true;
+    }
+
+    void
+    update(std::uint64_t ip, std::uint64_t target)
+    {
+        table_[indexOf(ip)] = RefEntry{long(tagOf(ip)), target};
+    }
+
+    void
+    trackOutcome(bool taken)
+    {
+        if (history_.empty())
+            return;
+        history_.push_front(taken);
+        history_.pop_back();
+    }
+
+  private:
+    struct RefEntry
+    {
+        long tag = 0;
+        std::uint64_t target = 0;
+    };
+
+    std::uint64_t
+    historyBits() const
+    {
+        std::uint64_t h = 0;
+        for (std::size_t i = 0; i < history_.size(); ++i)
+            if (history_[i])
+                h += std::uint64_t(1) << i;
+        return h;
+    }
+
+    std::uint64_t
+    indexOf(std::uint64_t ip) const
+    {
+        return detail::foldChunks((ip / 4) ^ historyBits(),
+                                  config_.index_bits);
+    }
+
+    std::uint64_t
+    tagOf(std::uint64_t ip) const
+    {
+        const std::uint64_t above =
+            (ip / 4) / (std::uint64_t(1) << config_.index_bits);
+        return detail::foldChunks(above ^ (historyBits() * 3),
+                                  config_.tag_bits);
+    }
+
+    frontend::IndirectConfig config_;
+    std::deque<bool> history_;
+    std::map<std::uint64_t, RefEntry> table_;
+};
+
+/**
+ * Naive replay of FrontEnd::step()'s documented contract. Owns its own
+ * conditional predictor instance — built from the same roster name as the
+ * subject's, so any lockstep divergence isolates the frontend structures
+ * (or a train/track ordering bug on either side).
+ */
+class RefFrontEnd
+{
+  public:
+    struct Prediction
+    {
+        bool taken = true;
+        std::uint64_t target = 0;
+    };
+
+    RefFrontEnd(std::unique_ptr<Predictor> conditional,
+                const frontend::FrontEndConfig &config,
+                FrontendMutation mutation = FrontendMutation::kNone)
+        : conditional_(std::move(conditional)), config_(config),
+          btb_(config.btb, mutation), ras_(config.ras),
+          indirect_(config.indirect)
+    {}
+
+    /** Predicts and updates for one branch (lockstep convention: every
+     *  branch is tracked, mirroring track_only_conditional = false). */
+    Prediction
+    step(const Branch &branch)
+    {
+        const std::uint64_t ip = branch.ip();
+        Prediction p;
+        p.taken =
+            branch.isConditional() ? conditional_->predict(ip) : true;
+        if (branch.isRet()) {
+            p.target = ras_.peek();
+        } else if (branch.isIndirect()) {
+            if (!indirect_.lookup(ip, p.target))
+                if (!btb_.lookup(ip, p.target))
+                    p.target = 0;
+        } else if (!btb_.lookup(ip, p.target)) {
+            p.target = 0;
+        }
+
+        if (branch.isConditional())
+            conditional_->train(branch);
+        conditional_->track(branch);
+        if (branch.isTaken()) {
+            if (branch.isRet()) {
+                ras_.pop();
+            } else {
+                if (branch.isCall())
+                    ras_.push(ip + 4);
+                btb_.update(ip, branch.target());
+                if (branch.isIndirect())
+                    indirect_.update(ip, branch.target());
+            }
+        }
+        if (config_.corrupt_on_mispredict && branch.isConditional() &&
+            p.taken != branch.isTaken())
+            ras_.push(ip + 4); // the wrong-path corruption entry
+        indirect_.trackOutcome(branch.isTaken());
+        return p;
+    }
+
+  private:
+    std::unique_ptr<Predictor> conditional_;
+    frontend::FrontEndConfig config_;
+    RefBtb btb_;
+    RefRas ras_;
+    RefIndirect indirect_;
+};
+
+} // namespace mbp::testkit
+
+#endif // MBP_TESTKIT_FRONTEND_REF_HPP

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mbp/json/json.hpp"
+#include "mbp/testkit/frontend_oracle.hpp"
 #include "mbp/testkit/oracle.hpp"
 
 namespace mbp::testkit
@@ -67,6 +68,13 @@ struct FuzzOptions
     /** Roster names run through the metamorphic oracles. */
     std::vector<std::string> metamorphic_predictors = {"bimodal", "gshare",
                                                        "tage"};
+    /**
+     * Conditional-predictor roster names of the front-end lane: each is
+     * composed into a FrontEnd and checked against RefFrontEnd (see
+     * frontendDiffTargets) and through the frontend metamorphic oracles.
+     * `frontend:NAME` entries of mbp_fuzz --predictors land here.
+     */
+    std::vector<std::string> frontend_predictors = {"gshare"};
     bool differential = true;
     bool metamorphic = true;
 };
@@ -83,10 +91,15 @@ Events makeStream(std::uint64_t seed, std::size_t index,
  * Runs the full campaign and returns a JSON report: metadata (tool,
  * version, options), counts (streams, checks) and a `failures` array with
  * one entry per violation — for differential failures including the
- * shrunk witness size and artifact paths. Deterministic for fixed options.
+ * shrunk witness size and artifact paths. Differential failures carry a
+ * `lane` field ("conditional" or "frontend"). Deterministic for fixed
+ * options. Pass frontendDiffTargets(options.frontend_predictors) as
+ * @p frontend_targets to run the front-end lane (empty = lane off).
  */
 json_t runFuzz(const FuzzOptions &options,
-               const std::vector<DiffTarget> &targets);
+               const std::vector<DiffTarget> &targets,
+               const std::vector<FrontendDiffTarget> &frontend_targets =
+                   {});
 
 } // namespace mbp::testkit
 

@@ -101,6 +101,13 @@ std::string checkDeterminism(const PredictorFactory &factory,
                              const Events &events,
                              const std::string &scratch_path);
 
+/**
+ * Serializes @p value with every member whose key mentions time removed,
+ * recursively — the canonical "ignore the clock" form the determinism
+ * checks compare.
+ */
+std::string stableDump(const json_t &value);
+
 } // namespace mbp::testkit
 
 #endif // MBP_TESTKIT_ORACLE_HPP

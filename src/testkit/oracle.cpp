@@ -66,14 +66,6 @@ stableDump(const json_t &value, std::string &out)
     }
 }
 
-std::string
-stableDump(const json_t &value)
-{
-    std::string out;
-    stableDump(value, out);
-    return out;
-}
-
 /** One observed conditional branch of a simulate() run. */
 struct Observation
 {
@@ -135,6 +127,14 @@ compareStreams(const char *format, const Events &expected,
 }
 
 } // namespace
+
+std::string
+stableDump(const json_t &value)
+{
+    std::string out;
+    stableDump(value, out);
+    return out;
+}
 
 std::string
 Mismatch::describe() const

@@ -59,6 +59,9 @@ main(int argc, char **argv)
         for (const testkit::DiffTarget &target :
              testkit::defaultDiffTargets())
             std::printf("%s\n", target.name.c_str());
+        for (const testkit::FrontendDiffTarget &target :
+             testkit::frontendDiffTargets(options.frontend_predictors))
+            std::printf("%s\n", target.name.c_str());
         return 0;
     }
 
@@ -97,9 +100,16 @@ main(int argc, char **argv)
             const char *v = value("--predictors");
             if (!v)
                 return usage(argv[0]);
-            options.metamorphic_predictors = tools::splitCommaList(v);
-            for (const std::string &name :
-                 options.metamorphic_predictors) {
+            // Plain names feed the conditional metamorphic lane;
+            // `frontend:NAME` entries feed the front-end lane (NAME being
+            // the FrontEnd's conditional roster predictor).
+            options.metamorphic_predictors.clear();
+            options.frontend_predictors.clear();
+            for (const std::string &entry : tools::splitCommaList(v)) {
+                const bool is_frontend =
+                    entry.rfind("frontend:", 0) == 0;
+                const std::string name =
+                    is_frontend ? entry.substr(9) : entry;
                 if (pred::makeByName(name) == nullptr) {
                     std::fprintf(
                         stderr,
@@ -108,6 +118,10 @@ main(int argc, char **argv)
                         name.c_str());
                     return 2;
                 }
+                if (is_frontend)
+                    options.frontend_predictors.push_back(name);
+                else
+                    options.metamorphic_predictors.push_back(name);
             }
         } else if (std::strcmp(argv[i], "--artifacts") == 0) {
             const char *v = value("--artifacts");
@@ -137,33 +151,43 @@ main(int argc, char **argv)
 
     if (self_test) {
         // The fuzzer fuzzes itself: a predictor with a planted off-by-one
-        // history bug must be caught and shrunk to a small witness.
+        // history bug and a front end whose reference carries a planted
+        // stale-target BTB bug must both be caught and shrunk.
         options.metamorphic = false;
         options.differential = true;
         json_t report =
-            testkit::runFuzz(options, {testkit::brokenGshareTarget()});
+            testkit::runFuzz(options, {testkit::brokenGshareTarget()},
+                             {testkit::brokenFrontendTarget()});
         std::printf("%s\n", report.dump(2).c_str());
         const json_t &failures = *report.find("failures");
-        bool caught = false;
+        bool caught_conditional = false, caught_frontend = false;
         for (std::size_t i = 0; i < failures.size(); ++i) {
             const json_t &f = failures[i];
-            if (f.find("type")->asString() == "differential" &&
-                f.find("shrunk_branches")->asUint() < 64)
-                caught = true;
+            if (f.find("type")->asString() != "differential" ||
+                f.find("shrunk_branches")->asUint() >= 64)
+                continue;
+            if (f.find("lane")->asString() == "frontend")
+                caught_frontend = true;
+            else
+                caught_conditional = true;
         }
-        if (!caught) {
-            std::fprintf(stderr,
-                         "self-test FAILED: the planted BrokenGshare bug "
-                         "was not caught with a <64-branch witness\n");
+        if (!caught_conditional || !caught_frontend) {
+            std::fprintf(
+                stderr,
+                "self-test FAILED: planted bugs not caught with "
+                "<64-branch witnesses (conditional: %s, frontend: %s)\n",
+                caught_conditional ? "caught" : "MISSED",
+                caught_frontend ? "caught" : "MISSED");
             return 1;
         }
-        std::fprintf(stderr, "self-test passed: planted bug caught and "
-                             "shrunk\n");
+        std::fprintf(stderr, "self-test passed: planted bugs caught and "
+                             "shrunk in both lanes\n");
         return 0;
     }
 
-    json_t report =
-        testkit::runFuzz(options, testkit::defaultDiffTargets());
+    json_t report = testkit::runFuzz(
+        options, testkit::defaultDiffTargets(),
+        testkit::frontendDiffTargets(options.frontend_predictors));
     std::printf("%s\n", report.dump(2).c_str());
     return report.find("ok")->asBool() ? 0 : 1;
 }

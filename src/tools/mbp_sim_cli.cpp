@@ -27,12 +27,20 @@
  *                      sidecar, later runs map it zero-decode. Implies
  *                      --in-memory. A non-empty $MBP_ARENA_CACHE enables
  *                      this by default; --no-arena-cache opts out.
+ *   --frontend[=SPEC]  compose the predictor into a front end (BTB +
+ *                      RAS + indirect-target table) and report per-class
+ *                      fetch statistics alongside conditional accuracy.
+ *                      SPEC is a comma list of key=value pairs, e.g.
+ *                      btb-sets=512,btb-ways=8,ras=32,corrupt=on (see
+ *                      mbp/frontend/frontend.hpp for the full grammar).
  */
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "mbp/frontend/frontend.hpp"
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sbbt/arena_store.hpp"
 #include "mbp/sim/kernels.hpp"
@@ -53,7 +61,8 @@ usage(const char *prog)
         "       %s list\n"
         "flags: --in-memory | --streaming | --mem-budget <bytes>"
         " | --no-fused\n"
-        "       --arena-cache[=DIR] | --no-arena-cache\n",
+        "       --arena-cache[=DIR] | --no-arena-cache |"
+        " --frontend[=SPEC]\n",
         prog, prog, prog);
     return 2;
 }
@@ -86,11 +95,25 @@ main(int argc, char **argv)
     // Split flags from positionals so the flags may appear anywhere.
     mbp::SimArgs args;
     bool fused = true;
+    bool frontend = false;
+    mbp::frontend::FrontEndConfig frontend_config;
     mbp::tools::ArenaCacheFlag arena;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (arena.consume(argv[i])) {
             // handled
+        } else if (std::strcmp(argv[i], "--frontend") == 0 ||
+                   std::strncmp(argv[i], "--frontend=", 11) == 0) {
+            frontend = true;
+            std::string spec =
+                argv[i][10] == '=' ? argv[i] + 11 : "";
+            std::string error;
+            if (!mbp::frontend::parseFrontEndSpec(spec, frontend_config,
+                                                  error)) {
+                std::fprintf(stderr, "invalid --frontend spec: %s\n",
+                             error.c_str());
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--in-memory") == 0) {
             args.in_memory = true;
         } else if (std::strcmp(argv[i], "--streaming") == 0) {
@@ -135,6 +158,12 @@ main(int argc, char **argv)
             a.in_memory = true;
     };
     if (!pos.empty() && std::strcmp(pos[0], "compare") == 0) {
+        if (frontend) {
+            std::fprintf(stderr,
+                         "--frontend does not apply to compare mode; run "
+                         "two --frontend simulations instead\n");
+            return 2;
+        }
         if (pos.size() < 4 || pos.size() > 6)
             return usage(argv[0]);
         args.trace_path = pos[3];
@@ -179,7 +208,20 @@ main(int argc, char **argv)
         return usage(argv[0]);
     preloadArena(args);
     mbp::json_t result;
-    if (fused) {
+    if (frontend) {
+        // The front end drives the virtual Predictor interface; the fused
+        // conditional-only kernels do not apply here.
+        auto predictor = mbp::pred::makeByName(pos[0]);
+        if (!predictor) {
+            std::fprintf(stderr,
+                         "unknown predictor '%s' (try '%s list')\n",
+                         pos[0], argv[0]);
+            return 2;
+        }
+        mbp::frontend::FrontEnd front_end(std::move(predictor),
+                                          frontend_config);
+        result = mbp::frontend::simulate(front_end, args);
+    } else if (fused) {
         mbp::pred::FusedRunner runner =
             mbp::pred::fusedRunnerByName(pos[0]);
         if (!runner) {

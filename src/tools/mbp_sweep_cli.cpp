@@ -29,10 +29,16 @@
  * simulate() everywhere for A/B measurement. Results are bit-identical
  * either way.
  *
+ * --frontend[=SPEC] composes every predictor into a front end (BTB +
+ * RAS + indirect-target table, see mbp/frontend/frontend.hpp) and runs
+ * the per-class fetch simulation in every cell; the fused kernels do
+ * not apply to front-end cells.
+ *
  * The campaign JSON spec (see README "Parallel sweeps"):
  *   {"predictors": ["gshare", ...], "traces": ["a.sbbt.flz", ...],
  *    "warmup_instr": 0, "sim_instr": 10000000, "jobs": 8,
- *    "in_memory": true, "mem_budget": 1073741824, "fused": true}
+ *    "in_memory": true, "mem_budget": 1073741824, "fused": true,
+ *    "frontend": "btb-sets=512,ras=32"}
  */
 #include <cstdio>
 #include <cstring>
@@ -40,6 +46,7 @@
 #include <sstream>
 #include <string>
 
+#include "mbp/frontend/frontend.hpp"
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sweep/sweep.hpp"
 #include "mbp/tools/cli.hpp"
@@ -57,7 +64,8 @@ usage(const char *prog)
         " [--out FILE]\n"
         "          [--in-memory | --streaming] [--mem-budget BYTES]"
         " [--no-fused]\n"
-        "          [--arena-cache[=DIR] | --no-arena-cache]\n"
+        "          [--arena-cache[=DIR] | --no-arena-cache]"
+        " [--frontend[=SPEC]]\n"
         "       %s --spec campaign.json [--jobs N] [--csv] [--out FILE]\n"
         "       %s list\n",
         prog, prog, prog);
@@ -98,6 +106,8 @@ main(int argc, char **argv)
     std::uint64_t mem_budget = 0;
     bool have_mem_budget = false;
     bool fused = true, have_fused = false;
+    bool frontend = false;
+    std::string frontend_spec;
     tools::ArenaCacheFlag arena;
     for (int i = 1; i < argc; ++i) {
         if (arena.consume(argv[i]))
@@ -164,6 +174,18 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--fused") == 0) {
             fused = true;
             have_fused = true;
+        } else if (std::strcmp(argv[i], "--frontend") == 0 ||
+                   std::strncmp(argv[i], "--frontend=", 11) == 0) {
+            frontend = true;
+            frontend_spec = argv[i][10] == '=' ? argv[i] + 11 : "";
+            mbp::frontend::FrontEndConfig config;
+            std::string spec_error;
+            if (!mbp::frontend::parseFrontEndSpec(frontend_spec, config,
+                                                  spec_error)) {
+                std::fprintf(stderr, "invalid --frontend spec: %s\n",
+                             spec_error.c_str());
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             csv = true;
         } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -239,6 +261,10 @@ main(int argc, char **argv)
         campaign.mem_budget = mem_budget;
     if (have_fused)
         campaign.fused = fused;
+    if (frontend) {
+        campaign.frontend = true;
+        campaign.frontend_spec = frontend_spec;
+    }
     // Precedence: explicit flag > spec field > $MBP_ARENA_CACHE default.
     if (arena.explicit_flag) {
         campaign.arena_cache = arena.enabled;

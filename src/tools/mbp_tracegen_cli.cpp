@@ -7,16 +7,22 @@
  * Usage:
  *   mbp_tracegen suite <cbp5-train|cbp5-eval|dpc3> <dir> [scale] [formats]
  *   mbp_tracegen one <dir> <name> <seed> <num_instr> [formats]
+ *   mbp_tracegen stress <dir> [seed] [num_branches]
  *
  * formats is a comma list of: sbbt,sbbt-raw,btt,btt-flz,champsim
- * (default: sbbt).
+ * (default: sbbt). The stress mode renders the front-end stress
+ * workloads (interpreter-dispatch indirect storms, megamorphic virtual
+ * call sites, deep-recursion RAS pressure) as SBBT traces.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "mbp/testkit/oracle.hpp"
 #include "mbp/tools/corpus.hpp"
+#include "mbp/tracegen/adversarial.hpp"
 #include "mbp/tracegen/suite.hpp"
 
 namespace
@@ -59,8 +65,9 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s suite <cbp5-train|cbp5-eval|dpc3> <dir> "
                  "[scale] [formats]\n"
-                 "       %s one <dir> <name> <seed> <num_instr> [formats]\n",
-                 prog, prog);
+                 "       %s one <dir> <name> <seed> <num_instr> [formats]\n"
+                 "       %s stress <dir> [seed] [num_branches]\n",
+                 prog, prog, prog);
     return 2;
 }
 
@@ -92,6 +99,53 @@ main(int argc, char **argv)
         for (const auto &entry : entries)
             std::printf("%-16s %12llu instructions\n", entry.name.c_str(),
                         (unsigned long long)entry.num_instr);
+        return 0;
+    }
+    if (mode == "stress") {
+        std::string dir = argv[2];
+        std::uint64_t seed =
+            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+        std::size_t num_branches =
+            argc > 4 ? std::size_t(std::strtoull(argv[4], nullptr, 10))
+                     : 100000;
+        if (num_branches < 16) {
+            std::fprintf(stderr, "num_branches must be >= 16\n");
+            return 2;
+        }
+        std::error_code dir_error;
+        std::filesystem::create_directories(dir, dir_error);
+        if (dir_error) {
+            std::fprintf(stderr, "cannot create dir '%s': %s\n",
+                         dir.c_str(), dir_error.message().c_str());
+            return 2;
+        }
+        struct StressWorkload
+        {
+            const char *name;
+            std::vector<mbp::tracegen::TraceEvent> events;
+        };
+        const StressWorkload workloads[] = {
+            {"stress-indirect",
+             mbp::tracegen::indirectStorm(seed, num_branches, 8, 31)},
+            {"stress-megamorphic",
+             mbp::tracegen::megamorphicSites(seed, num_branches, 40)},
+            {"stress-recursion",
+             mbp::tracegen::deepRecursion(seed, num_branches, 70)},
+        };
+        for (const StressWorkload &w : workloads) {
+            std::string path = dir + "/" + w.name + ".sbbt";
+            std::string err = mbp::testkit::writeSbbtFile(w.events, path);
+            if (!err.empty()) {
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             err.c_str());
+                return 1;
+            }
+            std::printf(
+                "%-20s %10zu branches %12llu instructions\n", w.name,
+                w.events.size(),
+                (unsigned long long)mbp::tracegen::streamInstructions(
+                    w.events));
+        }
         return 0;
     }
     if (mode == "one") {

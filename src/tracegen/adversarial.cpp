@@ -149,6 +149,109 @@ phaseFlips(std::uint64_t seed, std::size_t num_branches,
 }
 
 std::vector<TraceEvent>
+indirectStorm(std::uint64_t seed, std::size_t num_branches, int num_sites,
+              int num_targets)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    if (num_sites < 1)
+        num_sites = 1;
+    if (num_targets < 1)
+        num_targets = 1;
+    // Dispatch site s lives in its own page; its target table follows it.
+    auto site = [](int s) {
+        return kCodeBase + 0x10000 + std::uint64_t(s) * 0x1000;
+    };
+    auto handler = [&](int s, int t) {
+        return site(s) + 0x100 + std::uint64_t(t) * 0x40;
+    };
+    std::uint64_t outcomes = 0;
+    while (sb.events().size() + 1 < num_branches) {
+        const int s = int(rng.next() % std::uint64_t(num_sites));
+        // The guard conditional both feeds the outcome history and makes
+        // the upcoming target a deterministic function of that history.
+        const bool taken = (rng.next() & 1) != 0;
+        sb.cond(site(s) + 0x10, taken);
+        outcomes = (outcomes << 1) | (taken ? 1 : 0);
+        const int t =
+            int((outcomes & 0xff) % std::uint64_t(num_targets));
+        sb.indJump(site(s) + 0x40, handler(s, t));
+    }
+    return sb.take();
+}
+
+std::vector<TraceEvent>
+megamorphicSites(std::uint64_t seed, std::size_t num_branches,
+                 int num_targets)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    if (num_targets < 1)
+        num_targets = 1;
+    constexpr int kSites = 4;
+    auto callSite = [](int s) {
+        return kCodeBase + 0x20000 + std::uint64_t(s) * 0x800;
+    };
+    auto callee = [&](int s, int t) {
+        return kCodeBase + 0x40000 + std::uint64_t(s) * 0x4000 +
+               std::uint64_t(t) * 0x100;
+    };
+    int next_target[kSites] = {0, 0, 0, 0};
+    while (sb.events().size() + 2 < num_branches) {
+        const int s = int(rng.next() % kSites);
+        // Round-robin through the receiver set: the megamorphic worst
+        // case, every dynamic dispatch at the site picks a new callee.
+        const int t = next_target[s];
+        next_target[s] = (t + 1) % num_targets;
+        const std::uint64_t target = callee(s, t);
+        sb.indCall(callSite(s), target);
+        sb.cond(target + 0x10, (rng.next() & 1) != 0);
+        sb.ret(target + 0x20, callSite(s) + 4);
+    }
+    return sb.take();
+}
+
+std::vector<TraceEvent>
+deepRecursion(std::uint64_t seed, std::size_t num_branches, int depth)
+{
+    Lfsr rng(seed);
+    StreamBuilder sb;
+    if (depth < 1)
+        depth = 1;
+    // Two mutually recursive functions: even frames sit in A, odd in B,
+    // so every wrapped-away RAS entry belongs to the other function and
+    // a too-shallow stack mispredicts the whole deep unwind.
+    const std::uint64_t entry_a = kCodeBase + 0x30000;
+    const std::uint64_t entry_b = kCodeBase + 0x31000;
+    const std::uint64_t main_call = kCodeBase + 0x200;
+    while (sb.events().size() < num_branches) {
+        const int levels =
+            depth + int(rng.next() % std::uint64_t(depth));
+        std::vector<std::uint64_t> return_to;
+        sb.call(main_call, entry_a);
+        return_to.push_back(main_call + 4);
+        for (int l = 1; l < levels; ++l) {
+            const bool in_a = (l & 1) == 1; // frame l-1's function
+            const std::uint64_t cs = (in_a ? entry_a : entry_b) + 0x30;
+            sb.cond((in_a ? entry_a : entry_b) + 0x10,
+                    (rng.next() & 1) != 0);
+            sb.call(cs, in_a ? entry_b : entry_a);
+            return_to.push_back(cs + 4);
+        }
+        for (int l = levels - 1; l >= 0; --l) {
+            const bool in_a = (l & 1) == 0; // frame l's function
+            sb.ret((in_a ? entry_a : entry_b) + 0x40, return_to.back());
+            return_to.pop_back();
+        }
+        if (rng.next() % 4 == 0)
+            sb.ret(kCodeBase + 0x32000, kCodeBase + 0x204);
+    }
+    auto events = sb.take();
+    events.resize(std::min(events.size(), num_branches));
+    return events;
+}
+
+std::vector<TraceEvent>
 concat(std::vector<TraceEvent> a, const std::vector<TraceEvent> &b)
 {
     a.insert(a.end(), b.begin(), b.end());

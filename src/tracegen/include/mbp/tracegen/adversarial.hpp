@@ -72,6 +72,20 @@ class StreamBuilder
         return push(Branch{ip, target, OpCode::ret(), true});
     }
 
+    /** Appends an indirect jump (computed goto / switch dispatch). */
+    StreamBuilder &
+    indJump(std::uint64_t ip, std::uint64_t target)
+    {
+        return push(Branch{ip, target, OpCode::indJump(), true});
+    }
+
+    /** Appends an indirect call (virtual dispatch; pushes the RAS). */
+    StreamBuilder &
+    indCall(std::uint64_t ip, std::uint64_t target)
+    {
+        return push(Branch{ip, target, OpCode::indCall(), true});
+    }
+
     /** Adds extra non-branch instructions before the next branch. */
     StreamBuilder &
     gap(std::uint32_t instructions)
@@ -135,6 +149,36 @@ std::vector<TraceEvent> degenerateRun(std::size_t num_branches, bool taken);
 std::vector<TraceEvent> phaseFlips(std::uint64_t seed,
                                    std::size_t num_branches,
                                    std::size_t phase_len);
+
+/**
+ * Interpreter-dispatch indirect storm: @p num_sites indirect jump sites
+ * whose targets (one of @p num_targets each) are a pure function of the
+ * recent conditional-outcome history — learnable by a path-indexed
+ * indirect predictor, hopeless for a plain BTB once a site is
+ * polymorphic. Conditionals interleave to keep the history moving.
+ */
+std::vector<TraceEvent> indirectStorm(std::uint64_t seed,
+                                      std::size_t num_branches,
+                                      int num_sites, int num_targets);
+
+/**
+ * Megamorphic virtual-call sites: a few indirect call sites cycling
+ * round-robin through @p num_targets callees, each call answered by a
+ * matching return to the call's fall-through. Stresses the indirect
+ * table's capacity/tagging and keeps the RAS busy at the same time.
+ */
+std::vector<TraceEvent> megamorphicSites(std::uint64_t seed,
+                                         std::size_t num_branches,
+                                         int num_targets);
+
+/**
+ * Mutual recursion @p depth..2*depth frames deep, then the full unwind.
+ * Two functions call each other, so a return-address stack shorter than
+ * the chain cannot recover by luck: wrapped-away entries belong to the
+ * *other* function. Occasional unmatched returns probe underflow.
+ */
+std::vector<TraceEvent> deepRecursion(std::uint64_t seed,
+                                      std::size_t num_branches, int depth);
 
 /** Concatenates two streams. */
 std::vector<TraceEvent> concat(std::vector<TraceEvent> a,

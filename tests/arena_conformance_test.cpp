@@ -20,16 +20,20 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "mbp/frontend/frontend.hpp"
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sbbt/mem_trace.hpp"
+#include "mbp/sbbt/reader.hpp"
 #include "mbp/sbbt/writer.hpp"
 #include "mbp/sim/kernels.hpp"
 #include "mbp/sim/simulator.hpp"
+#include "mbp/tracegen/adversarial.hpp"
 #include "mbp/tracegen/generator.hpp"
 
 using namespace mbp;
@@ -463,6 +467,144 @@ TEST_F(ArenaConformanceTest, FusedCompareMatchesVirtualCompare)
     EXPECT_EQ(virtual_stream, fused_stream);
     EXPECT_EQ(scrubTiming(virtual_doc).dump(2),
               scrubTiming(fused_doc).dump(2));
+}
+
+namespace
+{
+
+/** A stream exercising all six branch classes, written as SBBT. */
+std::string
+mixedClassTrace()
+{
+    static std::string path;
+    if (!path.empty())
+        return path;
+    path = testing::TempDir() + "/arena_conformance_mixed.sbbt";
+    std::vector<tracegen::TraceEvent> events =
+        tracegen::deepRecursion(31, 2000, 25);
+    for (const tracegen::TraceEvent &ev :
+         tracegen::indirectStorm(32, 2000, 5, 17))
+        events.push_back(ev);
+    for (const tracegen::TraceEvent &ev :
+         tracegen::megamorphicSites(33, 2000, 12))
+        events.push_back(ev);
+    // The generators above cover conditionals, calls, returns and the
+    // indirect classes; add plain direct jumps by hand.
+    tracegen::StreamBuilder builder;
+    for (int i = 0; i < 64; ++i)
+        builder.jump(0x700000 + std::uint64_t(i % 8) * 32,
+                     0x710000 + std::uint64_t(i % 8) * 64);
+    for (const tracegen::TraceEvent &ev : builder.take())
+        events.push_back(ev);
+    sbbt::SbbtWriter writer(path);
+    for (const tracegen::TraceEvent &ev : events)
+        EXPECT_TRUE(writer.append(ev.branch, ev.instr_gap));
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return path;
+}
+
+/** Drains @p next into a packet list. */
+template <typename Source>
+std::vector<sbbt::PacketData>
+drain(Source &source)
+{
+    std::vector<sbbt::PacketData> packets;
+    sbbt::PacketData packet;
+    while (source.next(packet))
+        packets.push_back(packet);
+    return packets;
+}
+
+} // namespace
+
+TEST_F(ArenaConformanceTest, NonConditionalClassesRoundTripThroughArena)
+{
+    // The front-end tier reads calls, returns and indirect branches out
+    // of the arena; every packet field (ip, target, opcode, outcome,
+    // instruction gap) must survive SBBT -> decoded arena -> SBBT-A
+    // sidecar byte-identically for the non-conditional classes too.
+    const std::string path = mixedClassTrace();
+    sbbt::SbbtReader reader(path);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    const std::vector<sbbt::PacketData> expected = drain(reader);
+    ASSERT_GT(expected.size(), 0u);
+
+    // The stream genuinely covers every class.
+    std::array<std::uint64_t, frontend::kNumBranchClasses> seen{};
+    for (const sbbt::PacketData &packet : expected)
+        ++seen[static_cast<std::size_t>(
+            frontend::classify(packet.branch.opcode()))];
+    for (std::size_t cls = 0; cls < seen.size(); ++cls)
+        EXPECT_GT(seen[cls], 0u)
+            << "class "
+            << frontend::className(static_cast<frontend::BranchClass>(cls))
+            << " missing from the fixture stream";
+
+    std::string error;
+    auto decoded = sbbt::MemTrace::load(path, {}, &error);
+    ASSERT_NE(decoded, nullptr) << error;
+    const std::string sidecar =
+        testing::TempDir() + "/arena_conformance_mixed.sbbta";
+    ASSERT_TRUE(decoded->writeArena(sidecar, 0, &error)) << error;
+    auto mapped = sbbt::MemTrace::mapFile(sidecar, &error);
+    ASSERT_NE(mapped, nullptr) << error;
+
+    for (const auto &arena : {decoded, mapped}) {
+        sbbt::MemTraceCursor cursor(arena);
+        const std::vector<sbbt::PacketData> actual = drain(cursor);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(actual[i].branch, expected[i].branch)
+                << (arena->mapped() ? "mapped" : "decoded")
+                << " packet " << i;
+            EXPECT_EQ(actual[i].instr_gap, expected[i].instr_gap)
+                << (arena->mapped() ? "mapped" : "decoded")
+                << " packet " << i;
+        }
+    }
+    std::remove(sidecar.c_str());
+}
+
+TEST_F(ArenaConformanceTest, FrontendReportIsSourceInvariant)
+{
+    // The front-end simulation is held to the same source-invariance bar
+    // as the conditional pipeline: streaming, decoded arena and mapped
+    // SBBT-A runs must report identical documents modulo timing.
+    const std::string path = mixedClassTrace();
+    std::string error;
+    auto decoded = sbbt::MemTrace::load(path, {}, &error);
+    ASSERT_NE(decoded, nullptr) << error;
+    const std::string sidecar =
+        testing::TempDir() + "/arena_conformance_mixed_fe.sbbta";
+    ASSERT_TRUE(decoded->writeArena(sidecar, 0, &error)) << error;
+    auto mapped = sbbt::MemTrace::mapFile(sidecar, &error);
+    ASSERT_NE(mapped, nullptr) << error;
+
+    frontend::FrontEndConfig config;
+    config.corrupt_on_mispredict = true;
+
+    SimArgs streaming_args;
+    streaming_args.trace_path = path;
+    streaming_args.warmup_instr = 500;
+    SimArgs decoded_args = streaming_args;
+    decoded_args.preloaded = decoded;
+    SimArgs mapped_args = streaming_args;
+    mapped_args.preloaded = mapped;
+
+    frontend::FrontEnd streaming_fe(pred::makeByName("gshare"), config);
+    frontend::FrontEnd decoded_fe(pred::makeByName("gshare"), config);
+    frontend::FrontEnd mapped_fe(pred::makeByName("gshare"), config);
+    json_t streaming = frontend::simulate(streaming_fe, streaming_args);
+    json_t decoded_doc = frontend::simulate(decoded_fe, decoded_args);
+    json_t mapped_doc = frontend::simulate(mapped_fe, mapped_args);
+    ASSERT_FALSE(streaming.contains("error")) << streaming.dump(2);
+    ASSERT_FALSE(decoded_doc.contains("error")) << decoded_doc.dump(2);
+    ASSERT_FALSE(mapped_doc.contains("error")) << mapped_doc.dump(2);
+    EXPECT_EQ(scrubTiming(streaming).dump(2),
+              scrubTiming(decoded_doc).dump(2));
+    EXPECT_EQ(scrubTiming(decoded_doc).dump(2),
+              scrubTiming(mapped_doc).dump(2));
+    std::remove(sidecar.c_str());
 }
 
 TEST_F(ArenaConformanceTest, FusedStreamingFallbackMatchesVirtual)

@@ -136,6 +136,36 @@ TEST(SimCli, ValidRunExits0)
     EXPECT_EQ(r.exit_code, 0) << r.err;
 }
 
+TEST(SimCli, FrontendRunExits0)
+{
+    auto r = run(std::string(MBP_SIM_BIN) +
+                 " --frontend=btb-sets=64,ras=8 gshare " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    auto defaults = run(std::string(MBP_SIM_BIN) + " --frontend bimodal " +
+                        quoted(validTrace()));
+    EXPECT_EQ(defaults.exit_code, 0) << defaults.err;
+}
+
+TEST(SimCli, BadFrontendSpecExits2AndNamesTheFlag)
+{
+    auto r = run(std::string(MBP_SIM_BIN) + " --frontend=btb-sets=100"
+                                            " bimodal " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--frontend"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("btb-sets"), std::string::npos) << r.err;
+}
+
+TEST(SimCli, FrontendWithCompareModeExits2)
+{
+    auto r = run(std::string(MBP_SIM_BIN) + " --frontend compare bimodal"
+                                            " gshare " +
+                 quoted(validTrace()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--frontend"), std::string::npos) << r.err;
+}
+
 // ---------------------------------------------------------------------------
 // mbp_sweep
 
@@ -193,6 +223,24 @@ TEST(SweepCli, ValidCampaignExits0)
     EXPECT_EQ(r.exit_code, 0) << r.err;
 }
 
+TEST(SweepCli, FrontendCampaignExits0)
+{
+    auto r = run(std::string(MBP_SWEEP_BIN) +
+                 " --predictors bimodal,gshare --traces " +
+                 quoted(validTrace()) + " --jobs 2 --frontend=ras=8");
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+}
+
+TEST(SweepCli, BadFrontendSpecExits2AndNamesTheFlag)
+{
+    auto r = run(std::string(MBP_SWEEP_BIN) +
+                 " --predictors bimodal --traces " + quoted(validTrace()) +
+                 " --frontend=ras=0");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--frontend"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("ras"), std::string::npos) << r.err;
+}
+
 // ---------------------------------------------------------------------------
 // mbp_fuzz
 
@@ -217,6 +265,15 @@ TEST(FuzzCli, UnknownFlagExits2)
     auto r = run(std::string(MBP_FUZZ_BIN) + " --zap");
     EXPECT_EQ(r.exit_code, 2);
     EXPECT_NE(r.err.find("--zap"), std::string::npos) << r.err;
+}
+
+TEST(FuzzCli, UnknownFrontendPredictorExits2AndNamesIt)
+{
+    auto r = run(std::string(MBP_FUZZ_BIN) +
+                 " --predictors frontend:no-such-predictor");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("--predictors"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("no-such-predictor"), std::string::npos) << r.err;
 }
 
 TEST(FuzzCli, SelfTestCatchesAndExits0)

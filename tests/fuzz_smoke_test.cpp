@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "mbp/sbbt/reader.hpp"
+
 using namespace mbp;
 
 TEST(FuzzSmoke, SeededCampaignIsCleanAndDeterministic)
@@ -20,12 +22,16 @@ TEST(FuzzSmoke, SeededCampaignIsCleanAndDeterministic)
     options.max_branches = 1024;
     options.artifact_dir = testing::TempDir() + "/fuzz-smoke";
     options.metamorphic_predictors = {"bimodal", "gshare", "tage"};
+    options.frontend_predictors = {"gshare"};
 
-    json_t first = testkit::runFuzz(options, testkit::defaultDiffTargets());
+    const auto frontend_targets =
+        testkit::frontendDiffTargets(options.frontend_predictors);
+    json_t first = testkit::runFuzz(options, testkit::defaultDiffTargets(),
+                                    frontend_targets);
     EXPECT_TRUE(first.find("ok")->asBool()) << first.dump(2);
 
-    json_t second =
-        testkit::runFuzz(options, testkit::defaultDiffTargets());
+    json_t second = testkit::runFuzz(
+        options, testkit::defaultDiffTargets(), frontend_targets);
     EXPECT_EQ(first.dump(), second.dump())
         << "same options must reproduce the identical report";
 }
@@ -42,4 +48,49 @@ TEST(FuzzSmoke, SelfTestStillCatchesThePlantedBug)
         testkit::runFuzz(options, {testkit::brokenGshareTarget()});
     EXPECT_GT(report.find("failures")->size(), 0u)
         << "a fuzzer that cannot catch a planted bug is not a fuzzer";
+}
+
+TEST(FuzzSmoke, FrontendSelfTestCatchesShrinksAndReplays)
+{
+    testkit::FuzzOptions options;
+    options.seed = 20260805;
+    options.num_streams = 4;
+    options.max_branches = 512;
+    options.artifact_dir = testing::TempDir() + "/fuzz-smoke-frontend";
+    options.metamorphic = false;
+
+    testkit::FrontendDiffTarget broken = testkit::brokenFrontendTarget();
+    json_t report = testkit::runFuzz(options, {}, {broken});
+    const json_t &failures = *report.find("failures");
+    ASSERT_GT(failures.size(), 0u)
+        << "the planted BTB mutation must be caught";
+
+    // Pick the first shrunk frontend witness and replay its artifact:
+    // the persisted SBBT must still reproduce the divergence.
+    const json_t *witness = nullptr;
+    for (const json_t &failure : failures.elements()) {
+        if (failure.find("type")->asString() == "differential" &&
+            failure.find("lane")->asString() == "frontend") {
+            witness = &failure;
+            break;
+        }
+    }
+    ASSERT_NE(witness, nullptr) << report.dump(2);
+    EXPECT_LT(witness->find("shrunk_branches")->asUint(), 64u)
+        << "ddmin must shrink the witness";
+
+    sbbt::SbbtReader reader(witness->find("sbbt")->asString());
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    testkit::Events events;
+    sbbt::PacketData packet;
+    while (reader.next(packet))
+        events.push_back({packet.branch, packet.instr_gap});
+    ASSERT_GT(events.size(), 0u);
+
+    auto subject = broken.subject();
+    auto reference = broken.reference();
+    testkit::FrontendMismatch mismatch =
+        testkit::runFrontendLockstep(*subject, *reference, events);
+    EXPECT_TRUE(mismatch.found)
+        << "replaying the shrunk artifact must reproduce the divergence";
 }

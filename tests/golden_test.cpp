@@ -21,6 +21,7 @@
 #include <string>
 
 #include "mbp/audit/audit.hpp"
+#include "mbp/frontend/frontend.hpp"
 #include "mbp/json/json.hpp"
 #include "mbp/predictors/roster.hpp"
 #include "mbp/sim/simulator.hpp"
@@ -88,6 +89,51 @@ measureAll()
     json_t rows = json_t::object({});
     for (const std::string &name : pred::rosterNames())
         rows[name] = measure(name);
+    return rows;
+}
+
+/**
+ * The conditional predictors whose front-end composition is pinned. A
+ * subset of the roster: the front end's BTB/RAS/indirect numbers only
+ * depend on the conditional predictor through the corruption model, so
+ * three representative predictors cover the regression surface without
+ * tripling the golden-run cost.
+ */
+const std::vector<std::string> &
+frontendGoldenPredictors()
+{
+    static const std::vector<std::string> names = {"bimodal", "gshare",
+                                                   "tage"};
+    return names;
+}
+
+/** One row of the front-end golden file, freshly measured. */
+json_t
+measureFrontend(const std::string &name)
+{
+    frontend::FrontEndConfig config;
+    config.corrupt_on_mispredict = true;
+    frontend::FrontEnd front_end(pred::makeByName(name), config);
+    SimArgs args;
+    args.trace_path = demoTrace();
+    args.sim_instr = kSimInstr;
+    args.collect_most_failed = false;
+    json_t result = frontend::simulate(front_end, args);
+    EXPECT_FALSE(result.contains("error"))
+        << name << ": " << result.dump(2);
+    const json_t *report = result.find("frontend");
+    return json_t::object({
+        {"classes", *report->find("classes")},
+        {"rollups", *report->find("rollups")},
+    });
+}
+
+json_t
+measureAllFrontend()
+{
+    json_t rows = json_t::object({});
+    for (const std::string &name : frontendGoldenPredictors())
+        rows[name] = measureFrontend(name);
     return rows;
 }
 
@@ -165,6 +211,43 @@ TEST(Golden, RosterMatchesRecordedNumbers)
     }
 }
 
+TEST(Golden, FrontendReportMatchesRecorded)
+{
+    std::string error;
+    json_t golden = loadGoldenFile(MBP_FRONTEND_GOLDEN_FILE, error);
+    ASSERT_EQ(error, "");
+    const json_t *rows = golden.find("predictors");
+    ASSERT_NE(rows, nullptr) << "golden file has no 'predictors' object";
+
+    const json_t fresh = measureAllFrontend();
+    ASSERT_EQ(rows->size(), fresh.size())
+        << "front-end golden predictor set changed; "
+           "run ./tests/golden_test --update-golden";
+
+    for (const auto &[name, expected] : rows->members()) {
+        const json_t *actual = fresh.find(name);
+        ASSERT_NE(actual, nullptr) << name;
+        // Every class counter is an exact integer: compare the whole
+        // section verbatim.
+        EXPECT_EQ(expected.find("classes")->dump(2),
+                  actual->find("classes")->dump(2))
+            << name << " per-class counters moved; if intended, run "
+                       "./tests/golden_test --update-golden";
+        const json_t *want = expected.find("rollups");
+        const json_t *got = actual->find("rollups");
+        for (const char *key :
+             {"total_branches", "total_taken", "direction_mispredictions",
+              "target_mispredictions"})
+            EXPECT_EQ(want->find(key)->asUint(), got->find(key)->asUint())
+                << name << " " << key;
+        for (const char *key :
+             {"direction_mpki", "target_mpki", "misfetch_mpki"})
+            EXPECT_NEAR(want->find(key)->asDouble(),
+                        got->find(key)->asDouble(), 1e-6)
+                << name << " " << key;
+    }
+}
+
 TEST(Golden, AuditBudgetReportMatchesRecorded)
 {
     std::string error;
@@ -202,6 +285,21 @@ main(int argc, char **argv)
             }
             audit_out << auditGoldenDocument().dump(2) << "\n";
             std::printf("wrote %s\n", MBP_AUDIT_GOLDEN_FILE);
+
+            json_t frontend_golden = json_t::object({
+                {"trace", json_t("traces_corpus/example-demo.sbbt.flz")},
+                {"sim_instr", json_t(kSimInstr)},
+                {"frontend_spec", json_t("corrupt=on")},
+                {"predictors", measureAllFrontend()},
+            });
+            std::ofstream frontend_out(MBP_FRONTEND_GOLDEN_FILE);
+            if (!frontend_out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             MBP_FRONTEND_GOLDEN_FILE);
+                return 1;
+            }
+            frontend_out << frontend_golden.dump(2) << "\n";
+            std::printf("wrote %s\n", MBP_FRONTEND_GOLDEN_FILE);
             return 0;
         }
     }
