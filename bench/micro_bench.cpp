@@ -341,6 +341,55 @@ BM_FoldedHistoryUpdate(benchmark::State &state)
 }
 BENCHMARK(BM_FoldedHistoryUpdate);
 
+// The TAGE-family per-branch fold advance, both layouts: 24 scattered
+// FoldedHistory objects (the seed layout — 3 folds per tagged bank for
+// the default 8-bank geometry) versus one FoldedHistorySet pass over
+// parallel arrays (with a SIMD specialization where the host supports
+// it). One iteration = one branch's worth of fold updates, so the two
+// counters are directly comparable.
+void
+BM_FoldedHistoryBankUpdate(benchmark::State &state)
+{
+    const int lengths[] = {4, 7, 13, 23, 41, 73, 130, 232};
+    GlobalHistory ghist(232);
+    std::vector<FoldedHistory> folds;
+    for (int length : lengths) {
+        folds.emplace_back(length, 10);
+        folds.emplace_back(length, 10);
+        folds.emplace_back(length, 9);
+    }
+    bool bit = false;
+    for (auto _ : state) {
+        for (FoldedHistory &fold : folds)
+            fold.update(bit, ghist[fold.length() - 1]);
+        ghist.push(bit);
+        bit = !bit;
+        benchmark::DoNotOptimize(folds.back().value());
+    }
+}
+BENCHMARK(BM_FoldedHistoryBankUpdate);
+
+void
+BM_FoldedHistorySetUpdate(benchmark::State &state)
+{
+    const int lengths[] = {4, 7, 13, 23, 41, 73, 130, 232};
+    GlobalHistory ghist(232);
+    FoldedHistorySet set;
+    for (int length : lengths) {
+        set.add(length, 10);
+        set.add(length, 10);
+        set.add(length, 9);
+    }
+    bool bit = false;
+    for (auto _ : state) {
+        set.update(bit, ghist.words());
+        ghist.push(bit);
+        bit = !bit;
+        benchmark::DoNotOptimize(set.value(23));
+    }
+}
+BENCHMARK(BM_FoldedHistorySetUpdate);
+
 void
 BM_FlatHashMapUpsert(benchmark::State &state)
 {

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Thin launcher for check_bench_regression.py so ctest (and humans) need
+# no knowledge of the python entry point. Mirrors the bench-smoke skip
+# convention: exit 77 when the comparison cannot run at all (no python3,
+# no baselines, or no fresh artifacts), so ctest reports a skip rather
+# than a failure.
+#
+# Usage: check_bench_regression.sh BASELINE_DIR FRESH_DIR [--tolerance T]
+set -u
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "skip: python3 not available" >&2
+    exit 77
+fi
+
+exec python3 "$(dirname "$0")/check_bench_regression.py" "$@"

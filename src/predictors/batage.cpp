@@ -5,7 +5,9 @@
 #include "mbp/predictors/batage.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "mbp/utils/bits.hpp"
 #include "mbp/utils/hash.hpp"
@@ -44,39 +46,57 @@ Batage::Batage(Config config)
       bimodal_(std::size_t(1) << config_.log_bimodal_size),
       ghist_(maxHistoryLength(config_)), path_(4, 8)
 {
-    assert(config_.counter_max >= 1 && config_.counter_max <= 255);
-    tables_.reserve(config_.tables.size());
-    for (const TageTableSpec &spec : config_.tables) {
-        Table table;
-        table.spec = spec;
-        table.entries.assign(std::size_t(1) << spec.log_size, Entry{});
-        table.idx_fold = FoldedHistory(spec.history_len, spec.log_size);
-        table.tag_fold0 = FoldedHistory(spec.history_len, spec.tag_bits);
-        table.tag_fold1 = FoldedHistory(spec.history_len, spec.tag_bits - 1);
-        tables_.push_back(std::move(table));
+    if (config_.counter_max < 1 || config_.counter_max > 255)
+        throw std::invalid_argument(
+            "batage: counter_max out of [1, 255] (packed 8-bit dual "
+            "counter halves)");
+    validateTaggedGeometry("batage", config_.tables);
+    arena_ = TaggedTableArena<PackedDualEntry>(config_.tables);
+    banks_.reserve(config_.tables.size());
+    auto widthSlot = [this](int width) {
+        for (std::size_t i = 0; i < fold_widths_.size(); ++i) {
+            if (fold_widths_[i] == width)
+                return static_cast<std::uint8_t>(i);
+        }
+        fold_widths_.push_back(width);
+        return static_cast<std::uint8_t>(fold_widths_.size() - 1);
+    };
+    for (std::size_t t = 0; t < config_.tables.size(); ++t) {
+        const TageTableSpec &spec = config_.tables[t];
+        Bank bank;
+        bank.spec = spec;
+        bank.offset = arena_.table(t).offset;
+        bank.index_mask = arena_.table(t).index_mask;
+        bank.tag_mask =
+            static_cast<std::uint16_t>(util::maskBits(spec.tag_bits));
+        bank.idx_width_slot = widthSlot(spec.log_size);
+        bank.tag_width_slot = widthSlot(spec.tag_bits);
+        folds_.add(spec.history_len, spec.log_size);
+        folds_.add(spec.history_len, spec.tag_bits);
+        folds_.add(spec.history_len, spec.tag_bits - 1);
+        banks_.push_back(bank);
     }
-    lookup_.index.resize(tables_.size());
-    lookup_.tag.resize(tables_.size());
-    lookup_.hits.reserve(tables_.size());
+    lookup_.flat.resize(banks_.size());
+    lookup_.tag.resize(banks_.size());
 }
 
 bool
-Batage::confidenceBetter(const Entry &a, const Entry &b)
+Batage::confidenceBetter(PackedDualEntry a, PackedDualEntry b)
 {
     // Estimated misprediction probability: (min + 1) / (sum + 2).
     // Compare (min_a+1)/(sum_a+2) < (min_b+1)/(sum_b+2) by cross product.
-    unsigned min_a = std::min(a.num_taken, a.num_not_taken);
-    unsigned sum_a = unsigned(a.num_taken) + a.num_not_taken;
-    unsigned min_b = std::min(b.num_taken, b.num_not_taken);
-    unsigned sum_b = unsigned(b.num_taken) + b.num_not_taken;
+    unsigned min_a = std::min(a.numTaken(), a.numNotTaken());
+    unsigned sum_a = a.numTaken() + a.numNotTaken();
+    unsigned min_b = std::min(b.numTaken(), b.numNotTaken());
+    unsigned sum_b = b.numTaken() + b.numNotTaken();
     return (min_a + 1) * (sum_b + 2) < (min_b + 1) * (sum_a + 2);
 }
 
 bool
-Batage::isHighConfidence(const Entry &e) const
+Batage::isHighConfidence(PackedDualEntry e) const
 {
-    unsigned lo = std::min(e.num_taken, e.num_not_taken);
-    unsigned hi = std::max(e.num_taken, e.num_not_taken);
+    unsigned lo = std::min(e.numTaken(), e.numNotTaken());
+    unsigned hi = std::max(e.numTaken(), e.numNotTaken());
     // High confidence: estimated misprediction probability below 1/6 and a
     // mature counter. With 3-bit counters this means e.g. 7/0, 6/0, 5/0.
     return 6 * (lo + 1) <= hi + lo + 2 &&
@@ -84,15 +104,19 @@ Batage::isHighConfidence(const Entry &e) const
 }
 
 void
-Batage::bumpDual(std::uint8_t &same, std::uint8_t &other) const
+Batage::bump(PackedDualEntry &e, bool outcome) const
 {
     // Michaud's dual-counter update: count the observed outcome; once
     // saturated, decay the opposite count instead, so the pair keeps a
     // bounded, slowly adapting estimate of the outcome distribution.
-    if (same < config_.counter_max)
+    unsigned same = outcome ? e.numTaken() : e.numNotTaken();
+    unsigned other = outcome ? e.numNotTaken() : e.numTaken();
+    if (same < unsigned(config_.counter_max))
         ++same;
     else if (other > 0)
         --other;
+    e.setNumTaken(outcome ? same : other);
+    e.setNumNotTaken(outcome ? other : same);
 }
 
 void
@@ -100,44 +124,43 @@ Batage::computeLookup(std::uint64_t ip)
 {
     lookup_.ip = ip;
     lookup_.valid = true;
-    lookup_.hits.clear();
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-        const Table &table = tables_[t];
-        std::uint64_t base = ip >> 2;
-        std::uint64_t idx = XorFold(base, table.spec.log_size) ^
-                            table.idx_fold.value() ^
-                            XorFold(path_.value(), table.spec.log_size);
-        lookup_.index[t] = idx & util::maskBits(table.spec.log_size);
-        std::uint64_t tag = XorFold(base, table.spec.tag_bits) ^
-                            table.tag_fold0.value() ^
-                            (table.tag_fold1.value() << 1);
-        lookup_.tag[t] = static_cast<std::uint16_t>(
-            tag & util::maskBits(table.spec.tag_bits));
-    }
-    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
-        const Entry &e =
-            tables_[static_cast<std::size_t>(t)]
-                .entries[lookup_.index[static_cast<std::size_t>(t)]];
-        if (e.tag == lookup_.tag[static_cast<std::size_t>(t)])
-            lookup_.hits.push_back(t);
+    lookup_.hits = 0;
+    const std::uint64_t base = ip >> 2;
+    const std::uint64_t path = path_.value();
+    const PackedDualEntry *entries = arena_.data();
+    for (std::size_t t = 0; t < banks_.size(); ++t) {
+        const Bank &bank = banks_[t];
+        const int fs = 3 * static_cast<int>(t);
+        std::uint64_t idx = XorFold(base, bank.spec.log_size) ^
+                            folds_.value(fs) ^
+                            XorFold(path, bank.spec.log_size);
+        lookup_.flat[t] =
+            bank.offset + static_cast<std::uint32_t>(idx & bank.index_mask);
+        std::uint64_t tag = XorFold(base, bank.spec.tag_bits) ^
+                            folds_.value(fs + 1) ^
+                            (folds_.value(fs + 2) << 1);
+        lookup_.tag[t] = static_cast<std::uint16_t>(tag & bank.tag_mask);
+        lookup_.hits |=
+            std::uint64_t(entries[lookup_.flat[t]].tag() == lookup_.tag[t])
+            << t;
     }
 
     // Pick the most confident entry among the base and all hits; on equal
     // confidence the longer history wins (scan shortest to longest and
     // replace unless strictly worse).
-    const Entry *best = &bimodal_[XorFold(ip >> 2,
-                                          config_.log_bimodal_size)];
+    PackedDualEntry best =
+        bimodal_[XorFold(ip >> 2, config_.log_bimodal_size)];
     lookup_.provider = -1;
-    for (auto it = lookup_.hits.rbegin(); it != lookup_.hits.rend(); ++it) {
-        const Entry &e =
-            tables_[static_cast<std::size_t>(*it)]
-                .entries[lookup_.index[static_cast<std::size_t>(*it)]];
-        if (!confidenceBetter(*best, e)) {
-            best = &e;
-            lookup_.provider = *it;
+    for (std::uint64_t m = lookup_.hits; m != 0; m &= m - 1) {
+        const int t = std::countr_zero(m);
+        const PackedDualEntry e =
+            entries[lookup_.flat[static_cast<std::size_t>(t)]];
+        if (!confidenceBetter(best, e)) {
+            best = e;
+            lookup_.provider = t;
         }
     }
-    lookup_.prediction = best->num_taken >= best->num_not_taken;
+    lookup_.prediction = best.numTaken() >= best.numNotTaken();
 }
 
 bool
@@ -149,19 +172,11 @@ Batage::predict(std::uint64_t ip)
 }
 
 void
-Batage::train(const Branch &b)
+Batage::applyTrain(std::uint64_t ip, bool outcome, const LookupView &lv)
 {
-    if (!lookup_.valid || lookup_.ip != b.ip())
-        computeLookup(b.ip());
-    const bool outcome = b.isTaken();
-    const bool mispredicted = lookup_.prediction != outcome;
-
-    auto update_entry = [&](Entry &e) {
-        if (outcome)
-            bumpDual(e.num_taken, e.num_not_taken);
-        else
-            bumpDual(e.num_not_taken, e.num_taken);
-    };
+    const bool mispredicted = lv.prediction != outcome;
+    const int num_tables = static_cast<int>(banks_.size());
+    PackedDualEntry *entries = arena_.data();
 
     // Cascade update (the dual counters double as both prediction and
     // usefulness state): the longest hit is always updated — this is what
@@ -169,22 +184,20 @@ Batage::train(const Branch &b)
     // bimodal base) keep training while every longer entry above them is
     // still low-confidence, so a warm backup always exists.
     bool cascade = true;
-    for (int t : lookup_.hits) { // longest history first
-        if (!cascade)
-            break;
-        Entry &e = tables_[static_cast<std::size_t>(t)]
-                       .entries[lookup_.index[static_cast<std::size_t>(t)]];
-        update_entry(e);
+    for (std::uint64_t m = lv.hits; m != 0 && cascade;) {
+        // Longest history first: peel the highest set bit.
+        const int t = static_cast<int>(std::bit_width(m)) - 1;
+        m ^= std::uint64_t(1) << t;
+        PackedDualEntry &e = entries[lv.flat[static_cast<std::size_t>(t)]];
+        bump(e, outcome);
         cascade = !isHighConfidence(e);
     }
     if (cascade)
-        update_entry(
-            bimodal_[XorFold(b.ip() >> 2, config_.log_bimodal_size)]);
+        bump(bimodal_[XorFold(ip >> 2, config_.log_bimodal_size)], outcome);
 
     // Controlled Allocation Throttling: allocate on mispredictions in a
     // longer-history table, with probability shrinking as cat_ grows.
-    if (mispredicted &&
-        lookup_.provider + 1 < static_cast<int>(tables_.size())) {
+    if (mispredicted && lv.provider + 1 < num_tables) {
         bool throttle =
             cat_ > 0 &&
             static_cast<int>(rng_.next() % std::uint64_t(config_.cat_max)) <
@@ -192,18 +205,17 @@ Batage::train(const Branch &b)
         if (throttle) {
             ++stat_throttled_;
         } else {
-            int first = lookup_.provider + 1;
+            int first = lv.provider + 1;
             int start = first;
             std::uint64_t r = rng_.bits(2);
-            while (r > 0 && start + 1 < static_cast<int>(tables_.size())) {
+            while (r > 0 && start + 1 < num_tables) {
                 ++start;
                 r >>= 1;
             }
             int victim = -1;
-            for (int t = start; t < static_cast<int>(tables_.size()); ++t) {
-                Entry &e = tables_[static_cast<std::size_t>(t)]
-                               .entries[lookup_.index[
-                                   static_cast<std::size_t>(t)]];
+            for (int t = start; t < num_tables; ++t) {
+                PackedDualEntry &e =
+                    entries[lv.flat[static_cast<std::size_t>(t)]];
                 if (!isHighConfidence(e)) {
                     victim = t;
                     break;
@@ -211,10 +223,10 @@ Batage::train(const Branch &b)
                 // Probabilistic decay of the high-confidence blocker, so
                 // dead entries eventually open up.
                 if (rng_.oneIn2Pow(2)) {
-                    if (e.num_taken > 0)
-                        --e.num_taken;
-                    if (e.num_not_taken > 0)
-                        --e.num_not_taken;
+                    if (e.numTaken() > 0)
+                        e.setNumTaken(e.numTaken() - 1);
+                    if (e.numNotTaken() > 0)
+                        e.setNumNotTaken(e.numNotTaken() - 1);
                     ++stat_decays_;
                 }
             }
@@ -224,12 +236,11 @@ Batage::train(const Branch &b)
             // CAT exists for — most attempts fail, so cat_ climbs and
             // allocation slows until decay frees room.
             if (victim >= 0) {
-                Entry &e = tables_[static_cast<std::size_t>(victim)]
-                               .entries[lookup_.index[
-                                   static_cast<std::size_t>(victim)]];
-                e.tag = lookup_.tag[static_cast<std::size_t>(victim)];
-                e.num_taken = outcome ? 1 : 0;
-                e.num_not_taken = outcome ? 0 : 1;
+                const std::size_t uv = static_cast<std::size_t>(victim);
+                PackedDualEntry &e = entries[lv.flat[uv]];
+                e.setTag(lv.tag[uv]);
+                e.setNumTaken(outcome ? 1 : 0);
+                e.setNumNotTaken(outcome ? 0 : 1);
                 ++stat_allocations_;
                 cat_ = std::max(0, cat_ - config_.cat_dec);
             } else {
@@ -237,40 +248,134 @@ Batage::train(const Branch &b)
             }
         }
     }
+}
+
+void
+Batage::train(const Branch &b)
+{
+    if (!lookup_.valid || lookup_.ip != b.ip())
+        computeLookup(b.ip());
+    const LookupView lv{lookup_.flat.data(), lookup_.tag.data(),
+                        lookup_.hits, lookup_.provider, lookup_.prediction};
+    applyTrain(b.ip(), b.isTaken(), lv);
     lookup_.valid = false;
+}
+
+void
+Batage::advanceHistory(std::uint64_t ip, bool taken)
+{
+    // One pass over the fold set's parallel arrays (see Tage).
+    folds_.update(taken, ghist_.words());
+    ghist_.push(taken);
+    path_.push(ip);
 }
 
 void
 Batage::track(const Branch &b)
 {
-    const bool bit = b.isTaken();
-    for (Table &table : tables_) {
-        bool evicted = ghist_[table.spec.history_len - 1];
-        table.idx_fold.update(bit, evicted);
-        table.tag_fold0.update(bit, evicted);
-        table.tag_fold1.update(bit, evicted);
-    }
-    ghist_.push(bit);
-    path_.push(b.ip());
+    advanceHistory(b.ip(), b.isTaken());
     lookup_.valid = false;
+}
+
+bool
+Batage::fusedStep(std::uint64_t ip, bool taken)
+{
+    // Lookup in registers; folds computed once per distinct width.
+    std::uint64_t base_fold[2 * kMaxTaggedTables];
+    std::uint64_t path_fold[2 * kMaxTaggedTables];
+    const std::uint64_t base = ip >> 2;
+    const std::uint64_t path = path_.value();
+    const std::size_t num_widths = fold_widths_.size();
+    for (std::size_t w = 0; w < num_widths; ++w) {
+        base_fold[w] = XorFold(base, fold_widths_[w]);
+        path_fold[w] = XorFold(path, fold_widths_[w]);
+    }
+
+    std::uint32_t flat[kMaxTaggedTables];
+    std::uint16_t tags[kMaxTaggedTables];
+    std::uint64_t hits = 0;
+    const std::size_t num_tables = banks_.size();
+    const PackedDualEntry *entries = arena_.data();
+    for (std::size_t t = 0; t < num_tables; ++t) {
+        const Bank &bank = banks_[t];
+        const int fs = 3 * static_cast<int>(t);
+        const std::uint64_t idx =
+            (base_fold[bank.idx_width_slot] ^ folds_.value(fs) ^
+             path_fold[bank.idx_width_slot]) &
+            bank.index_mask;
+        const std::uint32_t f =
+            bank.offset + static_cast<std::uint32_t>(idx);
+        const std::uint16_t tag = static_cast<std::uint16_t>(
+            (base_fold[bank.tag_width_slot] ^ folds_.value(fs + 1) ^
+             (folds_.value(fs + 2) << 1)) &
+            bank.tag_mask);
+        flat[t] = f;
+        tags[t] = tag;
+        hits |= std::uint64_t(entries[f].tag() == tag) << t;
+    }
+
+    PackedDualEntry best =
+        bimodal_[XorFold(ip >> 2, config_.log_bimodal_size)];
+    int provider = -1;
+    for (std::uint64_t m = hits; m != 0; m &= m - 1) {
+        const int t = std::countr_zero(m);
+        const PackedDualEntry e = entries[flat[static_cast<std::size_t>(t)]];
+        if (!confidenceBetter(best, e)) {
+            best = e;
+            provider = t;
+        }
+    }
+    const bool prediction = best.numTaken() >= best.numNotTaken();
+
+    const LookupView lv{flat, tags, hits, provider, prediction};
+    applyTrain(ip, taken, lv);
+    advanceHistory(ip, taken);
+    lookup_.valid = false;
+    return prediction;
+}
+
+std::size_t
+Batage::prefetchHints(std::uint64_t ip, std::span<const void *> out) const
+{
+    std::uint64_t base_fold[2 * kMaxTaggedTables];
+    std::uint64_t path_fold[2 * kMaxTaggedTables];
+    const std::uint64_t base = ip >> 2;
+    const std::uint64_t path = path_.value();
+    const std::size_t num_widths = fold_widths_.size();
+    for (std::size_t w = 0; w < num_widths; ++w) {
+        base_fold[w] = XorFold(base, fold_widths_[w]);
+        path_fold[w] = XorFold(path, fold_widths_[w]);
+    }
+    const std::size_t n = std::min(out.size(), banks_.size());
+    const PackedDualEntry *entries = arena_.data();
+    for (std::size_t t = 0; t < n; ++t) {
+        const Bank &bank = banks_[t];
+        const std::uint64_t idx =
+            (base_fold[bank.idx_width_slot] ^
+             folds_.value(3 * static_cast<int>(t)) ^
+             path_fold[bank.idx_width_slot]) &
+            bank.index_mask;
+        out[t] = entries + bank.offset + idx;
+    }
+    return n;
 }
 
 json_t
 Batage::metadata_stats() const
 {
     json_t tables = json_t::array();
-    for (const Table &table : tables_) {
+    for (const Bank &bank : banks_) {
         tables.push_back(json_t::object({
-            {"log_size", table.spec.log_size},
-            {"history_length", table.spec.history_len},
-            {"tag_bits", table.spec.tag_bits},
+            {"log_size", bank.spec.log_size},
+            {"history_length", bank.spec.history_len},
+            {"tag_bits", bank.spec.tag_bits},
         }));
     }
     return json_t::object({
         {"name", "MBPlib BATAGE"},
         {"log_bimodal_size", config_.log_bimodal_size},
         {"counter_max", config_.counter_max},
-        {"num_tagged_tables", std::uint64_t(tables_.size())},
+        {"num_tagged_tables", std::uint64_t(banks_.size())},
         {"tables", tables},
     });
 }
@@ -283,9 +388,9 @@ Batage::storageBits() const
     std::uint64_t bits =
         (std::uint64_t(1) << config_.log_bimodal_size) *
         std::uint64_t(dual_bits);
-    for (const Table &table : tables_) {
-        bits += (std::uint64_t(1) << table.spec.log_size) *
-                std::uint64_t(dual_bits + table.spec.tag_bits);
+    for (const Bank &bank : banks_) {
+        bits += (std::uint64_t(1) << bank.spec.log_size) *
+                std::uint64_t(dual_bits + bank.spec.tag_bits);
     }
     bits += std::uint64_t(ghist_.capacity()) + 32 + 16 /* cat */;
     return bits;
@@ -301,8 +406,8 @@ Batage::storage_components() const
     parts.push_back(ComponentInfo::table(
         "bimodal", std::uint64_t(1) << config_.log_bimodal_size,
         dual_bits));
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-        const TageTableSpec &spec = tables_[t].spec;
+    for (std::size_t t = 0; t < banks_.size(); ++t) {
+        const TageTableSpec &spec = banks_[t].spec;
         parts.push_back(ComponentInfo::table(
             "tagged_table_" + std::to_string(t),
             std::uint64_t(1) << spec.log_size,

@@ -19,14 +19,20 @@
  * cited above; it is behaviour-faithful rather than bit-exact with the
  * author's released code. Like the original, it needs random numbers
  * (drawn from a deterministic Lfsr so simulations stay reproducible).
+ *
+ * Storage follows the TAGE fast path (mbp/predictors/tage_arena.hpp): all
+ * tagged tables share one flat 64-byte-aligned arena of packed 4-byte
+ * entries, and fusedStep() / prefetchHints() implement the fused kernel
+ * contracts with the hit set carried as a 64-bit mask.
  */
 #ifndef MBP_PREDICTORS_BATAGE_HPP
 #define MBP_PREDICTORS_BATAGE_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "mbp/predictors/tage.hpp" // TageTableSpec
+#include "mbp/predictors/tage.hpp" // TageTableSpec, Tage::Config::geometric
 #include "mbp/sim/predictor.hpp"
 #include "mbp/utils/history.hpp"
 #include "mbp/utils/lfsr.hpp"
@@ -55,56 +61,84 @@ class Batage : public Predictor
                                 int tag_bits = 10);
     };
 
+    /** Prefetch lookahead for the kernels' block driver (see Tage). */
+    static constexpr std::size_t kPrefetchDistance = 8;
+
+    /** @throw std::invalid_argument on geometry the packed entry layout
+     *  cannot hold (see validateTaggedGeometry; also counter_max > 255). */
     explicit Batage(Config config = Config::geometric());
 
     bool predict(std::uint64_t ip) override;
     void train(const Branch &b) override;
     void track(const Branch &b) override;
+
+    /**
+     * Fused conditional-branch step (KernelFusedStep): exactly
+     * predict(ip); train(b); track(b) for a conditional branch with
+     * outcome @p taken, returning the prediction.
+     */
+    bool fusedStep(std::uint64_t ip, bool taken);
+
+    /** One prefetch address per tagged bank (KernelMultiPrefetch). */
+    std::size_t prefetchHints(std::uint64_t ip,
+                              std::span<const void *> out) const;
+
     json_t metadata_stats() const override;
     json_t execution_stats() const override;
     std::uint64_t storageBits() const override;
     std::optional<ComponentInfo> storage_components() const override;
 
   private:
-    /** Dual-counter entry. */
-    struct Entry
-    {
-        std::uint16_t tag = 0;
-        std::uint8_t num_taken = 0;
-        std::uint8_t num_not_taken = 0;
-    };
-
-    struct Table
+    /** Per-table metadata over the flat entry arena. The bank's three
+     *  history folds live in folds_ at slots 3t / 3t+1 / 3t+2 (see
+     *  Tage::Bank). */
+    struct Bank
     {
         TageTableSpec spec;
-        std::vector<Entry> entries;
-        FoldedHistory idx_fold;
-        FoldedHistory tag_fold0;
-        FoldedHistory tag_fold1;
+        std::uint32_t offset = 0;
+        std::uint32_t index_mask = 0;
+        std::uint16_t tag_mask = 0;
+        std::uint8_t idx_width_slot = 0; //!< fold_widths_ slot of log_size
+        std::uint8_t tag_width_slot = 0; //!< fold_widths_ slot of tag_bits
     };
 
     struct Lookup
     {
         std::uint64_t ip = ~std::uint64_t(0);
-        std::vector<std::size_t> index;
+        std::vector<std::uint32_t> flat; //!< per-table flat arena index
         std::vector<std::uint16_t> tag;
-        std::vector<int> hits; //!< hitting tables, longest first
-        int provider = -1;     //!< chosen table, -1 = bimodal base
+        std::uint64_t hits = 0; //!< bit t set = table t tag-matched
+        int provider = -1;      //!< chosen table, -1 = bimodal base
         bool prediction = false;
         bool valid = false;
     };
 
+    /** Lookup state as the update step consumes it (see Tage). */
+    struct LookupView
+    {
+        const std::uint32_t *flat;
+        const std::uint16_t *tag;
+        std::uint64_t hits;
+        int provider;
+        bool prediction;
+    };
+
     void computeLookup(std::uint64_t ip);
+    void applyTrain(std::uint64_t ip, bool outcome, const LookupView &lv);
+    void advanceHistory(std::uint64_t ip, bool taken);
     /** Dual-counter update rule with decay at saturation. */
-    void bumpDual(std::uint8_t &same, std::uint8_t &other) const;
+    void bump(PackedDualEntry &e, bool outcome) const;
     /** Confidence rank: lower is better; cross-multiplied comparison. */
-    static bool confidenceBetter(const Entry &a, const Entry &b);
+    static bool confidenceBetter(PackedDualEntry a, PackedDualEntry b);
     /** High-confidence test used by CAT: strong and unanimous counters. */
-    bool isHighConfidence(const Entry &e) const;
+    bool isHighConfidence(PackedDualEntry e) const;
 
     Config config_;
-    std::vector<Entry> bimodal_; //!< dual counters, tag unused
-    std::vector<Table> tables_;
+    std::vector<PackedDualEntry> bimodal_; //!< dual counters, tag unused
+    TaggedTableArena<PackedDualEntry> arena_;
+    std::vector<Bank> banks_;
+    std::vector<int> fold_widths_; //!< distinct index/tag fold widths
+    FoldedHistorySet folds_;       //!< 3 folds per bank, slots 3t + k
     GlobalHistory ghist_;
     PathHistory path_;
     Lfsr rng_;

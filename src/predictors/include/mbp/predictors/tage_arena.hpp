@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The flat storage layer shared by the TAGE family (TAGE, BATAGE,
+ * TAGE-SC-L): every tagged table of a predictor lives in one contiguous,
+ * 64-byte-aligned arena of packed 4-byte entries, addressed through
+ * per-table offset/mask metadata.
+ *
+ * The seed implementation kept a `std::vector<Entry>` per table inside a
+ * `std::vector<Table>` — two dependent pointer loads per entry touch, and
+ * table storage scattered across separate heap blocks. The arena removes
+ * both: an entry access is `data[offset + (index & mask)]` on one
+ * allocation whose base is cache-line aligned, which is also what lets
+ * the fused kernels carry a whole lookup (per-table flat indexes + tags)
+ * in registers and prefetch per-bank lines ahead of the block loop.
+ *
+ * Entries are packed into fixed 32-bit bitfields (tag in the low half,
+ * two 8-bit counter payloads in the high half). The packing imposes hard
+ * field limits — 16 tag bits, 8 counter bits — which the predictors
+ * enforce at configuration time (std::invalid_argument, not assert, so
+ * release builds reject bad geometry too). A zero raw word is exactly
+ * the default-constructed entry of the seed layout, so a zero-filled
+ * arena reproduces the original initial state bit for bit.
+ */
+#ifndef MBP_PREDICTORS_TAGE_ARENA_HPP
+#define MBP_PREDICTORS_TAGE_ARENA_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mbp/utils/bits.hpp"
+
+namespace mbp::pred
+{
+
+/** Geometry of one tagged TAGE-family table. */
+struct TageTableSpec
+{
+    int log_size = 10;   //!< log2 of the number of entries
+    int history_len = 8; //!< global history bits folded into the index
+    int tag_bits = 9;    //!< partial tag width
+};
+
+/**
+ * Packed TAGE tagged-table entry: tag in bits [0,16), the signed
+ * prediction counter in [16,24) and the useful counter in [24,32).
+ * Counter values are stored exactly as the seed's 8-bit SatCounters did
+ * (two's complement for the prediction counter); clamping to the
+ * configured widths stays in the predictor, as before.
+ */
+class PackedTageEntry
+{
+  public:
+    static constexpr int kTagBits = 16;    //!< packed tag field width
+    static constexpr int kCounterBits = 8; //!< packed counter field width
+
+    constexpr std::uint16_t tag() const
+    {
+        return static_cast<std::uint16_t>(raw_ & 0xffffu);
+    }
+    constexpr void
+    setTag(std::uint16_t tag)
+    {
+        raw_ = (raw_ & ~0xffffu) | tag;
+    }
+
+    /** Signed prediction counter, sign-extended from the packed byte. */
+    constexpr int
+    ctr() const
+    {
+        return static_cast<std::int8_t>((raw_ >> 16) & 0xffu);
+    }
+    constexpr void
+    setCtr(int value)
+    {
+        raw_ = (raw_ & ~0xff0000u) |
+               ((static_cast<std::uint32_t>(value) & 0xffu) << 16);
+    }
+
+    constexpr int
+    useful() const
+    {
+        return static_cast<int>((raw_ >> 24) & 0xffu);
+    }
+    constexpr void
+    setUseful(int value)
+    {
+        raw_ = (raw_ & 0x00ffffffu) |
+               ((static_cast<std::uint32_t>(value) & 0xffu) << 24);
+    }
+
+  private:
+    std::uint32_t raw_ = 0;
+};
+
+static_assert(sizeof(PackedTageEntry) == 4);
+static_assert(std::is_trivially_copyable_v<PackedTageEntry>);
+
+/**
+ * Packed BATAGE tagged-table entry: tag in bits [0,16), the dual counter
+ * (#taken, #not-taken) in the two high bytes. Also used for the BATAGE
+ * bimodal base (tag field simply unused), mirroring the seed layout.
+ */
+class PackedDualEntry
+{
+  public:
+    static constexpr int kTagBits = 16;    //!< packed tag field width
+    static constexpr int kCounterBits = 8; //!< packed counter field width
+
+    constexpr std::uint16_t tag() const
+    {
+        return static_cast<std::uint16_t>(raw_ & 0xffffu);
+    }
+    constexpr void
+    setTag(std::uint16_t tag)
+    {
+        raw_ = (raw_ & ~0xffffu) | tag;
+    }
+
+    constexpr unsigned numTaken() const { return (raw_ >> 16) & 0xffu; }
+    constexpr void
+    setNumTaken(unsigned value)
+    {
+        raw_ = (raw_ & ~0xff0000u) | ((value & 0xffu) << 16);
+    }
+
+    constexpr unsigned numNotTaken() const { return (raw_ >> 24) & 0xffu; }
+    constexpr void
+    setNumNotTaken(unsigned value)
+    {
+        raw_ = (raw_ & 0x00ffffffu) | ((value & 0xffu) << 24);
+    }
+
+  private:
+    std::uint32_t raw_ = 0;
+};
+
+static_assert(sizeof(PackedDualEntry) == 4);
+static_assert(std::is_trivially_copyable_v<PackedDualEntry>);
+
+/**
+ * Tables a TAGE-family predictor may have at most: the fused lookup
+ * carries the hit set as one 64-bit mask (provider = highest set bit).
+ */
+inline constexpr std::size_t kMaxTaggedTables = 64;
+
+/**
+ * Validates a tagged-table geometry against the packed-entry limits.
+ * Throws std::invalid_argument naming the offending field. @p kind is
+ * the predictor name used in the message.
+ */
+inline void
+validateTaggedGeometry(const char *kind,
+                       const std::vector<TageTableSpec> &specs)
+{
+    if (specs.empty())
+        throw std::invalid_argument(std::string(kind) +
+                                    ": at least one tagged table required");
+    if (specs.size() > kMaxTaggedTables)
+        throw std::invalid_argument(
+            std::string(kind) + ": at most 64 tagged tables (the fused "
+                                "lookup's hit bitmask is 64 bits)");
+    for (const TageTableSpec &spec : specs) {
+        if (spec.log_size < 1 || spec.log_size > 28)
+            throw std::invalid_argument(std::string(kind) +
+                                        ": table log_size out of [1, 28]");
+        if (spec.history_len < 1)
+            throw std::invalid_argument(std::string(kind) +
+                                        ": table history_len must be >= 1");
+        if (spec.tag_bits < 2 || spec.tag_bits > PackedTageEntry::kTagBits)
+            throw std::invalid_argument(
+                std::string(kind) +
+                ": table tag_bits out of [2, 16] (the packed entry's tag "
+                "field is 16 bits)");
+    }
+}
+
+/**
+ * One contiguous, 64-byte-aligned allocation holding every tagged table
+ * of a predictor, plus the per-table offset/index-mask metadata to
+ * address it. Entries are zero-initialized (== default entry state).
+ */
+template <typename EntryT>
+class TaggedTableArena
+{
+  public:
+    /** Offset/mask pair addressing one table inside the arena. */
+    struct TableRef
+    {
+        std::uint32_t offset = 0;     //!< flat index of the table's entry 0
+        std::uint32_t index_mask = 0; //!< (1 << log_size) - 1
+    };
+
+    TaggedTableArena() = default;
+
+    /** Builds the arena for @p specs (validate first; this only sizes). */
+    explicit TaggedTableArena(const std::vector<TageTableSpec> &specs)
+    {
+        tables_.reserve(specs.size());
+        std::uint64_t total = 0;
+        for (const TageTableSpec &spec : specs) {
+            const std::uint64_t entries = std::uint64_t(1) << spec.log_size;
+            tables_.push_back(
+                {static_cast<std::uint32_t>(total),
+                 static_cast<std::uint32_t>(entries - 1)});
+            total += entries;
+        }
+        size_ = static_cast<std::uint32_t>(total);
+        void *block = ::operator new(total * sizeof(EntryT),
+                                     std::align_val_t{kAlignment});
+        std::memset(block, 0, total * sizeof(EntryT));
+        data_.reset(static_cast<EntryT *>(block));
+    }
+
+    EntryT *data() { return data_.get(); }
+    const EntryT *data() const { return data_.get(); }
+
+    EntryT &operator[](std::uint32_t flat) { return data_.get()[flat]; }
+    const EntryT &
+    operator[](std::uint32_t flat) const
+    {
+        return data_.get()[flat];
+    }
+
+    /** @return Total entries across all tables. */
+    std::uint32_t size() const { return size_; }
+
+    const TableRef &
+    table(std::size_t t) const
+    {
+        return tables_[t];
+    }
+
+  private:
+    static constexpr std::size_t kAlignment = 64;
+
+    struct AlignedDelete
+    {
+        void
+        operator()(EntryT *p) const noexcept
+        {
+            ::operator delete(p, std::align_val_t{kAlignment});
+        }
+    };
+
+    std::unique_ptr<EntryT[], AlignedDelete> data_;
+    std::vector<TableRef> tables_;
+    std::uint32_t size_ = 0;
+};
+
+} // namespace mbp::pred
+
+#endif // MBP_PREDICTORS_TAGE_ARENA_HPP

@@ -15,6 +15,7 @@
 #define MBP_PREDICTORS_TAGE_SCL_HPP
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "mbp/predictors/loop.hpp"
@@ -91,13 +92,76 @@ class TageScl : public Predictor
     track(const Branch &b) override
     {
         const bool bit = b.isTaken();
-        for (std::size_t i = 1; i < sc_lengths_.size(); ++i) {
-            bool evicted = ghist_[sc_lengths_[i] - 1];
-            sc_folds_[i].update(bit, evicted);
-        }
-        ghist_.push(bit);
+        advanceScHistory(bit);
         tage_.track(b);
     }
+
+    /**
+     * Fused conditional-branch step (KernelFusedStep): exactly
+     * predict(ip); train(b); track(b) for a conditional branch with
+     * outcome @p taken. The TAGE core runs its own fused pass; loop and
+     * corrector state is disjoint from it, so their updates commute with
+     * the hoisted TAGE step.
+     */
+    bool
+    fusedStep(std::uint64_t ip, bool taken)
+    {
+        const bool outcome = taken;
+        const bool tage_pred = tage_.fusedStep(ip, taken);
+        const bool loop_conf = loop_.isConfident(ip);
+        const bool loop_pred = loop_conf ? loop_.predict(ip) : false;
+
+        // What predict() would have returned (chooser state read before
+        // this branch's own chooser update, exactly as the split path).
+        bool prediction;
+        int sum = 0;
+        bool have_sum = false;
+        if (loop_conf && loop_use_ >= 0) {
+            ++stat_loop_used_;
+            prediction = loop_pred;
+        } else {
+            sum = scSum(ip, tage_pred);
+            have_sum = true;
+            if (sum < -kScThreshold && tage_pred) {
+                ++stat_corrections_;
+                prediction = false;
+            } else if (sum > kScThreshold && !tage_pred) {
+                ++stat_corrections_;
+                prediction = true;
+            } else {
+                prediction = tage_pred;
+            }
+        }
+
+        // train() minus the TAGE part (already applied above). The loop
+        // component only reads ip/outcome from the Branch.
+        if (loop_conf && loop_pred != tage_pred)
+            loop_use_.sumOrSub(loop_pred == outcome);
+        const Branch b{ip, 0, OpCode::condJump(), taken};
+        loop_.train(b);
+        if (!have_sum)
+            sum = scSum(ip, tage_pred);
+        bool sc_pred = sum >= 0;
+        int magnitude = sum >= 0 ? sum : -sum;
+        if (sc_pred != outcome || magnitude <= kScTheta) {
+            for (std::size_t t = 0; t < sc_tables_.size(); ++t)
+                sc_tables_[t][scIndex(ip, t, tage_pred)].sumOrSub(outcome);
+        }
+
+        // track() minus the TAGE part.
+        advanceScHistory(outcome);
+        return prediction;
+    }
+
+    /** One prefetch address per TAGE bank (KernelMultiPrefetch). */
+    std::size_t
+    prefetchHints(std::uint64_t ip, std::span<const void *> out) const
+    {
+        return tage_.prefetchHints(ip, out);
+    }
+
+    /** Prefetch lookahead for the kernels' block driver (see Tage). */
+    static constexpr std::size_t kPrefetchDistance = Tage::kPrefetchDistance;
 
     json_t
     metadata_stats() const override
@@ -144,6 +208,20 @@ class TageScl : public Predictor
 
   private:
     static constexpr int kScLogSize = 11;
+
+    /** Advances the corrector folds + history (the SC part of track()).
+     *  Every SC history length fits in the first ghist word, so the
+     *  evicted bits come from one hoisted word read. */
+    void
+    advanceScHistory(bool bit)
+    {
+        const std::uint64_t word = ghist_.words()[0];
+        for (std::size_t i = 1; i < sc_lengths_.size(); ++i) {
+            const bool evicted = ((word >> (sc_lengths_[i] - 1)) & 1) != 0;
+            sc_folds_[i].update(bit, evicted);
+        }
+        ghist_.push(bit);
+    }
     static constexpr std::size_t kScSize = std::size_t(1) << kScLogSize;
     static constexpr int kScThreshold = 12; //!< confidence to override
     static constexpr int kScTheta = 10;     //!< training threshold

@@ -5,8 +5,10 @@
 #include "mbp/predictors/tage.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "mbp/utils/bits.hpp"
 #include "mbp/utils/hash.hpp"
@@ -65,27 +67,123 @@ Tage::Tage(Config config)
       ghist_(maxHistoryLength(config_)),
       path_(4, 8)
 {
-    assert(config_.counter_bits >= 2 && config_.counter_bits <= 8);
-    assert(config_.useful_bits >= 1 && config_.useful_bits <= 8);
-    tables_.reserve(config_.tables.size());
-    for (const TageTableSpec &spec : config_.tables) {
-        assert(spec.tag_bits >= 2 && spec.tag_bits <= 16);
-        Table table;
-        table.spec = spec;
-        table.entries.assign(std::size_t(1) << spec.log_size, Entry{});
-        table.idx_fold = FoldedHistory(spec.history_len, spec.log_size);
-        table.tag_fold0 = FoldedHistory(spec.history_len, spec.tag_bits);
-        table.tag_fold1 = FoldedHistory(spec.history_len, spec.tag_bits - 1);
-        tables_.push_back(std::move(table));
+    if (config_.counter_bits < 2 ||
+        config_.counter_bits > PackedTageEntry::kCounterBits)
+        throw std::invalid_argument(
+            "tage: counter_bits out of [2, 8] (packed counter field)");
+    if (config_.useful_bits < 1 ||
+        config_.useful_bits > PackedTageEntry::kCounterBits)
+        throw std::invalid_argument(
+            "tage: useful_bits out of [1, 8] (packed counter field)");
+    validateTaggedGeometry("tage", config_.tables);
+    arena_ = TaggedTableArena<PackedTageEntry>(config_.tables);
+    banks_.reserve(config_.tables.size());
+    auto widthSlot = [this](int width) {
+        for (std::size_t i = 0; i < fold_widths_.size(); ++i) {
+            if (fold_widths_[i] == width)
+                return static_cast<std::uint8_t>(i);
+        }
+        fold_widths_.push_back(width);
+        return static_cast<std::uint8_t>(fold_widths_.size() - 1);
+    };
+    for (std::size_t t = 0; t < config_.tables.size(); ++t) {
+        const TageTableSpec &spec = config_.tables[t];
+        Bank bank;
+        bank.spec = spec;
+        bank.offset = arena_.table(t).offset;
+        bank.index_mask = arena_.table(t).index_mask;
+        bank.tag_mask = static_cast<std::uint16_t>(
+            util::maskBits(spec.tag_bits));
+        bank.idx_width_slot = widthSlot(spec.log_size);
+        bank.tag_width_slot = widthSlot(spec.tag_bits);
+        folds_.add(spec.history_len, spec.log_size);
+        folds_.add(spec.history_len, spec.tag_bits);
+        folds_.add(spec.history_len, spec.tag_bits - 1);
+        banks_.push_back(bank);
     }
-    lookup_.index.resize(tables_.size());
-    lookup_.tag.resize(tables_.size());
+    lookup_.flat.resize(banks_.size());
+    lookup_.tag.resize(banks_.size());
+    u_swept_.assign((arena_.size() + 63) / 64, 0);
+    // Size the background sweep so one full pass always completes within
+    // one reset period: ceil(entries / period) entries per train.
+    u_sweep_step_ =
+        config_.u_reset_period == 0
+            ? arena_.size()
+            : (arena_.size() + config_.u_reset_period - 1) /
+                  config_.u_reset_period;
+    if (u_sweep_step_ == 0)
+        u_sweep_step_ = 1;
 }
 
 std::size_t
 Tage::bimodalIndex(std::uint64_t ip) const
 {
     return XorFold(ip >> 2, config_.log_bimodal_size);
+}
+
+int
+Tage::usefulOf(std::uint32_t flat) const
+{
+    int useful = arena_[flat].useful();
+    // An entry the background sweep has not reached yet still carries the
+    // pre-reset value; apply the pending clear on the fly so every read
+    // sees exactly what the eager boundary sweep would have stored.
+    if (u_sweep_active_ && !usefulSwept(flat))
+        useful &= u_clear_mask_;
+    return useful;
+}
+
+void
+Tage::setUseful(std::uint32_t flat, int value)
+{
+    arena_[flat].setUseful(value);
+    if (u_sweep_active_)
+        markUsefulSwept(flat);
+}
+
+void
+Tage::sweepUsefulStep()
+{
+    if (!u_sweep_active_)
+        return;
+    const std::uint32_t total = arena_.size();
+    const std::uint32_t end =
+        std::min(total, u_sweep_pos_ + u_sweep_step_);
+    for (std::uint32_t pos = u_sweep_pos_; pos < end; ++pos) {
+        if (!usefulSwept(pos)) {
+            arena_[pos].setUseful(arena_[pos].useful() & u_clear_mask_);
+            markUsefulSwept(pos);
+        }
+    }
+    u_sweep_pos_ = end;
+    if (end >= total)
+        u_sweep_active_ = false;
+}
+
+void
+Tage::finishUsefulSweep()
+{
+    if (!u_sweep_active_)
+        return;
+    const std::uint32_t total = arena_.size();
+    for (std::uint32_t pos = u_sweep_pos_; pos < total; ++pos) {
+        if (!usefulSwept(pos))
+            arena_[pos].setUseful(arena_[pos].useful() & u_clear_mask_);
+    }
+    u_sweep_active_ = false;
+}
+
+void
+Tage::startUsefulReset(std::uint8_t clear_mask)
+{
+    // A sweep still in flight is only possible when the period is shorter
+    // than the sweep needs (u_sweep_step_ prevents it otherwise); retire
+    // it before arming the new one so pending masks never stack.
+    finishUsefulSweep();
+    u_clear_mask_ = clear_mask;
+    u_sweep_active_ = true;
+    u_sweep_pos_ = 0;
+    std::fill(u_swept_.begin(), u_swept_.end(), 0);
 }
 
 void
@@ -95,25 +193,26 @@ Tage::computeLookup(std::uint64_t ip)
     lookup_.valid = true;
     lookup_.provider = -1;
     lookup_.alt = -1;
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-        const Table &table = tables_[t];
-        std::uint64_t base = ip >> 2;
-        std::uint64_t idx = XorFold(base, table.spec.log_size) ^
-                            table.idx_fold.value() ^
-                            XorFold(path_.value(), table.spec.log_size);
-        lookup_.index[t] = idx & util::maskBits(table.spec.log_size);
-        std::uint64_t tag = XorFold(base, table.spec.tag_bits) ^
-                            table.tag_fold0.value() ^
-                            (table.tag_fold1.value() << 1);
-        lookup_.tag[t] = static_cast<std::uint16_t>(
-            tag & util::maskBits(table.spec.tag_bits));
+    const std::uint64_t base = ip >> 2;
+    const std::uint64_t path = path_.value();
+    for (std::size_t t = 0; t < banks_.size(); ++t) {
+        const Bank &bank = banks_[t];
+        const int fs = 3 * static_cast<int>(t);
+        std::uint64_t idx = XorFold(base, bank.spec.log_size) ^
+                            folds_.value(fs) ^
+                            XorFold(path, bank.spec.log_size);
+        lookup_.flat[t] =
+            bank.offset + static_cast<std::uint32_t>(idx & bank.index_mask);
+        std::uint64_t tag = XorFold(base, bank.spec.tag_bits) ^
+                            folds_.value(fs + 1) ^
+                            (folds_.value(fs + 2) << 1);
+        lookup_.tag[t] = static_cast<std::uint16_t>(tag & bank.tag_mask);
     }
     // Longest hit provides; next hit (or the base) is the alternate.
-    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
-        const Entry &e =
-            tables_[static_cast<std::size_t>(t)]
-                .entries[lookup_.index[static_cast<std::size_t>(t)]];
-        if (e.tag == lookup_.tag[static_cast<std::size_t>(t)]) {
+    const PackedTageEntry *entries = arena_.data();
+    for (int t = static_cast<int>(banks_.size()) - 1; t >= 0; --t) {
+        const std::size_t ut = static_cast<std::size_t>(t);
+        if (entries[lookup_.flat[ut]].tag() == lookup_.tag[ut]) {
             if (lookup_.provider < 0) {
                 lookup_.provider = t;
             } else {
@@ -125,21 +224,19 @@ Tage::computeLookup(std::uint64_t ip)
 
     bool base_pred = bimodal_[bimodalIndex(ip)] >= 0;
     if (lookup_.provider >= 0) {
-        const Entry &prov =
-            tables_[static_cast<std::size_t>(lookup_.provider)]
-                .entries[lookup_.index[static_cast<std::size_t>(
-                    lookup_.provider)]];
-        lookup_.provider_pred = prov.ctr >= 0;
+        const std::uint32_t pf =
+            lookup_.flat[static_cast<std::size_t>(lookup_.provider)];
+        const PackedTageEntry prov = entries[pf];
+        lookup_.provider_pred = prov.ctr() >= 0;
         lookup_.alt_pred =
             lookup_.alt >= 0
-                ? tables_[static_cast<std::size_t>(lookup_.alt)]
-                          .entries[lookup_.index[static_cast<std::size_t>(
+                ? entries[lookup_.flat[static_cast<std::size_t>(
                               lookup_.alt)]]
-                          .ctr >= 0
+                          .ctr() >= 0
                 : base_pred;
         // "Newly allocated" heuristic: weak counter and no proven utility.
         lookup_.provider_is_weak =
-            prov.useful == 0 && (prov.ctr == 0 || prov.ctr == -1);
+            usefulOf(pf) == 0 && (prov.ctr() == 0 || prov.ctr() == -1);
         lookup_.prediction =
             (lookup_.provider_is_weak && use_alt_on_na_ >= 0)
                 ? lookup_.alt_pred
@@ -161,90 +258,82 @@ Tage::predict(std::uint64_t ip)
 }
 
 void
-Tage::train(const Branch &b)
+Tage::applyTrain(std::uint64_t ip, bool outcome, const LookupView &lv)
 {
-    if (!lookup_.valid || lookup_.ip != b.ip())
-        computeLookup(b.ip());
-    const bool outcome = b.isTaken();
-    const bool mispredicted = lookup_.prediction != outcome;
+    sweepUsefulStep();
+    const bool mispredicted = lv.prediction != outcome;
+    const int num_tables = static_cast<int>(banks_.size());
+    PackedTageEntry *entries = arena_.data();
 
-    if (lookup_.provider >= 0)
+    if (lv.provider >= 0)
         ++stat_provider_hits_;
     else
         ++stat_base_predictions_;
 
-    if (lookup_.provider >= 0) {
-        Table &table = tables_[static_cast<std::size_t>(lookup_.provider)];
-        Entry &prov =
-            table.entries[lookup_.index[static_cast<std::size_t>(
-                lookup_.provider)]];
+    if (lv.provider >= 0) {
+        const std::uint32_t pf =
+            lv.flat[static_cast<std::size_t>(lv.provider)];
 
         // use_alt_on_na chooser: when the provider looked newly allocated
         // and the two predictions differed, learn which one to trust.
-        if (lookup_.provider_is_weak &&
-            lookup_.provider_pred != lookup_.alt_pred)
-            use_alt_on_na_.sumOrSub(lookup_.alt_pred == outcome);
+        if (lv.provider_is_weak && lv.provider_pred != lv.alt_pred)
+            use_alt_on_na_.sumOrSub(lv.alt_pred == outcome);
 
         // Prediction counter, clamped to the configured width.
-        int v = prov.ctr.value() + (outcome ? 1 : -1);
-        prov.ctr.set(std::max(ctrMin(), std::min(ctrMax(), v)));
+        int v = entries[pf].ctr() + (outcome ? 1 : -1);
+        entries[pf].setCtr(std::max(ctrMin(), std::min(ctrMax(), v)));
 
         // Useful counter: the provider proved (un)helpful vs the alternate.
-        if (lookup_.provider_pred != lookup_.alt_pred) {
-            if (lookup_.provider_pred == outcome) {
-                if (prov.useful.value() < uMax())
-                    ++prov.useful;
-            } else if (prov.useful.value() > 0) {
-                --prov.useful;
+        if (lv.provider_pred != lv.alt_pred) {
+            const int useful = usefulOf(pf);
+            if (lv.provider_pred == outcome) {
+                if (useful < uMax())
+                    setUseful(pf, useful + 1);
+            } else if (useful > 0) {
+                setUseful(pf, useful - 1);
             }
         }
         // Keep the base predictor trained when it served as alternate.
-        if (lookup_.alt < 0)
-            bimodal_[bimodalIndex(b.ip())].sumOrSub(outcome);
+        if (lv.alt < 0)
+            bimodal_[bimodalIndex(ip)].sumOrSub(outcome);
     } else {
-        bimodal_[bimodalIndex(b.ip())].sumOrSub(outcome);
+        bimodal_[bimodalIndex(ip)].sumOrSub(outcome);
     }
 
     // Allocation: on a misprediction, try to allocate one entry in a table
     // with a longer history than the provider.
-    if (mispredicted &&
-        lookup_.provider + 1 < static_cast<int>(tables_.size())) {
-        int first = lookup_.provider + 1;
+    if (mispredicted && lv.provider + 1 < num_tables) {
+        int first = lv.provider + 1;
         // Skew the start table randomly (as TAGE does) so allocations
         // spread over the longer tables instead of piling on `first`.
         int start = first;
         std::uint64_t r = rng_.bits(2);
-        while (r > 0 && start + 1 < static_cast<int>(tables_.size())) {
+        while (r > 0 && start + 1 < num_tables) {
             ++start;
             r >>= 1;
         }
         int victim = -1;
-        for (int t = start; t < static_cast<int>(tables_.size()); ++t) {
-            Entry &e = tables_[static_cast<std::size_t>(t)]
-                           .entries[lookup_.index[
-                               static_cast<std::size_t>(t)]];
-            if (e.useful == 0) {
+        for (int t = start; t < num_tables; ++t) {
+            if (usefulOf(lv.flat[static_cast<std::size_t>(t)]) == 0) {
                 victim = t;
                 break;
             }
         }
         if (victim >= 0) {
-            Entry &e = tables_[static_cast<std::size_t>(victim)]
-                           .entries[lookup_.index[
-                               static_cast<std::size_t>(victim)]];
-            e.tag = lookup_.tag[static_cast<std::size_t>(victim)];
-            e.ctr.set(outcome ? 0 : -1); // weak in the observed direction
-            e.useful.set(0);
+            const std::size_t uv = static_cast<std::size_t>(victim);
+            entries[lv.flat[uv]].setTag(lv.tag[uv]);
+            entries[lv.flat[uv]].setCtr(outcome ? 0 : -1); // weak, observed
+            setUseful(lv.flat[uv], 0);
             ++stat_allocations_;
         } else {
             // Everything useful: age the candidates so future allocations
             // can succeed.
-            for (int t = first; t < static_cast<int>(tables_.size()); ++t) {
-                Entry &e = tables_[static_cast<std::size_t>(t)]
-                               .entries[lookup_.index[
-                                   static_cast<std::size_t>(t)]];
-                if (e.useful.value() > 0)
-                    --e.useful;
+            for (int t = first; t < num_tables; ++t) {
+                const std::uint32_t f =
+                    lv.flat[static_cast<std::size_t>(t)];
+                const int useful = usefulOf(f);
+                if (useful > 0)
+                    setUseful(f, useful - 1);
             }
             ++stat_alloc_failures_;
         }
@@ -252,43 +341,161 @@ Tage::train(const Branch &b)
 
     // Graceful useful reset: periodically clear alternating halves of the
     // useful counters so stale entries do not block allocation forever.
+    // Amortized: the boundary arms a pending clear mask that the per-train
+    // background sweep (sweepUsefulStep) retires — no full-table spike.
     if (++branch_counter_ >= config_.u_reset_period) {
         branch_counter_ = 0;
         int bit = reset_msb_next_ ? config_.useful_bits - 1 : 0;
         reset_msb_next_ = !reset_msb_next_;
-        for (Table &table : tables_) {
-            for (Entry &e : table.entries)
-                e.useful.set(e.useful.value() & ~(1 << bit));
-        }
+        startUsefulReset(static_cast<std::uint8_t>(~(1u << bit)));
     }
+}
+
+void
+Tage::train(const Branch &b)
+{
+    if (!lookup_.valid || lookup_.ip != b.ip())
+        computeLookup(b.ip());
+    const LookupView lv{lookup_.flat.data(), lookup_.tag.data(),
+                        lookup_.provider,    lookup_.alt,
+                        lookup_.provider_pred, lookup_.alt_pred,
+                        lookup_.prediction,  lookup_.provider_is_weak};
+    applyTrain(b.ip(), b.isTaken(), lv);
     lookup_.valid = false;
+}
+
+void
+Tage::advanceHistory(std::uint64_t ip, bool taken)
+{
+    // All 3 * num_tables folds advance in one pass over the fold set's
+    // parallel arrays; each reads its evicted bit straight from the
+    // history's backing words (no per-fold bounds-checked bit access).
+    folds_.update(taken, ghist_.words());
+    ghist_.push(taken);
+    path_.push(ip);
 }
 
 void
 Tage::track(const Branch &b)
 {
-    // Record which bits fall out of each fold window before pushing.
-    const bool bit = b.isTaken();
-    for (Table &table : tables_) {
-        bool evicted = ghist_[table.spec.history_len - 1];
-        table.idx_fold.update(bit, evicted);
-        table.tag_fold0.update(bit, evicted);
-        table.tag_fold1.update(bit, evicted);
-    }
-    ghist_.push(bit);
-    path_.push(b.ip());
+    advanceHistory(b.ip(), b.isTaken());
     lookup_.valid = false;
+}
+
+bool
+Tage::fusedStep(std::uint64_t ip, bool taken)
+{
+    // --- Lookup, carried in registers ---------------------------------
+    // Fold the address and the path once per *distinct* width instead of
+    // once per table: the default geometry shares one index width and two
+    // tag widths across its eight tables, so 24 XorFolds become 6.
+    std::uint64_t base_fold[2 * kMaxTaggedTables];
+    std::uint64_t path_fold[2 * kMaxTaggedTables];
+    const std::uint64_t base = ip >> 2;
+    const std::uint64_t path = path_.value();
+    const std::size_t num_widths = fold_widths_.size();
+    for (std::size_t w = 0; w < num_widths; ++w) {
+        base_fold[w] = XorFold(base, fold_widths_[w]);
+        path_fold[w] = XorFold(path, fold_widths_[w]);
+    }
+
+    std::uint32_t flat[kMaxTaggedTables];
+    std::uint16_t tags[kMaxTaggedTables];
+    std::uint64_t hits = 0;
+    const std::size_t num_tables = banks_.size();
+    const PackedTageEntry *entries = arena_.data();
+    for (std::size_t t = 0; t < num_tables; ++t) {
+        const Bank &bank = banks_[t];
+        const int fs = 3 * static_cast<int>(t);
+        const std::uint64_t idx =
+            (base_fold[bank.idx_width_slot] ^ folds_.value(fs) ^
+             path_fold[bank.idx_width_slot]) &
+            bank.index_mask;
+        const std::uint32_t f =
+            bank.offset + static_cast<std::uint32_t>(idx);
+        const std::uint16_t tag = static_cast<std::uint16_t>(
+            (base_fold[bank.tag_width_slot] ^ folds_.value(fs + 1) ^
+             (folds_.value(fs + 2) << 1)) &
+            bank.tag_mask);
+        flat[t] = f;
+        tags[t] = tag;
+        hits |= std::uint64_t(entries[f].tag() == tag) << t;
+    }
+
+    // Provider = longest (highest) hit, alternate = the next one below —
+    // top two set bits of the mask, no table scan.
+    const int provider = static_cast<int>(std::bit_width(hits)) - 1;
+    const std::uint64_t below =
+        provider >= 0 ? hits ^ (std::uint64_t(1) << provider) : 0;
+    const int alt = static_cast<int>(std::bit_width(below)) - 1;
+
+    LookupView lv{flat, tags, provider, alt, false, false, false, false};
+    if (provider >= 0) {
+        const PackedTageEntry prov =
+            entries[flat[static_cast<std::size_t>(provider)]];
+        lv.provider_pred = prov.ctr() >= 0;
+        lv.alt_pred =
+            alt >= 0
+                ? entries[flat[static_cast<std::size_t>(alt)]].ctr() >= 0
+                : bimodal_[bimodalIndex(ip)] >= 0;
+        lv.provider_is_weak =
+            usefulOf(flat[static_cast<std::size_t>(provider)]) == 0 &&
+            (prov.ctr() == 0 || prov.ctr() == -1);
+        lv.prediction = (lv.provider_is_weak && use_alt_on_na_ >= 0)
+                            ? lv.alt_pred
+                            : lv.provider_pred;
+    } else {
+        const bool base_pred = bimodal_[bimodalIndex(ip)] >= 0;
+        lv.provider_pred = base_pred;
+        lv.alt_pred = base_pred;
+        lv.prediction = base_pred;
+    }
+
+    // --- Update + history, shared with the virtual path ---------------
+    applyTrain(ip, taken, lv);
+    advanceHistory(ip, taken);
+    lookup_.valid = false;
+    return lv.prediction;
+}
+
+std::size_t
+Tage::prefetchHints(std::uint64_t ip, std::span<const void *> out) const
+{
+    // One line per tagged bank, indexed with the *current* folds — the
+    // history advances before the actual lookup, so this is approximate
+    // by design (see KernelMultiPrefetch).
+    std::uint64_t base_fold[2 * kMaxTaggedTables];
+    std::uint64_t path_fold[2 * kMaxTaggedTables];
+    const std::uint64_t base = ip >> 2;
+    const std::uint64_t path = path_.value();
+    const std::size_t num_widths = fold_widths_.size();
+    for (std::size_t w = 0; w < num_widths; ++w) {
+        base_fold[w] = XorFold(base, fold_widths_[w]);
+        path_fold[w] = XorFold(path, fold_widths_[w]);
+    }
+    const std::size_t n = std::min(out.size(), banks_.size());
+    const PackedTageEntry *entries = arena_.data();
+    for (std::size_t t = 0; t < n; ++t) {
+        const Bank &bank = banks_[t];
+        const std::uint64_t idx =
+            (base_fold[bank.idx_width_slot] ^
+             folds_.value(3 * static_cast<int>(t)) ^
+             path_fold[bank.idx_width_slot]) &
+            bank.index_mask;
+        out[t] = entries + bank.offset + idx;
+    }
+    return n;
 }
 
 json_t
 Tage::metadata_stats() const
 {
     json_t tables = json_t::array();
-    for (const Table &table : tables_) {
+    for (const Bank &bank : banks_) {
         tables.push_back(json_t::object({
-            {"log_size", table.spec.log_size},
-            {"history_length", table.spec.history_len},
-            {"tag_bits", table.spec.tag_bits},
+            {"log_size", bank.spec.log_size},
+            {"history_length", bank.spec.history_len},
+            {"tag_bits", bank.spec.tag_bits},
         }));
     }
     return json_t::object({
@@ -296,7 +503,7 @@ Tage::metadata_stats() const
         {"log_bimodal_size", config_.log_bimodal_size},
         {"counter_bits", config_.counter_bits},
         {"useful_bits", config_.useful_bits},
-        {"num_tagged_tables", std::uint64_t(tables_.size())},
+        {"num_tagged_tables", std::uint64_t(banks_.size())},
         {"tables", tables},
     });
 }
@@ -306,10 +513,10 @@ Tage::storageBits() const
 {
     std::uint64_t bits =
         (std::uint64_t(1) << config_.log_bimodal_size) * 2;
-    for (const Table &table : tables_) {
-        bits += (std::uint64_t(1) << table.spec.log_size) *
+    for (const Bank &bank : banks_) {
+        bits += (std::uint64_t(1) << bank.spec.log_size) *
                 std::uint64_t(config_.counter_bits + config_.useful_bits +
-                              table.spec.tag_bits);
+                              bank.spec.tag_bits);
     }
     // Global machinery: history register, path, use_alt chooser, reset
     // period counter.
@@ -323,8 +530,8 @@ Tage::storage_components() const
     std::vector<ComponentInfo> parts;
     parts.push_back(ComponentInfo::table(
         "bimodal", std::uint64_t(1) << config_.log_bimodal_size, 2));
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-        const TageTableSpec &spec = tables_[t].spec;
+    for (std::size_t t = 0; t < banks_.size(); ++t) {
+        const TageTableSpec &spec = banks_[t].spec;
         parts.push_back(ComponentInfo::table(
             "tagged_table_" + std::to_string(t),
             std::uint64_t(1) << spec.log_size,

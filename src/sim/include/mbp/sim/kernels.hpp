@@ -29,9 +29,12 @@
  *    `prefetchHint(ip)` address (KernelPrefetchable) get their counter
  *    lines software-prefetched a fixed distance ahead, covering the
  *    re-warm misses caused by N predictors evicting each other between
- *    blocks. (The single-predictor loop deliberately does not prefetch:
- *    its counter lines stay resident on their own, and the extra hint
- *    computation measurably slows the loop.)
+ *    blocks; multi-bank predictors (the TAGE family) instead expose
+ *    `prefetchHints(ip, span)` (KernelMultiPrefetch) and get one hint
+ *    per tagged bank, at a per-predictor distance when they declare one
+ *    (P::kPrefetchDistance). (The single-predictor loop deliberately
+ *    does not prefetch: its counter lines stay resident on their own,
+ *    and the extra hint computation measurably slows the loop.)
  *
  * Results are bit-identical to the virtual arena path — same prediction
  * stream, same output document modulo the timing fields; the conformance
@@ -57,6 +60,7 @@
 #include <concepts>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -97,6 +101,49 @@ template <typename P>
 concept KernelPrefetchable = requires(const P &predictor, std::uint64_t ip) {
     { predictor.prefetchHint(ip) } -> std::convertible_to<const void *>;
 };
+
+/**
+ * Upper bound on the addresses one prefetchHints() call may produce.
+ * Bounds the block driver's stack buffer; predictors with more banks
+ * than this simply hint their first kKernelMaxPrefetchHints ones.
+ */
+inline constexpr std::size_t kKernelMaxPrefetchHints = 16;
+
+/**
+ * A predictor that touches several counter lines per lookup (one per
+ * tagged bank in the TAGE family) and can name them all:
+ * `prefetchHints(ip, out)` writes up to out.size() addresses for a
+ * future lookup of @p ip and returns how many it wrote. Like
+ * prefetchHint, the addresses only steer prefetches and may be
+ * approximate — correctness never depends on them. Takes precedence
+ * over KernelPrefetchable in the block driver when both are offered.
+ */
+template <typename P>
+concept KernelMultiPrefetch =
+    requires(const P &predictor, std::uint64_t ip,
+             std::span<const void *> out) {
+        { predictor.prefetchHints(ip, out) }
+            -> std::convertible_to<std::size_t>;
+    };
+
+/**
+ * The prefetch lookahead the block driver uses for @p P: the predictor's
+ * own `P::kPrefetchDistance` when it declares one (multi-bank predictors
+ * issue many hints per step, so a shorter distance keeps them resident),
+ * else the global kKernelPrefetchDistance.
+ */
+template <typename P>
+consteval std::size_t
+kernelPrefetchDistanceOf()
+{
+    if constexpr (requires {
+                      { P::kPrefetchDistance } ->
+                          std::convertible_to<std::size_t>;
+                  })
+        return P::kPrefetchDistance;
+    else
+        return kKernelPrefetchDistance;
+}
 
 /**
  * A predictor whose whole per-conditional-branch sequence can run as a
@@ -480,8 +527,17 @@ class FusedKernel final : public BlockKernel
         const std::uint64_t *targets = trace.targetData();
         const std::uint8_t *meta = trace.metaData();
         for (std::size_t i = begin; i < end; ++i) {
-            if constexpr (KernelPrefetchable<P>) {
-                const std::size_t ahead = i + kKernelPrefetchDistance;
+            if constexpr (KernelMultiPrefetch<P>) {
+                const std::size_t ahead = i + kernelPrefetchDistanceOf<P>();
+                if (ahead < end) {
+                    const void *hints[kKernelMaxPrefetchHints];
+                    const std::size_t n = p.prefetchHints(
+                        ips[ahead], std::span<const void *>(hints));
+                    for (std::size_t h = 0; h < n; ++h)
+                        detail::prefetchLine(hints[h]);
+                }
+            } else if constexpr (KernelPrefetchable<P>) {
+                const std::size_t ahead = i + kernelPrefetchDistanceOf<P>();
                 if (ahead < end)
                     detail::prefetchLine(p.prefetchHint(ips[ahead]));
             }

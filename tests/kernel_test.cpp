@@ -17,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "mbp/predictors/batage.hpp"
 #include "mbp/predictors/bimodal.hpp"
 #include "mbp/predictors/gshare.hpp"
 #include "mbp/predictors/tage.hpp"
+#include "mbp/predictors/tage_scl.hpp"
 #include "mbp/sbbt/writer.hpp"
 #include "mbp/sim/simulator.hpp"
 
@@ -30,15 +32,31 @@ namespace
 
 // The dispatch-selection contracts, pinned at compile time: table
 // predictors offer the fused single-step (Gshare also the per-site
-// fold), history-table predictors like TAGE fall back to the separate
-// predict/train/track calls.
+// fold), and the TAGE family offers the fused step plus the multi-bank
+// prefetch form — but never the per-site fold, since its table indexes
+// depend on the live history.
 static_assert(KernelFusedStep<pred::Bimodal<16>>);
 static_assert(KernelSiteFold<pred::Bimodal<16>>);
 static_assert(KernelFusedStep<pred::Gshare<15, 17>>);
 static_assert(KernelSiteFold<pred::Gshare<15, 17>>);
 static_assert(KernelPrefetchable<pred::Gshare<15, 17>>);
-static_assert(!KernelFusedStep<pred::Tage>);
+static_assert(!KernelMultiPrefetch<pred::Gshare<15, 17>>);
+static_assert(KernelFusedStep<pred::Tage>);
+static_assert(KernelFusedStep<pred::Batage>);
+static_assert(KernelFusedStep<pred::TageScl>);
 static_assert(!KernelSiteFold<pred::Tage>);
+static_assert(!KernelSiteFold<pred::Batage>);
+static_assert(!KernelSiteFold<pred::TageScl>);
+static_assert(KernelMultiPrefetch<pred::Tage>);
+static_assert(KernelMultiPrefetch<pred::Batage>);
+static_assert(KernelMultiPrefetch<pred::TageScl>);
+static_assert(!KernelPrefetchable<pred::Tage>);
+// Per-predictor prefetch distance: declared by the TAGE family, the
+// global default for everything else.
+static_assert(kernelPrefetchDistanceOf<pred::Tage>() ==
+              pred::Tage::kPrefetchDistance);
+static_assert(kernelPrefetchDistanceOf<pred::Gshare<15, 17>>() ==
+              kKernelPrefetchDistance);
 
 /** Timing metrics: the only fields allowed to differ fused vs virtual. */
 bool

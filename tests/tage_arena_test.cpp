@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The TAGE-family fast-path storage layer (mbp/predictors/tage_arena.hpp):
+ * packed-entry round trips at the field extremes, configuration-time
+ * geometry rejection, the folded-history set against the per-fold
+ * reference, fused-step equivalence for the whole family, and the storage
+ * audit regression pinning storageBits() across the arena refactor.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "mbp/audit/audit.hpp"
+#include "mbp/predictors/batage.hpp"
+#include "mbp/predictors/tage.hpp"
+#include "mbp/predictors/tage_arena.hpp"
+#include "mbp/predictors/tage_scl.hpp"
+#include "mbp/utils/history.hpp"
+
+namespace
+{
+
+using namespace mbp;
+using namespace mbp::pred;
+
+TEST(PackedTageEntry, DefaultIsZeroedSeedEntry)
+{
+    PackedTageEntry e;
+    EXPECT_EQ(e.tag(), 0u);
+    EXPECT_EQ(e.ctr(), 0);
+    EXPECT_EQ(e.useful(), 0);
+}
+
+TEST(PackedTageEntry, RoundTripsFieldExtremes)
+{
+    PackedTageEntry e;
+    // Full 16-bit tag, counter at both signed extremes, useful at the
+    // 8-bit ceiling — each field must round-trip without touching the
+    // other two.
+    e.setTag(0xffff);
+    e.setCtr(-128);
+    e.setUseful(255);
+    EXPECT_EQ(e.tag(), 0xffffu);
+    EXPECT_EQ(e.ctr(), -128);
+    EXPECT_EQ(e.useful(), 255);
+
+    e.setCtr(127);
+    EXPECT_EQ(e.tag(), 0xffffu);
+    EXPECT_EQ(e.ctr(), 127);
+    EXPECT_EQ(e.useful(), 255);
+
+    e.setTag(0);
+    e.setUseful(0);
+    EXPECT_EQ(e.tag(), 0u);
+    EXPECT_EQ(e.ctr(), 127);
+    EXPECT_EQ(e.useful(), 0);
+
+    // Sign extension across the packed byte: every representable value
+    // of an 8-bit two's-complement counter survives the round trip.
+    for (int v = -128; v <= 127; ++v) {
+        e.setCtr(v);
+        EXPECT_EQ(e.ctr(), v);
+    }
+}
+
+TEST(PackedDualEntry, RoundTripsFieldExtremes)
+{
+    PackedDualEntry e;
+    EXPECT_EQ(e.tag(), 0u);
+    EXPECT_EQ(e.numTaken(), 0u);
+    EXPECT_EQ(e.numNotTaken(), 0u);
+
+    e.setTag(0xffff);
+    e.setNumTaken(255);
+    e.setNumNotTaken(255);
+    EXPECT_EQ(e.tag(), 0xffffu);
+    EXPECT_EQ(e.numTaken(), 255u);
+    EXPECT_EQ(e.numNotTaken(), 255u);
+
+    e.setNumTaken(0);
+    EXPECT_EQ(e.tag(), 0xffffu);
+    EXPECT_EQ(e.numTaken(), 0u);
+    EXPECT_EQ(e.numNotTaken(), 255u);
+}
+
+std::vector<TageTableSpec>
+specs(int log_size, int history_len, int tag_bits, int count = 2)
+{
+    TageTableSpec spec;
+    spec.log_size = log_size;
+    spec.history_len = history_len;
+    spec.tag_bits = tag_bits;
+    return std::vector<TageTableSpec>(static_cast<std::size_t>(count),
+                                      spec);
+}
+
+TEST(TaggedGeometry, RejectsWhatThePackedLayoutCannotHold)
+{
+    // The packed 4-byte entry caps the tag at 16 bits; the shared
+    // validator also rejects degenerate table shapes before any arena
+    // memory is allocated.
+    EXPECT_THROW(validateTaggedGeometry("t", specs(6, 8, 17)),
+                 std::invalid_argument);
+    EXPECT_THROW(validateTaggedGeometry("t", specs(6, 8, 1)),
+                 std::invalid_argument);
+    EXPECT_THROW(validateTaggedGeometry("t", specs(0, 8, 9)),
+                 std::invalid_argument);
+    EXPECT_THROW(validateTaggedGeometry("t", specs(29, 8, 9)),
+                 std::invalid_argument);
+    EXPECT_THROW(validateTaggedGeometry("t", specs(6, 0, 9)),
+                 std::invalid_argument);
+    EXPECT_THROW(validateTaggedGeometry("t", {}), std::invalid_argument);
+    EXPECT_THROW(validateTaggedGeometry("t", specs(6, 8, 9, 65)),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(validateTaggedGeometry("t", specs(6, 8, 16, 64)));
+}
+
+TEST(TaggedGeometry, TageRejectsCounterWidthsOutsidePackedBytes)
+{
+    auto config = [](int counter_bits, int useful_bits) {
+        Tage::Config c = Tage::Config::geometric(4, 3, 20, 5, 7);
+        c.log_bimodal_size = 6;
+        c.counter_bits = counter_bits;
+        c.useful_bits = useful_bits;
+        return c;
+    };
+    EXPECT_THROW(Tage(config(1, 2)), std::invalid_argument);
+    EXPECT_THROW(Tage(config(9, 2)), std::invalid_argument);
+    EXPECT_THROW(Tage(config(3, 0)), std::invalid_argument);
+    EXPECT_THROW(Tage(config(3, 9)), std::invalid_argument);
+    EXPECT_NO_THROW(Tage(config(8, 8)));
+    EXPECT_NO_THROW(Tage(config(2, 1)));
+
+    Tage::Config bad_tag = Tage::Config::geometric(4, 3, 20, 5, 7);
+    bad_tag.tables[1].tag_bits = 17;
+    EXPECT_THROW(Tage{bad_tag}, std::invalid_argument);
+}
+
+TEST(TaggedGeometry, BatageRejectsCounterMaxOutsidePackedBytes)
+{
+    auto config = [](int counter_max) {
+        Batage::Config c = Batage::Config::geometric(4, 3, 20, 5, 7);
+        c.log_bimodal_size = 6;
+        c.counter_max = counter_max;
+        return c;
+    };
+    EXPECT_THROW(Batage(config(0)), std::invalid_argument);
+    EXPECT_THROW(Batage(config(256)), std::invalid_argument);
+    EXPECT_NO_THROW(Batage(config(255)));
+    EXPECT_NO_THROW(Batage(config(1)));
+}
+
+TEST(FoldedHistorySetTest, MatchesPerFoldReference)
+{
+    // The set advances all folds in one pass (with a SIMD specialization
+    // where available); every value must stay bit-identical to a plain
+    // FoldedHistory advanced with explicitly computed evicted bits.
+    GlobalHistory ghist(232);
+    FoldedHistorySet set;
+    std::vector<FoldedHistory> reference;
+    const int lengths[] = {1, 4, 7, 13, 64, 65, 127, 128, 130, 231, 232};
+    const int widths[] = {10, 10, 9};
+    for (int length : lengths) {
+        for (int width : widths) {
+            set.add(length, width);
+            reference.emplace_back(length, width);
+        }
+    }
+    std::mt19937_64 rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const bool taken = (rng() & 1) != 0;
+        set.update(taken, ghist.words());
+        for (std::size_t f = 0; f < reference.size(); ++f) {
+            const int age = reference[f].length() - 1;
+            reference[f].update(taken, ghist[age]);
+            ASSERT_EQ(set.value(static_cast<int>(f)),
+                      reference[f].value())
+                << "fold " << f << " diverged at step " << i;
+        }
+        ghist.push(taken);
+    }
+}
+
+template <typename P>
+void
+expectFusedStepMatchesSeparateCalls(P fused, P separate)
+{
+    std::mt19937_64 rng(29);
+    for (int i = 0; i < 60000; ++i) {
+        const std::uint64_t ip = 0x4000 + 4 * (rng() % 500);
+        const bool taken = (rng() % 100) < 60;
+        const bool fused_guess = fused.fusedStep(ip, taken);
+        const bool separate_guess = separate.predict(ip);
+        const Branch b{ip, 0x9000, OpCode::condJump(), taken};
+        separate.train(b);
+        separate.track(b);
+        ASSERT_EQ(fused_guess, separate_guess) << "diverged at step " << i;
+    }
+    // Same predictions are necessary but not sufficient — the internal
+    // trajectories (allocations, chooser movement, loop hits) must agree
+    // too, or the next million branches would diverge.
+    EXPECT_EQ(fused.execution_stats(), separate.execution_stats());
+}
+
+TEST(TageFamilyFusedStep, TageMatchesSeparateCalls)
+{
+    Tage::Config config = Tage::Config::geometric(6, 3, 40, 5, 7);
+    config.log_bimodal_size = 7;
+    config.u_reset_period = 4096;
+    expectFusedStepMatchesSeparateCalls(Tage(config), Tage(config));
+}
+
+TEST(TageFamilyFusedStep, BatageMatchesSeparateCalls)
+{
+    Batage::Config config = Batage::Config::geometric(6, 3, 40, 5, 7);
+    config.log_bimodal_size = 7;
+    config.cat_max = 64;
+    expectFusedStepMatchesSeparateCalls(Batage(config), Batage(config));
+}
+
+TEST(TageFamilyFusedStep, TageSclMatchesSeparateCalls)
+{
+    Tage::Config config = Tage::Config::geometric(6, 3, 40, 6, 8);
+    config.log_bimodal_size = 8;
+    config.u_reset_period = 256;
+    expectFusedStepMatchesSeparateCalls(TageScl(config), TageScl(config));
+}
+
+TEST(StorageAudit, TageFamilyBitsUnchangedByArenaLayout)
+{
+    // The arena refactor changes layout, not accounting: the hand-written
+    // storageBits() and the audit-derived component sums must still agree
+    // at exactly the pre-refactor values.
+    const struct
+    {
+        const char *name;
+        std::uint64_t bits;
+    } expected[] = {
+        {"tage", 160044},
+        {"batage", 233752},
+        {"tage-scl", 231795},
+        {"filter-tage", 323884},
+    };
+    for (const auto &[name, bits] : expected) {
+        const std::vector<audit::Entry> entries = audit::auditByNames({name});
+        ASSERT_EQ(entries.size(), 1u) << name;
+        EXPECT_EQ(entries[0].status, audit::Status::kOk) << name;
+        EXPECT_EQ(entries[0].declared_bits, bits) << name;
+        EXPECT_EQ(entries[0].derived_bits, bits) << name;
+    }
+}
+
+} // namespace
